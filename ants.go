@@ -1,0 +1,203 @@
+// Package ants is the public API of the reproduction of "Trade-offs between
+// Selection Complexity and Performance when Searching the Plane without
+// Communication" (Lenzen, Lynch, Newport, Radeva; PODC 2014).
+//
+// It re-exports the library's stable surface: the grid substrate, the agent
+// automaton model, the simulation engine, the paper's search algorithms and
+// the baselines. See the examples/ directory for runnable programs and
+// DESIGN.md for the architecture.
+//
+// # Quick start
+//
+//	factory, err := ants.NonUniformSearch(64, 1) // knows D = 64, ℓ = 1
+//	if err != nil { ... }
+//	stats, err := ants.RunPlacedTrials(ants.Config{
+//		NumAgents:  16,
+//		MoveBudget: 64 * 64 * 512,
+//	}, ants.PlaceUniformBall, 64, factory, 20, 42)
+package ants
+
+import (
+	"repro/internal/automata"
+	"repro/internal/baseline"
+	"repro/internal/grid"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+// Grid substrate.
+type (
+	// Point is a lattice point of Z².
+	Point = grid.Point
+	// Direction is one of the four grid moves.
+	Direction = grid.Direction
+	// VisitSet records visited grid cells.
+	VisitSet = grid.VisitSet
+)
+
+// The four grid directions.
+const (
+	Up    = grid.Up
+	Down  = grid.Down
+	Left  = grid.Left
+	Right = grid.Right
+)
+
+// Origin is the agents' common start point.
+var Origin = grid.Origin
+
+// Agent model.
+type (
+	// Machine is a probabilistic finite state automaton (the paper's
+	// agent model).
+	Machine = automata.Machine
+	// MachineAnalysis is the Markov-chain decomposition of a machine
+	// (recurrent classes, periods, stationary distributions, drifts).
+	MachineAnalysis = automata.Analysis
+)
+
+// AnalyzeMachine decomposes a machine's Markov chain.
+func AnalyzeMachine(m *Machine) (*MachineAnalysis, error) {
+	return automata.Analyze(m)
+}
+
+// RandomWalkMachine returns the 5-state uniform-random-walk automaton.
+func RandomWalkMachine() *Machine { return automata.RandomWalk() }
+
+// DriftLineMachine returns a 2^bits-state machine with a single drift line,
+// the lower bound's canonical low-χ agent.
+func DriftLineMachine(bits int) (*Machine, error) {
+	return automata.DriftLineMachine(bits)
+}
+
+// Simulation engine.
+type (
+	// Config describes one multi-agent search instance.
+	Config = sim.Config
+	// Result is the outcome of one instance.
+	Result = sim.Result
+	// TrialStats aggregates repeated trials.
+	TrialStats = sim.TrialStats
+	// Factory builds one agent program per agent per trial.
+	Factory = sim.Factory
+	// Program is an agent algorithm.
+	Program = sim.Program
+	// Env is the agent-world interface passed to programs.
+	Env = sim.Env
+	// Placement selects target positions.
+	Placement = sim.Placement
+)
+
+// Target placements.
+const (
+	PlaceCorner        = sim.PlaceCorner
+	PlaceAxis          = sim.PlaceAxis
+	PlaceUniformBall   = sim.PlaceUniformBall
+	PlaceUniformSphere = sim.PlaceUniformSphere
+)
+
+// Run executes one multi-agent search with the given root seed.
+func Run(cfg Config, factory Factory, seed uint64) (*Result, error) {
+	return sim.Run(cfg, factory, rngNew(seed))
+}
+
+// RunTrials repeats a search configuration over independent trials.
+func RunTrials(cfg Config, factory Factory, trials int, seed uint64) (*TrialStats, error) {
+	return sim.RunTrials(cfg, factory, trials, seed)
+}
+
+// RunPlacedTrials is RunTrials with a fresh target drawn per trial from the
+// placement at distance d.
+func RunPlacedTrials(cfg Config, place Placement, d int64, factory Factory, trials int, seed uint64) (*TrialStats, error) {
+	return sim.RunPlacedTrials(cfg, place, d, factory, trials, seed)
+}
+
+// The paper's algorithms and their χ audits.
+type (
+	// Audit is the selection-complexity account of an algorithm
+	// configuration: memory registers, b, ℓ, and χ = b + log ℓ.
+	Audit = search.Audit
+)
+
+// NonUniformSearch returns a factory for the paper's Non-Uniform-Search
+// (Algorithms 1+2; Theorems 3.5, 3.7): the agent knows D, finds the target
+// in O(D²/n + D) expected moves, χ = log log D + O(1).
+func NonUniformSearch(d int64, ell uint) (Factory, error) {
+	return search.NonUniformFactory(d, ell)
+}
+
+// NonUniformAudit returns the χ audit for a Non-Uniform-Search
+// configuration.
+func NonUniformAudit(d int64, ell uint) (Audit, error) {
+	p, err := search.NewNonUniform(d, ell)
+	if err != nil {
+		return Audit{}, err
+	}
+	return p.Audit(), nil
+}
+
+// UniformSearch returns a factory for the paper's Algorithm 5 (Theorem
+// 3.14): the agent does not know D, finds the target in
+// (D²/n + D)·2^{O(ℓ)} expected moves, χ ≤ 3 log log D + O(1). The machine
+// depends on the agent count n.
+func UniformSearch(ell uint, n int) (Factory, error) {
+	return search.UniformFactory(ell, n)
+}
+
+// UniformAudit returns the χ audit of Algorithm 5 at the phase that first
+// covers distance d.
+func UniformAudit(ell uint, n int, d int64) (Audit, error) {
+	p, err := search.NewUniform(ell, n)
+	if err != nil {
+		return Audit{}, err
+	}
+	return p.AuditForDistance(d), nil
+}
+
+// Algorithm1Machine returns the explicit five-state automaton of the
+// paper's figure for a known distance D.
+func Algorithm1Machine(d int64) (*Machine, error) {
+	return search.Algorithm1Machine(d)
+}
+
+// Baselines.
+
+// RandomWalkSearch returns the uniform-random-walk baseline factory
+// (speed-up at most min{log n, D}).
+func RandomWalkSearch() Factory { return baseline.RandomWalkFactory() }
+
+// SpiralSearch returns the deterministic single-agent spiral baseline.
+func SpiralSearch() Factory { return baseline.SpiralFactory() }
+
+// FeinermanSearch returns the harmonic-search-style baseline of Feinerman
+// et al.: optimal O(D²/n + D) moves but Θ(log D) memory (χ = Θ(log D)).
+func FeinermanSearch(n int) (Factory, error) { return baseline.FeinermanFactory(n) }
+
+// MachineSearch adapts any automaton to a search factory; stepBudget caps
+// the Markov steps per agent (0 = unlimited).
+func MachineSearch(m *Machine, stepBudget uint64) (Factory, error) {
+	return sim.MachineFactory(m, stepBudget)
+}
+
+// Synchronous execution (the paper's round-based model).
+type (
+	// RoundsConfig parameterizes a synchronous lockstep run.
+	RoundsConfig = sim.RoundsConfig
+	// RoundsResult is the outcome of a synchronous run.
+	RoundsResult = sim.RoundsResult
+	// RoundObserver receives per-round swarm snapshots.
+	RoundObserver = sim.RoundObserver
+	// AgentState is one agent's per-round snapshot.
+	AgentState = sim.AgentState
+)
+
+// RunRounds executes a swarm of identical automata in lockstep rounds.
+func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult, error) {
+	return sim.RunRounds(cfg, obs, seed)
+}
+
+// CoverageCurve samples the swarm's cumulative coverage of the radius-ball
+// at the given checkpoint rounds.
+func CoverageCurve(m *Machine, numAgents int, radius int64, checkpoints []uint64, seed uint64) ([]int64, error) {
+	return sim.CoverageCurve(m, numAgents, radius, checkpoints, seed)
+}

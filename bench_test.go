@@ -1,0 +1,282 @@
+// Benchmarks: one per reproduction experiment (see DESIGN.md §4 and
+// EXPERIMENTS.md). Each benchmark measures the simulation kernel of its
+// experiment at a fixed, representative configuration; the full sweeps that
+// regenerate the tables live in cmd/antbench.
+package ants_test
+
+import (
+	"testing"
+
+	ants "repro"
+	"repro/internal/automata"
+	"repro/internal/grid"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+// BenchmarkE1NonUniform measures one multi-agent Non-Uniform-Search run
+// (Theorems 3.5/3.7): D = 32, n = 4, corner target.
+func BenchmarkE1NonUniform(b *testing.B) {
+	const d = 32
+	factory, err := ants.NonUniformSearch(d, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ants.Config{
+		NumAgents:  4,
+		Target:     ants.Point{X: d, Y: d},
+		HasTarget:  true,
+		MoveBudget: d * d * 512,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := ants.Run(cfg, factory, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("target not found within budget")
+		}
+	}
+}
+
+// BenchmarkE2Iteration measures a single iteration of Algorithm 1's outer
+// loop (Lemmas 3.1–3.4): the unit the per-iteration analysis is about.
+func BenchmarkE2Iteration(b *testing.B) {
+	const d = 32
+	prog, err := search.NewNonUniform(d, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	env := sim.NewEnv(sim.EnvConfig{Src: src})
+	coin := rng.MustCoin(1, src)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := prog.RunIteration(env, coin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3Coin measures the composite coin(k, ℓ) of Algorithm 2 (Lemma
+// 3.6) at k = 5, ℓ = 1 (a 1/32 coin built from fair flips).
+func BenchmarkE3Coin(b *testing.B) {
+	coin := rng.MustCoin(1, rng.New(1))
+	b.ReportAllocs()
+	var tails int
+	for i := 0; i < b.N; i++ {
+		if coin.Composite(5) {
+			tails++
+		}
+	}
+	_ = tails
+}
+
+// BenchmarkE4Search measures one search(k, ℓ) probe of Algorithm 4 (Lemma
+// 3.9) at k = 5, ℓ = 1 (square side 32).
+func BenchmarkE4Search(b *testing.B) {
+	src := rng.New(2)
+	coin := rng.MustCoin(1, src)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv(sim.EnvConfig{Src: src})
+		if err := search.BoxSearch(env, coin, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Uniform measures one multi-agent Uniform-Search run (Theorem
+// 3.14): D = 32 unknown to the agents, n = 4.
+func BenchmarkE5Uniform(b *testing.B) {
+	const d = 32
+	factory, err := ants.UniformSearch(1, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ants.Config{
+		NumAgents:  4,
+		Target:     ants.Point{X: d, Y: d / 2},
+		HasTarget:  true,
+		MoveBudget: d * d * 4096,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ants.Run(cfg, factory, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6LowerBound measures one coverage experiment (Theorem 4.1):
+// 2 agents of the 2-bit drift machine, D = 64, D² steps each.
+func BenchmarkE6LowerBound(b *testing.B) {
+	m, err := automata.DriftLineMachine(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lowerbound.MeasureCoverage(m, lowerbound.CoverageConfig{
+			D:         64,
+			NumAgents: 2,
+		}, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7SpeedUp measures one run of each algorithm of the E7
+// comparison at D = 32, n = 8.
+func BenchmarkE7SpeedUp(b *testing.B) {
+	const d = 32
+	nonUniform, err := ants.NonUniformSearch(d, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uniform, err := ants.UniformSearch(1, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feinerman, err := ants.FeinermanSearch(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algos := []struct {
+		name    string
+		factory ants.Factory
+		budget  uint64
+	}{
+		{"non-uniform", nonUniform, d * d * 512},
+		{"uniform", uniform, d * d * 4096},
+		{"feinerman", feinerman, d * d * 512},
+		{"random-walk", ants.RandomWalkSearch(), d * d * 64},
+	}
+	for _, a := range algos {
+		b.Run(a.name, func(b *testing.B) {
+			cfg := ants.Config{
+				NumAgents:  8,
+				Target:     ants.Point{X: d / 2, Y: d / 2},
+				HasTarget:  true,
+				MoveBudget: a.budget,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ants.Run(cfg, a.factory, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Threshold measures the two sides of the χ threshold at D = 64:
+// a below-threshold drift machine's coverage run and an above-threshold
+// Non-Uniform-Search run against an adversarial corner target.
+func BenchmarkE8Threshold(b *testing.B) {
+	b.Run("below-drift3bit", func(b *testing.B) {
+		m, err := automata.DriftLineMachine(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lowerbound.MeasureCoverage(m, lowerbound.CoverageConfig{
+				D:         64,
+				NumAgents: 2,
+			}, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("above-nonuniform", func(b *testing.B) {
+		const d = 64
+		factory, err := ants.NonUniformSearch(d, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := ants.Config{
+			NumAgents:  2,
+			Target:     ants.Point{X: d, Y: d},
+			HasTarget:  true,
+			MoveBudget: d * d * 512,
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ants.Run(cfg, factory, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Micro-benchmarks of the substrates, for profiling regressions.
+
+func BenchmarkSubstrateWalkerStep(b *testing.B) {
+	w := automata.NewWalker(automata.RandomWalk(), rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}
+
+func BenchmarkSubstrateVisitSet(b *testing.B) {
+	v := grid.NewVisitSet(256)
+	src := rng.New(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Visit(grid.Point{X: src.Intn(513) - 256, Y: src.Intn(513) - 256})
+	}
+}
+
+func BenchmarkSubstrateRNG(b *testing.B) {
+	src := rng.New(1)
+	b.ReportAllocs()
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= src.Uint64()
+	}
+	_ = acc
+}
+
+// BenchmarkS1CoverageCurve measures the synchronous-rounds engine through
+// the S1 kernel: 4 agents, 1024 rounds, radius-32 coverage tracking.
+func BenchmarkS1CoverageCurve(b *testing.B) {
+	m := automata.RandomWalk()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.CoverageCurve(m, 4, 32, []uint64{256, 1024}, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubstrateAnalyze measures the Markov decomposition of a 16-state
+// machine (SCC + period + stationary distribution).
+func BenchmarkSubstrateAnalyze(b *testing.B) {
+	m, err := automata.DriftLineMachine(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := automata.Analyze(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubstrateHittingTimes measures the hitting-time solver on the
+// random-walk machine.
+func BenchmarkSubstrateHittingTimes(b *testing.B) {
+	m := automata.RandomWalk()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := automata.HittingTimes(m, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command antanalyze applies the paper's Section 4 machinery to an agent
+// automaton: it reports the machine's selection complexity χ, its Markov
+// structure (recurrent classes, periods, stationary distributions, drift
+// lines), the Theorem 4.1 quantities at a given distance D, and the
+// adversarial target placement the lower bound constructs.
+//
+// The machine comes either from the built-in library (-machine) or from a
+// JSON spec file (-spec); -dump prints a library machine's spec as JSON so
+// it can be edited and re-analyzed.
+//
+// Usage:
+//
+//	antanalyze -machine random-walk -d 128
+//	antanalyze -machine drift-4bit -dump > my.json
+//	antanalyze -spec my.json -d 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/automata"
+	"repro/internal/lowerbound"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "antanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("antanalyze", flag.ContinueOnError)
+	var (
+		machine = fs.String("machine", "", "library machine: random-walk, biased-walk, zigzag, drift-2bit, drift-4bit, two-class")
+		spec    = fs.String("spec", "", "path to a JSON machine spec")
+		d       = fs.Int64("d", 128, "distance D for the Theorem 4.1 quantities")
+		dump    = fs.Bool("dump", false, "print the machine's JSON spec and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*machine == "") == (*spec == "") {
+		return fmt.Errorf("specify exactly one of -machine or -spec")
+	}
+
+	m, err := loadMachine(*machine, *spec)
+	if err != nil {
+		return err
+	}
+	if *dump {
+		data, err := m.MarshalSpec()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", data)
+		return nil
+	}
+	return analyze(out, m, *d)
+}
+
+func loadMachine(name, specPath string) (*automata.Machine, error) {
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, fmt.Errorf("read spec: %w", err)
+		}
+		return automata.ParseSpec(data)
+	}
+	switch name {
+	case "random-walk":
+		return automata.RandomWalk(), nil
+	case "biased-walk":
+		return automata.BiasedWalk(0.5, 0.125, 0.125, 0.25)
+	case "zigzag":
+		return automata.ZigZag(), nil
+	case "drift-2bit":
+		return automata.DriftLineMachine(2)
+	case "drift-4bit":
+		return automata.DriftLineMachine(4)
+	case "two-class":
+		return automata.TwoClassMachine(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+func analyze(out io.Writer, m *automata.Machine, d int64) error {
+	fmt.Fprintf(out, "states:      %d (b = %d bits)\n", m.NumStates(), m.MemoryBits())
+	fmt.Fprintf(out, "min prob:    %.6g (ℓ = %d)\n", m.MinProb(), m.Ell())
+	fmt.Fprintf(out, "χ = b+logℓ:  %.2f\n\n", m.Chi())
+
+	a, err := automata.Analyze(m)
+	if err != nil {
+		return err
+	}
+	transient := 0
+	for _, id := range a.RecurrentID {
+		if id == -1 {
+			transient++
+		}
+	}
+	fmt.Fprintf(out, "transient states: %d\n", transient)
+	fmt.Fprintf(out, "recurrent classes: %d\n", len(a.Recurrent))
+	for c, states := range a.Recurrent {
+		fmt.Fprintf(out, "  class %d: period %d, drift (%.3f, %.3f), move fraction %.3f",
+			c, a.Period[c], a.Drift[c][0], a.Drift[c][1], a.MoveFraction[c])
+		if a.HasOrigin[c] {
+			fmt.Fprint(out, ", recurs to origin")
+		}
+		fmt.Fprintln(out)
+		for k, s := range states {
+			fmt.Fprintf(out, "    %-10s π = %.4f\n", m.Name(s), a.Stationary[c][k])
+		}
+	}
+
+	params, err := lowerbound.ComputeParams(m, d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nTheorem 4.1 quantities at D = %d:\n  %s\n", d, params)
+
+	pred, err := lowerbound.Predict(m)
+	if err != nil {
+		return err
+	}
+	target, err := pred.AdversarialTarget(d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "adversarial target at distance %d: %s\n", d, target)
+	return nil
+}

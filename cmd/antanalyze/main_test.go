@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLibraryMachine(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-machine", "drift-2bit", "-d", "64"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"χ", "recurrent classes: 1", "drift", "adversarial target", "Theorem 4.1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunEveryLibraryMachine(t *testing.T) {
+	for _, m := range []string{"random-walk", "biased-walk", "zigzag", "drift-2bit", "drift-4bit", "two-class"} {
+		var out strings.Builder
+		if err := run([]string{"-machine", m, "-d", "32"}, &out); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestRunDumpAndReload(t *testing.T) {
+	var dump strings.Builder
+	if err := run([]string{"-machine", "zigzag", "-dump"}, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump.String(), `"states"`) {
+		t.Fatalf("dump is not a spec: %s", dump.String())
+	}
+	path := filepath.Join(t.TempDir(), "machine.json")
+	if err := os.WriteFile(path, []byte(dump.String()), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-spec", path, "-d", "32"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "period 2") {
+		t.Errorf("reloaded zigzag lost its period:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                              // neither
+		{"-machine", "x", "-spec", "y"}, // both
+		{"-machine", "nope"},
+		{"-spec", "/no/such/file.json"},
+		{"-machine", "random-walk", "-d", "2"}, // too small for params
+		{"-bad-flag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command antbench regenerates the reproduction experiment tables E1–E8
+// (see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	antbench [-run E1,E5] [-quick] [-seed 42] [-csv] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "antbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("antbench", flag.ContinueOnError)
+	var (
+		runIDs  = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		quick   = fs.Bool("quick", false, "smaller sweeps and trial counts")
+		seed    = fs.Uint64("seed", 42, "root random seed")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		workers = fs.Int("workers", 0, "simulation worker bound (0 = GOMAXPROCS)")
+		outDir  = fs.String("out", "", "also write one CSV file per table into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiment.Registry() {
+			fmt.Fprintf(out, "%-4s %s  [%s]\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	var selected []experiment.Experiment
+	if *runIDs == "" {
+		selected = experiment.Registry()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := experiment.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("create output directory: %w", err)
+		}
+	}
+	cfg := experiment.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Fprintf(out, "# %s — %s (%s)\n", e.ID, e.Title, e.Claim)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for i, tb := range tables {
+			if *csv {
+				fmt.Fprintf(out, "# %s\n%s", tb.Title, tb.CSV())
+			} else {
+				fmt.Fprintln(out, tb.Render())
+			}
+			if *outDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i)
+				path := filepath.Join(*outDir, name)
+				if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+					return fmt.Errorf("write %s: %w", path, err)
+				}
+			}
+		}
+		fmt.Fprintf(out, "# %s completed in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E8", "AB1"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleQuick(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E3", "-quick", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"E3a", "E3b", "completed in"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E3", "-quick", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "k,ℓ,draws") {
+		t.Errorf("CSV output missing header: %s", out.String()[:200])
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E42"}, &out); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunWritesCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-run", "E3", "-quick", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 { // E3 emits two tables
+		t.Fatalf("wrote %d files, want 2", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ",") {
+		t.Errorf("file %s is not CSV: %.100s", entries[0].Name(), data)
+	}
+}

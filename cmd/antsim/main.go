@@ -1,0 +1,171 @@
+// Command antsim runs a single multi-agent search configuration and prints
+// the outcome: the algorithm, the number of agents, the target placement,
+// M_moves statistics over trials, and the algorithm's χ audit.
+//
+// Usage:
+//
+//	antsim -algo non-uniform -d 64 -n 16 -trials 20
+//	antsim -algo uniform -d 128 -n 4 -ell 2
+//	antsim -algo random-walk -d 32 -n 8 -budget 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "antsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("antsim", flag.ContinueOnError)
+	var (
+		algo    = fs.String("algo", "non-uniform", "algorithm: non-uniform, uniform, feinerman, random-walk, spiral")
+		d       = fs.Int64("d", 64, "target distance D")
+		n       = fs.Int("n", 4, "number of agents")
+		ell     = fs.Uint("ell", 1, "base-coin precision ℓ (probabilities ≥ 1/2^ℓ)")
+		trials  = fs.Int("trials", 20, "number of independent trials")
+		seed    = fs.Uint64("seed", 1, "root random seed")
+		budget  = fs.Uint64("budget", 0, "per-agent move budget (0 = auto: 512·D²)")
+		place   = fs.String("place", "uniform-ball", "target placement: corner, axis, uniform-ball, uniform-sphere")
+		workers = fs.Int("workers", 0, "simulation worker bound (0 = GOMAXPROCS)")
+		traceTo = fs.String("trace", "", "write a JSONL event trace of one extra run to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	placement, err := parsePlacement(*place)
+	if err != nil {
+		return err
+	}
+	factory, audit, err := buildAlgorithm(*algo, *d, *n, *ell)
+	if err != nil {
+		return err
+	}
+	moveBudget := *budget
+	if moveBudget == 0 {
+		moveBudget = uint64(*d) * uint64(*d) * 512
+	}
+
+	st, err := sim.RunPlacedTrials(sim.Config{
+		NumAgents:  *n,
+		MoveBudget: moveBudget,
+		Workers:    *workers,
+	}, placement, *d, factory, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	if *traceTo != "" {
+		if err := writeTrace(*traceTo, placement, *d, *n, moveBudget, *workers, factory, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace:       %s\n", *traceTo)
+	}
+
+	fmt.Fprintf(out, "algorithm:   %s\n", *algo)
+	fmt.Fprintf(out, "D:           %d\n", *d)
+	fmt.Fprintf(out, "agents:      %d\n", *n)
+	fmt.Fprintf(out, "placement:   %s\n", placement)
+	fmt.Fprintf(out, "trials:      %d\n", *trials)
+	fmt.Fprintf(out, "found:       %.0f%%\n", st.FoundFrac*100)
+	fmt.Fprintf(out, "chi audit:   %s\n", audit)
+	if len(st.Moves) > 0 {
+		s, err := stats.Summarize(st.Moves)
+		if err != nil {
+			return err
+		}
+		bound := float64(*d)*float64(*d)/float64(*n) + float64(*d)
+		fmt.Fprintf(out, "M_moves:     mean=%.0f ±%.0f (95%% CI), median=%.0f, min=%.0f, max=%.0f\n",
+			s.Mean, s.CI95, s.Median, s.Min, s.Max)
+		fmt.Fprintf(out, "bound:       D²/n + D = %.0f (ratio %.2f)\n", bound, s.Mean/bound)
+	}
+	return nil
+}
+
+func parsePlacement(s string) (sim.Placement, error) {
+	switch s {
+	case "corner":
+		return sim.PlaceCorner, nil
+	case "axis":
+		return sim.PlaceAxis, nil
+	case "uniform-ball":
+		return sim.PlaceUniformBall, nil
+	case "uniform-sphere":
+		return sim.PlaceUniformSphere, nil
+	default:
+		return 0, fmt.Errorf("unknown placement %q", s)
+	}
+}
+
+func buildAlgorithm(algo string, d int64, n int, ell uint) (sim.Factory, string, error) {
+	switch algo {
+	case "non-uniform":
+		prog, err := search.NewNonUniform(d, ell)
+		if err != nil {
+			return nil, "", err
+		}
+		return func() sim.Program { return prog }, prog.Audit().String(), nil
+	case "uniform":
+		prog, err := search.NewUniform(ell, n)
+		if err != nil {
+			return nil, "", err
+		}
+		return func() sim.Program { return prog }, prog.AuditForDistance(d).String(), nil
+	case "feinerman":
+		prog, err := baseline.NewFeinerman(n)
+		if err != nil {
+			return nil, "", err
+		}
+		return func() sim.Program { return prog }, prog.AuditForDistance(d).String(), nil
+	case "random-walk":
+		return baseline.RandomWalkFactory(), baseline.PureRandomWalk{}.Audit().String(), nil
+	case "spiral":
+		return baseline.SpiralFactory(), (baseline.Spiral{}).AuditForDistance(d).String(), nil
+	default:
+		return nil, "", fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+// writeTrace runs one additional instance with event recording and writes
+// the JSONL trace to path.
+func writeTrace(path string, placement sim.Placement, d int64, n int, budget uint64, workers int, factory sim.Factory, seed uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create trace file: %w", err)
+	}
+	rec := trace.NewRecorder(f)
+	target, err := placement.Pick(d, rng.New(seed))
+	if err != nil {
+		f.Close()
+		return err
+	}
+	_, runErr := sim.Run(sim.Config{
+		NumAgents:   n,
+		Target:      target,
+		HasTarget:   true,
+		MoveBudget:  budget,
+		Workers:     workers,
+		HookFactory: rec.HookFor,
+	}, factory, rng.New(seed+1))
+	if err := rec.Flush(); runErr == nil {
+		runErr = err
+	}
+	if err := f.Close(); runErr == nil {
+		runErr = err
+	}
+	return runErr
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNonUniform(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-algo", "non-uniform", "-d", "16", "-n", "4", "-trials", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"non-uniform", "M_moves", "chi audit", "found"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunEveryAlgorithm(t *testing.T) {
+	for _, algo := range []string{"non-uniform", "uniform", "feinerman", "random-walk", "spiral"} {
+		var out strings.Builder
+		err := run([]string{"-algo", algo, "-d", "8", "-n", "2", "-trials", "3"}, &out)
+		if err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunEveryPlacement(t *testing.T) {
+	for _, place := range []string{"corner", "axis", "uniform-ball", "uniform-sphere"} {
+		var out strings.Builder
+		err := run([]string{"-algo", "non-uniform", "-d", "8", "-n", "2", "-trials", "2", "-place", place}, &out)
+		if err != nil {
+			t.Errorf("%s: %v", place, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-algo", "nope"},
+		{"-place", "nowhere"},
+		{"-algo", "non-uniform", "-d", "1"},
+		{"-bad-flag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	if _, err := parsePlacement("corner"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parsePlacement("bogus"); err == nil {
+		t.Error("bogus placement should fail")
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	var out strings.Builder
+	err := run([]string{"-algo", "non-uniform", "-d", "8", "-n", "2", "-trials", "2", "-trace", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"move"`) {
+		t.Errorf("trace file has no move events: %.200s", data)
+	}
+	if !strings.Contains(out.String(), "trace:") {
+		t.Error("output missing trace confirmation")
+	}
+}

@@ -1,0 +1,177 @@
+// Command antviz renders ASCII views of the search plane, which make the
+// Section 4 geometry visible at a glance: low-χ machines paint thin drift
+// rays, while the paper's algorithms fill the ball.
+//
+// Modes:
+//
+//	antviz -machine drift-4bit -d 24 -n 8        # coverage heat-map
+//	antviz -machine drift-4bit -d 24 -ray        # ... with drift-ray overlay
+//	antviz -machine random-walk -d 24 -path      # one agent's trajectory
+//	antviz -algo non-uniform -d 24 -n 8          # a program instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/automata"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/sim"
+	"repro/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "antviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("antviz", flag.ContinueOnError)
+	var (
+		machine = fs.String("machine", "", "machine to visualize: random-walk, biased-walk, zigzag, drift-2bit, drift-4bit, two-class")
+		algo    = fs.String("algo", "", "program to visualize instead: non-uniform, uniform")
+		d       = fs.Int64("d", 24, "half-width of the rendered window")
+		n       = fs.Int("n", 8, "number of agents")
+		steps   = fs.Uint64("steps", 0, "per-agent step budget (0 = 4·D²)")
+		seed    = fs.Uint64("seed", 1, "root random seed")
+		path    = fs.Bool("path", false, "render a single agent's trajectory instead of coverage")
+		ray     = fs.Bool("ray", false, "overlay the machine's predicted drift rays")
+		density = fs.Bool("density", false, "render visit counts as a shaded density map")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*machine == "") == (*algo == "") {
+		return fmt.Errorf("specify exactly one of -machine or -algo")
+	}
+	if *ray && *machine == "" {
+		return fmt.Errorf("-ray requires -machine (drift lines come from the machine's analysis)")
+	}
+	budget := *steps
+	if budget == 0 {
+		budget = 4 * uint64(*d) * uint64(*d)
+	}
+
+	var m *automata.Machine
+	if *machine != "" {
+		var err error
+		if m, err = lookupMachine(*machine); err != nil {
+			return err
+		}
+	}
+	factory, err := buildFactory(m, *algo, *d, budget)
+	if err != nil {
+		return err
+	}
+
+	if *path {
+		return renderPath(out, factory, *d, budget, *seed)
+	}
+	if *density {
+		return renderDensity(out, factory, *d, *n, budget, *seed)
+	}
+	return renderCoverage(out, factory, m, *d, *n, budget, *seed, *ray)
+}
+
+func renderDensity(out io.Writer, factory sim.Factory, d int64, n int, budget, seed uint64) error {
+	hook := viz.NewDensityHook(d)
+	_, err := sim.Run(sim.Config{
+		NumAgents:   n,
+		MoveBudget:  budget,
+		HookFactory: hook.ForAgent,
+	}, factory, rng.New(seed))
+	if err != nil {
+		return err
+	}
+	counts := hook.Counts()
+	fmt.Fprint(out, viz.DensityMap(counts, d))
+	fmt.Fprintf(out, "visits: %d total, %d distinct cells in window, hottest cell %d\n",
+		counts.Total(), counts.Distinct(), counts.MaxCount())
+	return nil
+}
+
+func renderCoverage(out io.Writer, factory sim.Factory, m *automata.Machine, d int64, n int, budget, seed uint64, ray bool) error {
+	res, err := sim.Run(sim.Config{
+		NumAgents:   n,
+		MoveBudget:  budget,
+		TrackRadius: d,
+	}, factory, rng.New(seed))
+	if err != nil {
+		return err
+	}
+	canvas := viz.NewCanvas(d)
+	canvas.MarkVisited(res.Visited)
+	if ray && m != nil {
+		pred, err := lowerbound.Predict(m)
+		if err != nil {
+			return err
+		}
+		for _, drift := range pred.Drifts {
+			canvas.MarkRay(drift)
+		}
+		if target, err := pred.AdversarialTarget(d); err == nil {
+			canvas.MarkTarget(target)
+		}
+	}
+	canvas.MarkOrigin()
+	fmt.Fprint(out, canvas.Render())
+	fmt.Fprintln(out, viz.CoverageCaption(res.Visited, d))
+	return nil
+}
+
+func renderPath(out io.Writer, factory sim.Factory, d int64, budget, seed uint64) error {
+	env := sim.NewEnv(sim.EnvConfig{
+		MoveBudget: budget,
+		Src:        rng.New(seed),
+		RecordPath: true,
+	})
+	if err := factory().Run(env); err != nil {
+		return err
+	}
+	canvas := viz.NewCanvas(d)
+	canvas.MarkPath(env.Path())
+	canvas.MarkOrigin()
+	fmt.Fprint(out, canvas.Render())
+	fmt.Fprintf(out, "trajectory: %d moves, %d steps, final position %s\n",
+		env.Moves(), env.Steps(), env.Pos())
+	return nil
+}
+
+func buildFactory(m *automata.Machine, algo string, d int64, budget uint64) (sim.Factory, error) {
+	if m != nil {
+		return sim.MachineFactory(m, budget)
+	}
+	switch algo {
+	case "non-uniform":
+		return search.NonUniformFactory(d, 1)
+	case "uniform":
+		return search.UniformFactory(1, 1)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func lookupMachine(name string) (*automata.Machine, error) {
+	switch name {
+	case "random-walk":
+		return automata.RandomWalk(), nil
+	case "biased-walk":
+		return automata.BiasedWalk(0.5, 0.125, 0.125, 0.25)
+	case "zigzag":
+		return automata.ZigZag(), nil
+	case "drift-2bit":
+		return automata.DriftLineMachine(2)
+	case "drift-4bit":
+		return automata.DriftLineMachine(4)
+	case "two-class":
+		return automata.TwoClassMachine(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q", name)
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMachineViz(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-machine", "drift-2bit", "-d", "8", "-n", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "O") {
+		t.Error("heat-map missing the origin marker")
+	}
+	if !strings.Contains(got, "coverage of the 8-ball") {
+		t.Errorf("missing coverage summary:\n%s", got)
+	}
+}
+
+func TestRunEveryMachine(t *testing.T) {
+	for _, m := range []string{"random-walk", "biased-walk", "zigzag", "drift-2bit", "drift-4bit", "two-class"} {
+		var out strings.Builder
+		if err := run([]string{"-machine", m, "-d", "6", "-n", "1", "-steps", "100"}, &out); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestRunAlgoViz(t *testing.T) {
+	for _, a := range []string{"non-uniform", "uniform"} {
+		var out strings.Builder
+		if err := run([]string{"-algo", a, "-d", "6", "-n", "2", "-steps", "500"}, &out); err != nil {
+			t.Errorf("%s: %v", a, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                              // neither machine nor algo
+		{"-machine", "x", "-algo", "y"}, // both
+		{"-machine", "nope"},
+		{"-algo", "nope"},
+		{"-bad-flag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestRenderMarksVisited(t *testing.T) {
+	// Render a tiny set directly.
+	var out strings.Builder
+	if err := run([]string{"-machine", "zigzag", "-d", "4", "-n", "1", "-steps", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#") {
+		t.Error("no visited cells rendered")
+	}
+}
+
+func TestRunPathMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-machine", "zigzag", "-d", "6", "-path", "-steps", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "trajectory:") {
+		t.Errorf("path mode missing caption:\n%s", got)
+	}
+	if !strings.Contains(got, "o") {
+		t.Error("path mode rendered no path cells")
+	}
+}
+
+func TestRunRayOverlay(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-machine", "drift-4bit", "-d", "10", "-n", "1", "-ray"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "X") {
+		t.Errorf("ray overlay missing adversarial target marker:\n%s", got)
+	}
+}
+
+func TestRunRayRequiresMachine(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-algo", "non-uniform", "-ray", "-d", "6"}, &out); err == nil {
+		t.Error("-ray with -algo should fail")
+	}
+}
+
+func TestRunDensityMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-machine", "random-walk", "-d", "8", "-n", "2", "-density"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "visits:") {
+		t.Errorf("density mode missing caption:\n%s", got)
+	}
+	if !strings.ContainsAny(got, "░▒▓█") {
+		t.Error("density mode rendered no shaded cells")
+	}
+}

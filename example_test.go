@@ -1,0 +1,47 @@
+package ants_test
+
+import (
+	"fmt"
+
+	ants "repro"
+)
+
+// The audits are deterministic, so they make good runnable documentation.
+
+func ExampleNonUniformAudit() {
+	audit, _ := ants.NonUniformAudit(1<<16, 1)
+	fmt.Println(audit)
+	// Output: non-uniform-search: b=7 bits, ℓ=1, χ=7.00
+}
+
+func ExampleNonUniformAudit_trade() {
+	// Trading memory bits for probability fineness leaves χ unchanged
+	// (Theorem 3.7): the selection complexity is the invariant.
+	for _, ell := range []uint{1, 2, 4} {
+		audit, _ := ants.NonUniformAudit(1<<16, ell)
+		fmt.Printf("ℓ=%d b=%d χ=%.0f\n", ell, audit.B, audit.Chi())
+	}
+	// Output:
+	// ℓ=1 b=7 χ=7
+	// ℓ=2 b=6 χ=7
+	// ℓ=4 b=5 χ=7
+}
+
+func ExampleAnalyzeMachine() {
+	a, _ := ants.AnalyzeMachine(ants.RandomWalkMachine())
+	fmt.Printf("recurrent classes: %d, period: %d, drift: (%.0f, %.0f)\n",
+		len(a.Recurrent), a.Period[0], a.Drift[0][0], a.Drift[0][1])
+	// Output: recurrent classes: 1, period: 1, drift: (0, 0)
+}
+
+func ExampleRun() {
+	factory, _ := ants.NonUniformSearch(16, 1)
+	res, _ := ants.Run(ants.Config{
+		NumAgents:  4,
+		Target:     ants.Point{X: 8, Y: 8},
+		HasTarget:  true,
+		MoveBudget: 1 << 20,
+	}, factory, 42)
+	fmt.Println("found:", res.Found)
+	// Output: found: true
+}

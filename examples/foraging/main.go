@@ -1,0 +1,97 @@
+// Foraging: the scenario that motivates the paper's introduction — an ant
+// colony whose scouts do not know how far the food is and cannot talk to
+// each other. Several food items are placed at different (unknown)
+// distances; the colony's scouts run the paper's Uniform-Search (Algorithm
+// 5), so nearby food is found quickly and farther food later, with no
+// parameter retuning. The same colony running a uniform random walk is
+// shown for contrast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ants "repro"
+)
+
+type foodItem struct {
+	name   string
+	target ants.Point
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		scouts = 8
+		ell    = 1
+		trials = 10
+		budget = 64 * 64 * 4096 // generous cap per scout
+	)
+	food := []foodItem{
+		{"seed pile (close)", ants.Point{X: 3, Y: -2}},
+		{"aphid farm (mid)", ants.Point{X: -12, Y: 9}},
+		{"fallen fruit (far)", ants.Point{X: 40, Y: 31}},
+	}
+
+	uniform, err := ants.UniformSearch(ell, scouts)
+	if err != nil {
+		return err
+	}
+	walk := ants.RandomWalkSearch()
+
+	fmt.Printf("Foraging colony: %d scouts, no knowledge of distances, no communication\n\n", scouts)
+	fmt.Printf("%-20s %-10s %16s %18s\n", "food item", "distance", "uniform-search", "random-walk")
+	for _, f := range food {
+		d := f.target.Norm()
+		uniMean, uniFound, err := forage(uniform, f.target, scouts, budget, trials)
+		if err != nil {
+			return err
+		}
+		walkMean, walkFound, err := forage(walk, f.target, scouts, budget, trials)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %-10d %16s %18s\n", f.name, d,
+			describe(uniMean, uniFound), describe(walkMean, walkFound))
+	}
+	fmt.Println("\nUniform-Search finds close food in few moves and scales gracefully with")
+	fmt.Println("distance (Theorem 3.14); the random walk's cost explodes quadratically and")
+	fmt.Println("extra scouts barely help it (speed-up ≤ min{log n, D}).")
+	return nil
+}
+
+// forage returns the mean M_moves over trials and the found fraction.
+func forage(factory ants.Factory, target ants.Point, n int, budget uint64, trials int) (float64, float64, error) {
+	st, err := ants.RunTrials(ants.Config{
+		NumAgents:  n,
+		Target:     target,
+		HasTarget:  true,
+		MoveBudget: budget,
+	}, factory, trials, uint64(target.X*31+target.Y*17+99))
+	if err != nil {
+		return 0, 0, err
+	}
+	var mean float64
+	for _, m := range st.Moves {
+		mean += m
+	}
+	if len(st.Moves) > 0 {
+		mean /= float64(len(st.Moves))
+	}
+	return mean, st.FoundFrac, nil
+}
+
+func describe(mean, foundFrac float64) string {
+	if foundFrac == 0 {
+		return "never found"
+	}
+	if foundFrac < 1 {
+		return fmt.Sprintf("%.0f moves (%.0f%%)", mean, foundFrac*100)
+	}
+	return fmt.Sprintf("%.0f moves", mean)
+}

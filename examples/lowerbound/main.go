@@ -1,0 +1,102 @@
+// Lowerbound: Theorem 4.1 made visible. The example analyzes a family of
+// low-χ machines, predicts each one's drift lines from its Markov chain,
+// places a target adversarially off every line, and shows that the swarm
+// misses it while covering only a sliver of the D-ball — then shows the
+// paper's Non-Uniform-Search (χ just above the log log D threshold)
+// finding the very same target.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	ants "repro"
+	"repro/internal/automata"
+	"repro/internal/lowerbound"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		d = 64
+		n = 8
+	)
+	fmt.Printf("Theorem 4.1 at D=%d (log log D = %.2f), n=%d agents, D² steps each\n\n",
+		d, math.Log2(math.Log2(d)), n)
+
+	machines := []struct {
+		name string
+		m    *automata.Machine
+	}{
+		{"random-walk", automata.RandomWalk()},
+		{"zigzag", automata.ZigZag()},
+	}
+	if m, err := automata.DriftLineMachine(3); err == nil {
+		machines = append(machines, struct {
+			name string
+			m    *automata.Machine
+		}{"drift-3bit", m})
+	}
+
+	fmt.Printf("%-14s %6s %22s %10s %8s\n", "machine", "χ", "adversarial target", "coverage", "found?")
+	var adversary ants.Point
+	for _, entry := range machines {
+		pred, err := lowerbound.Predict(entry.m)
+		if err != nil {
+			return err
+		}
+		target, err := pred.AdversarialTarget(d)
+		if err != nil {
+			return err
+		}
+		res, err := lowerbound.MeasureCoverage(entry.m, lowerbound.CoverageConfig{
+			D:         d,
+			NumAgents: n,
+		}, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %6.2f %22s %9.2f%% %8v\n",
+			entry.name, entry.m.Chi(), target.String(), res.Fraction*100, res.FoundAdversarial)
+		adversary = target
+	}
+
+	// Now the contrast: the paper's algorithm finds the same adversarial
+	// corner-ish target reliably.
+	factory, err := ants.NonUniformSearch(d, 1)
+	if err != nil {
+		return err
+	}
+	audit, err := ants.NonUniformAudit(d, 1)
+	if err != nil {
+		return err
+	}
+	st, err := ants.RunTrials(ants.Config{
+		NumAgents:  n,
+		Target:     adversary,
+		HasTarget:  true,
+		MoveBudget: d * d * 512,
+	}, factory, 10, 6)
+	if err != nil {
+		return err
+	}
+	var mean float64
+	for _, m := range st.Moves {
+		mean += m
+	}
+	if len(st.Moves) > 0 {
+		mean /= float64(len(st.Moves))
+	}
+	fmt.Printf("\nnon-uniform-search (χ=%.2f) vs the same target %v:\n", audit.Chi(), adversary)
+	fmt.Printf("  found in %.0f%% of trials, mean %.0f moves (bound D²/n+D = %.0f)\n",
+		st.FoundFrac*100, mean, float64(d*d)/n+d)
+	fmt.Println("\nBelow the log log D threshold agents are trapped near straight drift")
+	fmt.Println("lines (or diffuse uselessly); just above it, the plane opens up.")
+	return nil
+}

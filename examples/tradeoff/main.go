@@ -1,0 +1,142 @@
+// Tradeoff: the paper's headline curve — selection complexity χ against
+// search performance. The example sweeps the base-coin precision ℓ for
+// Non-Uniform-Search (trading memory bits b against probability fineness ℓ
+// at constant χ, Theorem 3.7) and contrasts the baselines at the two ends
+// of the spectrum: the random walk (tiny χ, catastrophic performance) and
+// the Feinerman-style algorithm (optimal performance, χ = Θ(log D)).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ants "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		d      = 64
+		n      = 8
+		trials = 15
+	)
+	fmt.Printf("χ vs performance at D=%d, n=%d (uniform random targets, %d trials)\n\n", d, n, trials)
+	fmt.Printf("%-24s %8s %6s %8s %12s %12s\n", "algorithm", "b", "ℓ", "χ", "mean moves", "vs D²/n+D")
+
+	// The b↔ℓ trade inside Non-Uniform-Search: χ stays put, performance
+	// stays put — only the hardware mix changes.
+	for _, ell := range []uint{1, 2, 4} {
+		factory, err := ants.NonUniformSearch(d, ell)
+		if err != nil {
+			return err
+		}
+		audit, err := ants.NonUniformAudit(d, ell)
+		if err != nil {
+			return err
+		}
+		if err := report(fmt.Sprintf("non-uniform (ℓ=%d)", ell), audit, factory, d, n, trials); err != nil {
+			return err
+		}
+	}
+
+	// Uniform-Search: roughly triple the bits, still log log D scale.
+	uniFactory, err := ants.UniformSearch(1, n)
+	if err != nil {
+		return err
+	}
+	uniAudit, err := ants.UniformAudit(1, n, d)
+	if err != nil {
+		return err
+	}
+	if err := report("uniform (unknown D)", uniAudit, uniFactory, d, n, trials); err != nil {
+		return err
+	}
+
+	// Feinerman-style baseline: χ = Θ(log D).
+	feinFactory, err := ants.FeinermanSearch(n)
+	if err != nil {
+		return err
+	}
+	// Audit via the facade is per-distance; print through the baseline row.
+	if err := reportFeinerman(feinFactory, d, n, trials); err != nil {
+		return err
+	}
+
+	// Random walk: χ ≈ 3, performance collapses (capped budget).
+	if err := reportWalk(d, n, trials); err != nil {
+		return err
+	}
+
+	fmt.Println("\nReading the table bottom-up: below χ ≈ log log D nothing searches well")
+	fmt.Println("(Theorem 4.1); at χ = log log D + O(1) the paper's algorithms are already")
+	fmt.Println("near-optimal (Theorems 3.7/3.14); spending Θ(log D) memory (Feinerman)")
+	fmt.Println("buys no further asymptotic speed-up.")
+	return nil
+}
+
+func report(name string, audit ants.Audit, factory ants.Factory, d int64, n, trials int) error {
+	mean, frac, err := measure(factory, d, n, trials, d*d*4096)
+	if err != nil {
+		return err
+	}
+	bound := float64(d*d)/float64(n) + float64(d)
+	fmt.Printf("%-24s %8d %6d %8.2f %12s %12.2f\n",
+		name, audit.B, audit.Ell, audit.Chi(), moves(mean, frac), mean/bound)
+	return nil
+}
+
+func reportFeinerman(factory ants.Factory, d int64, n, trials int) error {
+	mean, frac, err := measure(factory, d, n, trials, d*d*512)
+	if err != nil {
+		return err
+	}
+	bound := float64(d*d)/float64(n) + float64(d)
+	// b ≈ 3·log D registers (coordinates + spiral counter).
+	fmt.Printf("%-24s %8s %6s %8s %12s %12.2f\n",
+		"feinerman (knows n)", "Θ(logD)", "~logD", "Θ(logD)", moves(mean, frac), mean/bound)
+	return nil
+}
+
+func reportWalk(d int64, n, trials int) error {
+	mean, frac, err := measure(ants.RandomWalkSearch(), d, n, trials, d*d*64)
+	if err != nil {
+		return err
+	}
+	bound := float64(d*d)/float64(n) + float64(d)
+	fmt.Printf("%-24s %8d %6d %8.2f %12s %12.2f\n",
+		"random walk", 2, 2, 3.0, moves(mean, frac), mean/bound)
+	return nil
+}
+
+func measure(factory ants.Factory, d int64, n, trials int, budget int64) (float64, float64, error) {
+	st, err := ants.RunPlacedTrials(ants.Config{
+		NumAgents:  n,
+		MoveBudget: uint64(budget),
+	}, ants.PlaceUniformBall, d, factory, trials, 7)
+	if err != nil {
+		return 0, 0, err
+	}
+	var mean float64
+	for _, m := range st.Moves {
+		mean += m
+	}
+	if len(st.Moves) > 0 {
+		mean /= float64(len(st.Moves))
+	}
+	return mean, st.FoundFrac, nil
+}
+
+func moves(mean, frac float64) string {
+	if frac == 0 {
+		return "never"
+	}
+	if frac < 1 {
+		return fmt.Sprintf("%.0f (%.0f%%)", mean, frac*100)
+	}
+	return fmt.Sprintf("%.0f", mean)
+}

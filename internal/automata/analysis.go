@@ -1,0 +1,394 @@
+package automata
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Analysis is the structural decomposition of a machine's Markov chain that
+// the Section 4 lower bound argues about: its strongly connected components,
+// which of those are recurrent (closed) classes, the period of each
+// recurrent class, its stationary distribution, and the induced grid drift
+// vector.
+type Analysis struct {
+	// Component[i] is the SCC id of state i. Ids are in reverse
+	// topological order of the condensation (a component can only reach
+	// components with smaller or equal id... see Tarjan ordering note in
+	// sccs()).
+	Component []int
+	// Recurrent lists the recurrent (closed) classes; each entry is the
+	// sorted list of state indices of one class.
+	Recurrent [][]int
+	// RecurrentID maps a state index to its index in Recurrent, or -1 for
+	// transient states.
+	RecurrentID []int
+	// Period[c] is the period t of recurrent class c (1 = aperiodic).
+	Period []int
+	// Stationary[c] is the stationary distribution of recurrent class c,
+	// indexed by position within Recurrent[c]. For periodic chains this is
+	// the unique stationary distribution of the class (the Cesàro limit),
+	// which exists and is unique for any irreducible finite chain.
+	Stationary [][]float64
+	// Drift[c] is the expected per-step grid displacement of an agent
+	// whose state is distributed according to Stationary[c]:
+	// (P[right]−P[left], P[up]−P[down]). The lower bound's "straight
+	// lines" are exactly the rays r·Drift[c].
+	Drift [][2]float64
+	// MoveFraction[c] is the stationary probability that a step of class c
+	// is a grid move (a state labeled up/down/left/right).
+	MoveFraction []float64
+	// HasOrigin[c] reports whether class c contains an origin-labeled
+	// state (Corollary 4.5's case (1): such agents stay within D^{o(1)} of
+	// the origin).
+	HasOrigin []bool
+}
+
+// Analyze decomposes the machine's chain. It never fails for a validated
+// machine; the error return guards the stationary-distribution solver.
+func Analyze(m *Machine) (*Analysis, error) {
+	n := m.NumStates()
+	comp := sccs(m)
+	numComp := 0
+	for _, c := range comp {
+		if c+1 > numComp {
+			numComp = c + 1
+		}
+	}
+	// A component is recurrent iff no state in it has an edge out of it.
+	closed := make([]bool, numComp)
+	for i := range closed {
+		closed[i] = true
+	}
+	members := make([][]int, numComp)
+	for i := 0; i < n; i++ {
+		members[comp[i]] = append(members[comp[i]], i)
+		for _, j := range m.Successors(i) {
+			if comp[j] != comp[i] {
+				closed[comp[i]] = false
+			}
+		}
+	}
+	a := &Analysis{
+		Component:   comp,
+		RecurrentID: make([]int, n),
+	}
+	for i := range a.RecurrentID {
+		a.RecurrentID[i] = -1
+	}
+	for c := 0; c < numComp; c++ {
+		if !closed[c] {
+			continue
+		}
+		states := append([]int(nil), members[c]...)
+		sort.Ints(states)
+		id := len(a.Recurrent)
+		a.Recurrent = append(a.Recurrent, states)
+		for _, s := range states {
+			a.RecurrentID[s] = id
+		}
+	}
+	for _, states := range a.Recurrent {
+		period := classPeriod(m, states)
+		a.Period = append(a.Period, period)
+		pi, err := stationary(m, states)
+		if err != nil {
+			return nil, fmt.Errorf("automata: stationary distribution of class %v: %w", states, err)
+		}
+		a.Stationary = append(a.Stationary, pi)
+		var drift [2]float64
+		var moveFrac float64
+		hasOrigin := false
+		for k, s := range states {
+			switch m.Label(s) {
+			case LabelRight:
+				drift[0] += pi[k]
+				moveFrac += pi[k]
+			case LabelLeft:
+				drift[0] -= pi[k]
+				moveFrac += pi[k]
+			case LabelUp:
+				drift[1] += pi[k]
+				moveFrac += pi[k]
+			case LabelDown:
+				drift[1] -= pi[k]
+				moveFrac += pi[k]
+			case LabelOrigin:
+				hasOrigin = true
+			}
+		}
+		a.Drift = append(a.Drift, drift)
+		a.MoveFraction = append(a.MoveFraction, moveFrac)
+		a.HasOrigin = append(a.HasOrigin, hasOrigin)
+	}
+	return a, nil
+}
+
+// sccs computes strongly connected components with Tarjan's algorithm
+// (iterative, to keep deep chains off the goroutine stack). Component ids
+// are assigned in completion order, which is reverse topological order of
+// the condensation.
+func sccs(m *Machine) []int {
+	n := m.NumStates()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+	numComp := 0
+
+	type frame struct {
+		v    int
+		succ []int
+		pos  int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames := []frame{{v: root, succ: m.Successors(root)}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.pos < len(f.succ) {
+				w := f.succ[f.pos]
+				f.pos++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succ: m.Successors(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Finished v: pop frame, maybe pop an SCC.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComp
+					if w == v {
+						break
+					}
+				}
+				numComp++
+			}
+		}
+	}
+	return comp
+}
+
+// classPeriod returns the period of the irreducible chain restricted to the
+// given recurrent class: the gcd over all states of the lengths of cycles
+// through them, computed via BFS levels (gcd of level differences across
+// intra-class edges).
+func classPeriod(m *Machine, states []int) int {
+	pos := make(map[int]int, len(states))
+	for k, s := range states {
+		pos[s] = k
+	}
+	level := make([]int, len(states))
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	queue := []int{0}
+	g := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range m.Successors(states[u]) {
+			k, ok := pos[w]
+			if !ok {
+				continue // edge out of class cannot exist for recurrent class; be safe
+			}
+			if level[k] == -1 {
+				level[k] = level[u] + 1
+				queue = append(queue, k)
+			} else {
+				g = gcd(g, abs(level[u]+1-level[k]))
+			}
+		}
+	}
+	if g == 0 {
+		// No cycle discrepancy found: a single state with a self-loop has
+		// period 1; a single state with no in-class cycle cannot be
+		// recurrent, but default to 1 defensively.
+		return 1
+	}
+	return g
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// stationaryIterations bounds the power-iteration loop. Chains here are tiny
+// (the paper's whole point is |S| = o(log D)), so convergence is fast; the
+// cap only guards pathological constructions.
+const stationaryIterations = 200000
+
+// stationary computes the unique stationary distribution of the irreducible
+// chain restricted to states, by power iteration on the lazy chain
+// (P+I)/2, which is aperiodic for any irreducible P and has the same
+// stationary distribution.
+func stationary(m *Machine, states []int) ([]float64, error) {
+	k := len(states)
+	if k == 0 {
+		return nil, errors.New("empty class")
+	}
+	pos := make(map[int]int, k)
+	for idx, s := range states {
+		pos[s] = idx
+	}
+	pi := make([]float64, k)
+	next := make([]float64, k)
+	for i := range pi {
+		pi[i] = 1 / float64(k)
+	}
+	for iter := 0; iter < stationaryIterations; iter++ {
+		for j := range next {
+			next[j] = 0.5 * pi[j] // lazy self-loop half
+		}
+		for i, s := range states {
+			if pi[i] == 0 {
+				continue
+			}
+			for _, w := range m.Successors(s) {
+				j, ok := pos[w]
+				if !ok {
+					return nil, fmt.Errorf("state %d leaves class", s)
+				}
+				next[j] += 0.5 * pi[i] * m.Prob(s, w)
+			}
+		}
+		var diff float64
+		for j := range next {
+			diff += math.Abs(next[j] - pi[j])
+		}
+		pi, next = next, pi
+		if diff < 1e-14 {
+			break
+		}
+	}
+	// Normalize against accumulated float error.
+	var sum float64
+	for _, v := range pi {
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, errors.New("stationary distribution vanished")
+	}
+	for j := range pi {
+		pi[j] /= sum
+	}
+	return pi, nil
+}
+
+// TVDistance returns the total-variation distance between two distributions
+// over the same support: max-norm style ½·Σ|p−q| (the paper's "approximately
+// equivalent" distributions are those with small distance).
+func TVDistance(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("automata: TV distance over mismatched supports %d and %d", len(p), len(q))
+	}
+	var sum float64
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2, nil
+}
+
+// StepDistribution advances a distribution one step: out = in · P.
+func (m *Machine) StepDistribution(in []float64) ([]float64, error) {
+	n := m.NumStates()
+	if len(in) != n {
+		return nil, fmt.Errorf("automata: distribution has %d entries, machine has %d states", len(in), n)
+	}
+	out := make([]float64, n)
+	for i, pi := range in {
+		if pi == 0 {
+			continue
+		}
+		for j, pij := range m.p[i] {
+			if pij > 0 {
+				out[j] += pi * pij
+			}
+		}
+	}
+	return out, nil
+}
+
+// MixingTime returns the number of steps until the distribution started at
+// the start state is within eps total variation of its limiting behaviour,
+// estimated by iterating until successive t and t+period distributions
+// agree. It caps at maxSteps and returns maxSteps if not converged.
+func MixingTime(m *Machine, eps float64, maxSteps int) (int, error) {
+	a, err := Analyze(m)
+	if err != nil {
+		return 0, err
+	}
+	// Use the maximum class period so periodic oscillation is factored out.
+	period := 1
+	for _, t := range a.Period {
+		if t > period {
+			period = t
+		}
+	}
+	n := m.NumStates()
+	cur := make([]float64, n)
+	cur[m.Start()] = 1
+	// Keep a ring of the last `period` distributions.
+	hist := make([][]float64, period)
+	for t := 0; t < maxSteps; t++ {
+		if prev := hist[t%period]; prev != nil {
+			d, err := TVDistance(cur, prev)
+			if err != nil {
+				return 0, err
+			}
+			if d < eps {
+				return t, nil
+			}
+		}
+		hist[t%period] = append([]float64(nil), cur...)
+		cur, err = m.StepDistribution(cur)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return maxSteps, nil
+}

@@ -1,0 +1,425 @@
+package automata
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+func TestAnalyzeRandomWalk(t *testing.T) {
+	a, err := Analyze(RandomWalk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Recurrent) != 1 {
+		t.Fatalf("recurrent classes = %d, want 1", len(a.Recurrent))
+	}
+	// The origin state is transient (nothing transitions back to it).
+	if a.RecurrentID[0] != -1 {
+		t.Error("origin state should be transient")
+	}
+	if len(a.Recurrent[0]) != 4 {
+		t.Errorf("recurrent class size = %d, want 4", len(a.Recurrent[0]))
+	}
+	if a.Period[0] != 1 {
+		t.Errorf("period = %d, want 1", a.Period[0])
+	}
+	for _, pi := range a.Stationary[0] {
+		if math.Abs(pi-0.25) > 1e-9 {
+			t.Errorf("stationary entry = %v, want 0.25", pi)
+		}
+	}
+	drift := a.Drift[0]
+	if math.Abs(drift[0]) > 1e-9 || math.Abs(drift[1]) > 1e-9 {
+		t.Errorf("random walk drift = %v, want (0,0)", drift)
+	}
+	if math.Abs(a.MoveFraction[0]-1) > 1e-9 {
+		t.Errorf("move fraction = %v, want 1", a.MoveFraction[0])
+	}
+	if a.HasOrigin[0] {
+		t.Error("recurrent class should not contain origin state")
+	}
+}
+
+func TestAnalyzeBiasedWalkDrift(t *testing.T) {
+	m, err := BiasedWalk(0.4, 0.1, 0.2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := a.Drift[0]
+	if math.Abs(drift[0]-0.1) > 1e-9 { // right - left = 0.3 - 0.2
+		t.Errorf("x drift = %v, want 0.1", drift[0])
+	}
+	if math.Abs(drift[1]-0.3) > 1e-9 { // up - down = 0.4 - 0.1
+		t.Errorf("y drift = %v, want 0.3", drift[1])
+	}
+}
+
+func TestAnalyzeZigZagPeriod(t *testing.T) {
+	a, err := Analyze(ZigZag())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Recurrent) != 1 {
+		t.Fatalf("recurrent classes = %d, want 1", len(a.Recurrent))
+	}
+	if a.Period[0] != 2 {
+		t.Errorf("zigzag period = %d, want 2", a.Period[0])
+	}
+	// Stationary distribution of the 2-cycle is (1/2, 1/2).
+	for _, pi := range a.Stationary[0] {
+		if math.Abs(pi-0.5) > 1e-9 {
+			t.Errorf("stationary entry = %v, want 0.5", pi)
+		}
+	}
+	drift := a.Drift[0]
+	if math.Abs(drift[0]-0.5) > 1e-9 || math.Abs(drift[1]-0.5) > 1e-9 {
+		t.Errorf("zigzag drift = %v, want (0.5, 0.5)", drift)
+	}
+}
+
+func TestAnalyzeTransient(t *testing.T) {
+	m, err := TransientThenLoop(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Recurrent) != 1 {
+		t.Fatalf("recurrent classes = %d, want 1", len(a.Recurrent))
+	}
+	transientCount := 0
+	for _, id := range a.RecurrentID {
+		if id == -1 {
+			transientCount++
+		}
+	}
+	if transientCount != 4 {
+		t.Errorf("transient states = %d, want 4", transientCount)
+	}
+	if len(a.Recurrent[0]) != 1 {
+		t.Errorf("recurrent class size = %d, want 1", len(a.Recurrent[0]))
+	}
+	if a.Drift[0][0] != 1 {
+		t.Errorf("loop drift x = %v, want 1", a.Drift[0][0])
+	}
+}
+
+func TestAnalyzeTwoClasses(t *testing.T) {
+	a, err := Analyze(TwoClassMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Recurrent) != 2 {
+		t.Fatalf("recurrent classes = %d, want 2", len(a.Recurrent))
+	}
+	// One class drifts right, the other up; order of classes is not
+	// specified, so check as a set.
+	seen := map[[2]float64]bool{}
+	for _, d := range a.Drift {
+		seen[d] = true
+	}
+	if !seen[[2]float64{1, 0}] || !seen[[2]float64{0, 1}] {
+		t.Errorf("drifts = %v, want {(1,0), (0,1)}", a.Drift)
+	}
+}
+
+func TestAnalyzeDetectsOriginClass(t *testing.T) {
+	// A machine whose recurrent class includes an origin-labeled state:
+	// the Corollary 4.5 case (1) flag must be set.
+	m, err := NewBuilder().
+		State("origin", LabelOrigin).
+		State("right", LabelRight).
+		Start("origin").
+		Edge("origin", "right", 1).
+		Edge("right", "origin", 0.5).
+		Edge("right", "right", 0.5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Recurrent) != 1 || !a.HasOrigin[0] {
+		t.Errorf("expected a single origin-containing recurrent class, got %+v", a)
+	}
+}
+
+func TestStationaryIsFixedPoint(t *testing.T) {
+	// Property: for every library machine, the computed stationary
+	// distribution (lifted to the full state space) is a fixed point of P.
+	machines := []*Machine{RandomWalk(), ZigZag(), TwoClassMachine()}
+	if m, err := BiasedWalk(0.1, 0.2, 0.3, 0.4); err == nil {
+		machines = append(machines, m)
+	}
+	if m, err := DriftLineMachine(3); err == nil {
+		machines = append(machines, m)
+	}
+	for _, m := range machines {
+		a, err := Analyze(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, states := range a.Recurrent {
+			full := make([]float64, m.NumStates())
+			for k, s := range states {
+				full[s] = a.Stationary[c][k]
+			}
+			next, err := m.StepDistribution(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range full {
+				if math.Abs(next[i]-full[i]) > 1e-8 {
+					t.Errorf("class %d of %d-state machine: stationary not fixed at state %d: %v -> %v",
+						c, m.NumStates(), i, full[i], next[i])
+				}
+			}
+		}
+	}
+}
+
+func TestStationarySumsToOne(t *testing.T) {
+	for bits := 1; bits <= 8; bits++ {
+		m, err := DriftLineMachine(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range a.Recurrent {
+			var sum float64
+			for _, v := range a.Stationary[c] {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("bits=%d class %d: stationary sums to %v", bits, c, sum)
+			}
+		}
+	}
+}
+
+func TestDriftLineMachineDrift(t *testing.T) {
+	// 2^bits states: 2^bits - 1 right moves then 1 up move per cycle.
+	m, err := DriftLineMachine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(int(1) << 3)
+	wantX := (n - 1) / n
+	wantY := 1 / n
+	if math.Abs(a.Drift[0][0]-wantX) > 1e-9 || math.Abs(a.Drift[0][1]-wantY) > 1e-9 {
+		t.Errorf("drift = %v, want (%v, %v)", a.Drift[0], wantX, wantY)
+	}
+	if a.Period[0] != 1<<3 {
+		t.Errorf("period = %d, want %d", a.Period[0], 1<<3)
+	}
+}
+
+func TestTVDistance(t *testing.T) {
+	d, err := TVDistance([]float64{1, 0}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("TV of disjoint point masses = %v, want 1", d)
+	}
+	d, err = TVDistance([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("TV of identical = %v, want 0", d)
+	}
+	if _, err := TVDistance([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("mismatched supports should fail")
+	}
+}
+
+func TestStepDistribution(t *testing.T) {
+	m := RandomWalk()
+	in := make([]float64, m.NumStates())
+	in[m.Start()] = 1
+	out, err := m.StepDistribution(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("distribution mass after step = %v", sum)
+	}
+	if out[0] != 0 {
+		t.Error("origin state should have no mass after one step")
+	}
+	if _, err := m.StepDistribution([]float64{1}); err == nil {
+		t.Error("wrong-length distribution should fail")
+	}
+}
+
+func TestMixingTime(t *testing.T) {
+	// The random walk machine mixes in one step (all rows identical).
+	steps, err := MixingTime(RandomWalk(), 1e-9, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps > 3 {
+		t.Errorf("random walk mixing time = %d, want <= 3", steps)
+	}
+	// The zigzag machine is periodic but its period-2 subsequences are
+	// immediately stationary.
+	steps, err = MixingTime(ZigZag(), 1e-9, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps > 6 {
+		t.Errorf("zigzag mixing time = %d, want small", steps)
+	}
+}
+
+func TestMixingTimeCaps(t *testing.T) {
+	steps, err := MixingTime(ZigZag(), 0, 7) // eps=0 never converges
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 7 {
+		t.Errorf("capped mixing time = %d, want 7", steps)
+	}
+}
+
+func TestWalkerRandomWalkDiffusive(t *testing.T) {
+	// After T steps of the uniform random walk, E[|pos|^2] = T. Check the
+	// scaling within generous bounds.
+	const T = 10000
+	const trials = 64
+	root := rng.New(99)
+	var sumSq float64
+	for i := 0; i < trials; i++ {
+		w := NewWalker(RandomWalk(), root.Derive(uint64(i)))
+		for s := 0; s < T; s++ {
+			w.Step()
+		}
+		p := w.Pos()
+		sumSq += float64(p.X*p.X + p.Y*p.Y)
+	}
+	mean := sumSq / trials
+	if mean < T/3 || mean > T*3 {
+		t.Errorf("E[|pos|^2] after %d steps = %v, want ~%d", T, mean, T)
+	}
+}
+
+func TestWalkerZigZagDeterministic(t *testing.T) {
+	w := NewWalker(ZigZag(), rng.New(1))
+	for i := 0; i < 10; i++ {
+		w.Step()
+	}
+	p := w.Pos()
+	if p.X != 5 || p.Y != 5 {
+		t.Errorf("zigzag after 10 steps at %v, want (5,5)", p)
+	}
+	if w.Steps() != 10 || w.Moves() != 10 {
+		t.Errorf("steps/moves = %d/%d, want 10/10", w.Steps(), w.Moves())
+	}
+}
+
+func TestWalkerOriginTeleports(t *testing.T) {
+	m, err := NewBuilder().
+		State("start", LabelNone).
+		State("right", LabelRight).
+		State("home", LabelOrigin).
+		Start("start").
+		Edge("start", "right", 1).
+		Edge("right", "home", 1).
+		Edge("home", "right", 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(m, rng.New(1))
+	w.Step() // -> right, pos (1,0)
+	if w.Pos() != (grid.Point{X: 1, Y: 0}) {
+		t.Fatalf("pos after right = %v", w.Pos())
+	}
+	w.Step() // -> home, teleports to origin
+	if w.Pos() != grid.Origin {
+		t.Errorf("pos after origin state = %v, want origin", w.Pos())
+	}
+	if w.Moves() != 1 {
+		t.Errorf("moves = %d, want 1 (origin steps are not moves)", w.Moves())
+	}
+	if w.Steps() != 2 {
+		t.Errorf("steps = %d, want 2", w.Steps())
+	}
+}
+
+func TestWalkerLazyMoveFraction(t *testing.T) {
+	m, err := LazyBiasedWalk(0.25, 0.25, 0.25, 0.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(m, rng.New(5))
+	const T = 40000
+	for i := 0; i < T; i++ {
+		w.Step()
+	}
+	frac := float64(w.Moves()) / float64(w.Steps())
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("move fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestWalkerReset(t *testing.T) {
+	w := NewWalker(ZigZag(), rng.New(1))
+	w.Step()
+	w.Step()
+	w.Reset()
+	if w.Pos() != grid.Origin || w.Steps() != 0 || w.Moves() != 0 || w.State() != w.Machine().Start() {
+		t.Errorf("reset walker state: pos=%v steps=%d moves=%d state=%d",
+			w.Pos(), w.Steps(), w.Moves(), w.State())
+	}
+}
+
+func TestWalkerEmpiricalMatchesStationary(t *testing.T) {
+	// Long-run state occupancy of the biased walk must match the computed
+	// stationary distribution (cross-validates Analyze against Walker).
+	m, err := BiasedWalk(0.5, 0.125, 0.125, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(m, rng.New(7))
+	const T = 200000
+	counts := make([]int, m.NumStates())
+	for i := 0; i < T; i++ {
+		w.Step()
+		counts[w.State()]++
+	}
+	for k, s := range a.Recurrent[0] {
+		got := float64(counts[s]) / T
+		want := a.Stationary[0][k]
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("state %s: empirical occupancy %v, stationary %v", m.Name(s), got, want)
+		}
+	}
+}

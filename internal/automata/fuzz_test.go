@@ -1,0 +1,35 @@
+package automata
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec checks that arbitrary byte input never panics the spec
+// parser, and that anything it accepts is a valid machine the analysis can
+// process and round-trip.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(demoSpec))
+	f.Add([]byte(`{"states":[{"name":"a","label":"up"}],"start":"a","edges":[{"from":"a","to":"a","p":1}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"states":[{"name":"a","label":"up"}],"start":"a","edges":[{"from":"a","to":"a","p":0.5},{"from":"a","to":"a","p":0.5}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseSpec(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if m.NumStates() == 0 {
+			t.Fatal("accepted machine with no states")
+		}
+		if _, err := Analyze(m); err != nil {
+			t.Fatalf("accepted machine failed analysis: %v", err)
+		}
+		out, err := m.MarshalSpec()
+		if err != nil {
+			t.Fatalf("accepted machine failed marshal: %v", err)
+		}
+		if _, err := ParseSpec(out); err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package automata
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file holds a small library of reference machines used by the tests,
+// the baselines, and the lower-bound experiments (E6/E8).
+
+// RandomWalk returns the one-recurrent-class machine performing a uniform
+// random walk: four movement states, each reached with probability 1/4 from
+// anywhere. Its drift is zero, so by the Section 4 analysis it covers only
+// an o(D^2) neighbourhood of its (degenerate) drift line; Alon et al. bound
+// its speed-up by min{log n, D}.
+func RandomWalk() *Machine {
+	names := []string{"origin", "up", "down", "left", "right"}
+	labels := []Label{LabelOrigin, LabelUp, LabelDown, LabelLeft, LabelRight}
+	p := make([][]float64, 5)
+	for i := range p {
+		p[i] = []float64{0, 0.25, 0.25, 0.25, 0.25}
+	}
+	m, err := New(names, labels, p, 0)
+	if err != nil {
+		panic("automata: RandomWalk construction: " + err.Error())
+	}
+	return m
+}
+
+// BiasedWalk returns a walk machine with the given direction probabilities
+// (must sum to 1). Its stationary drift is (pRight−pLeft, pUp−pDown): a
+// non-zero bias makes it the paper's canonical "straight line" walker.
+func BiasedWalk(pUp, pDown, pLeft, pRight float64) (*Machine, error) {
+	sum := pUp + pDown + pLeft + pRight
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("automata: direction probabilities sum to %v, want 1", sum)
+	}
+	names := []string{"origin", "up", "down", "left", "right"}
+	labels := []Label{LabelOrigin, LabelUp, LabelDown, LabelLeft, LabelRight}
+	row := []float64{0, pUp, pDown, pLeft, pRight}
+	p := make([][]float64, 5)
+	for i := range p {
+		p[i] = append([]float64(nil), row...)
+	}
+	return New(names, labels, p, 0)
+}
+
+// ZigZag returns a period-2 machine that alternates deterministically
+// between moving right and moving up. It is the minimal witness for the
+// periodic-class machinery (Theorem A.1 / Feller decomposition).
+func ZigZag() *Machine {
+	m, err := NewBuilder().
+		State("origin", LabelOrigin).
+		State("right", LabelRight).
+		State("up", LabelUp).
+		Start("origin").
+		Edge("origin", "right", 1).
+		Edge("right", "up", 1).
+		Edge("up", "right", 1).
+		Build()
+	if err != nil {
+		panic("automata: ZigZag construction: " + err.Error())
+	}
+	return m
+}
+
+// TransientThenLoop returns a machine with a transient prefix of k "none"
+// states that funnel into an absorbing right-moving loop. It exercises the
+// transient/recurrent split of Corollary 4.3.
+func TransientThenLoop(k int) (*Machine, error) {
+	if k < 1 {
+		return nil, errors.New("automata: need at least one transient state")
+	}
+	b := NewBuilder()
+	for i := 0; i < k; i++ {
+		b.State(fmt.Sprintf("t%d", i), LabelNone)
+	}
+	b.State("loop", LabelRight)
+	b.Start("t0")
+	for i := 0; i < k-1; i++ {
+		b.Edge(fmt.Sprintf("t%d", i), fmt.Sprintf("t%d", i+1), 1)
+	}
+	b.Edge(fmt.Sprintf("t%d", k-1), "loop", 1)
+	b.Edge("loop", "loop", 1)
+	return b.Build()
+}
+
+// DriftLineMachine builds a b-bit machine (2^bits states) whose recurrent
+// behaviour is a directed sweep: it counts to 2^bits−1 moving right, then
+// emits one up move and restarts the count. The drift direction depends on
+// the state budget, giving the E8 experiment a family of machines with
+// growing χ but a single drift line each — exactly the machines Theorem 4.1
+// says cannot explore Θ(D^2) area.
+func DriftLineMachine(bits int) (*Machine, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("automata: bits %d out of [1,16]", bits)
+	}
+	n := 1 << bits
+	b := NewBuilder()
+	for i := 0; i < n-1; i++ {
+		b.State(fmt.Sprintf("r%d", i), LabelRight)
+	}
+	b.State("up", LabelUp)
+	b.Start("r0")
+	for i := 0; i < n-2; i++ {
+		b.Edge(fmt.Sprintf("r%d", i), fmt.Sprintf("r%d", i+1), 1)
+	}
+	if n == 2 {
+		b.Edge("r0", "up", 1)
+	} else {
+		b.Edge(fmt.Sprintf("r%d", n-2), "up", 1)
+	}
+	b.Edge("up", "r0", 1)
+	return b.Build()
+}
+
+// TwoClassMachine returns a machine whose start state branches with equal
+// probability into two disjoint recurrent classes: a rightward loop and an
+// upward loop. It exercises the |C| > 1 case of the lower-bound argument
+// (the union bound over at most |S| drift lines).
+func TwoClassMachine() *Machine {
+	m, err := NewBuilder().
+		State("start", LabelNone).
+		State("right", LabelRight).
+		State("up", LabelUp).
+		Start("start").
+		Edge("start", "right", 0.5).
+		Edge("start", "up", 0.5).
+		Edge("right", "right", 1).
+		Edge("up", "up", 1).
+		Build()
+	if err != nil {
+		panic("automata: TwoClassMachine construction: " + err.Error())
+	}
+	return m
+}
+
+// LazyBiasedWalk returns a walk that moves only with probability moveProb
+// per step (staying in a "none" state otherwise), with conditional move
+// distribution given by the four direction probabilities. It exercises the
+// steps-vs-moves distinction of Corollary 4.11.
+func LazyBiasedWalk(moveProb, pUp, pDown, pLeft, pRight float64) (*Machine, error) {
+	if moveProb <= 0 || moveProb > 1 {
+		return nil, fmt.Errorf("automata: move probability %v out of (0,1]", moveProb)
+	}
+	sum := pUp + pDown + pLeft + pRight
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("automata: direction probabilities sum to %v, want 1", sum)
+	}
+	names := []string{"idle", "up", "down", "left", "right"}
+	labels := []Label{LabelNone, LabelUp, LabelDown, LabelLeft, LabelRight}
+	row := []float64{
+		1 - moveProb,
+		moveProb * pUp,
+		moveProb * pDown,
+		moveProb * pLeft,
+		moveProb * pRight,
+	}
+	p := make([][]float64, 5)
+	for i := range p {
+		p[i] = append([]float64(nil), row...)
+	}
+	return New(names, labels, p, 0)
+}

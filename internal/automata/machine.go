@@ -1,0 +1,278 @@
+// Package automata models agents as probabilistic finite state automata,
+// exactly as the paper's Section 2 defines them: a tuple (S, s0, δ) with a
+// labeling function M: S → {up, down, left, right, origin, none}, together
+// with the Markov-chain analysis machinery the Section 4 lower bound is
+// built on (recurrent classes, periods, stationary distributions, and grid
+// drift vectors).
+package automata
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Label is the action a state performs on the grid (the paper's labeling
+// function M).
+type Label int
+
+// State labels. LabelOrigin teleports the agent back to the origin;
+// LabelNone is local computation that produces no grid move.
+const (
+	LabelNone Label = iota
+	LabelUp
+	LabelDown
+	LabelLeft
+	LabelRight
+	LabelOrigin
+)
+
+// String returns the paper's name for the label.
+func (l Label) String() string {
+	switch l {
+	case LabelNone:
+		return "none"
+	case LabelUp:
+		return "up"
+	case LabelDown:
+		return "down"
+	case LabelLeft:
+		return "left"
+	case LabelRight:
+		return "right"
+	case LabelOrigin:
+		return "origin"
+	default:
+		return fmt.Sprintf("label(%d)", int(l))
+	}
+}
+
+// Direction converts a movement label to the corresponding grid direction;
+// ok is false for none/origin labels.
+func (l Label) Direction() (d grid.Direction, ok bool) {
+	switch l {
+	case LabelUp:
+		return grid.Up, true
+	case LabelDown:
+		return grid.Down, true
+	case LabelLeft:
+		return grid.Left, true
+	case LabelRight:
+		return grid.Right, true
+	default:
+		return 0, false
+	}
+}
+
+// Machine is a probabilistic finite state automaton with transition matrix
+// P, start state Start, and per-state labels. It is immutable after
+// validation; walkers hold their own mutable cursor.
+type Machine struct {
+	names  []string
+	labels []Label
+	p      [][]float64 // p[i][j] = probability of moving from state i to j
+	start  int
+}
+
+// Validation tolerance for row sums.
+const rowSumTol = 1e-9
+
+// New constructs and validates a machine. names and labels give the states
+// (len(names) == len(labels)); p is the |S|×|S| transition matrix; start is
+// the index of s0. Every row of p must sum to 1 and every entry must be
+// non-negative.
+func New(names []string, labels []Label, p [][]float64, start int) (*Machine, error) {
+	n := len(names)
+	if n == 0 {
+		return nil, errors.New("automata: machine needs at least one state")
+	}
+	if len(labels) != n {
+		return nil, fmt.Errorf("automata: %d names but %d labels", n, len(labels))
+	}
+	if len(p) != n {
+		return nil, fmt.Errorf("automata: %d states but %d matrix rows", n, len(p))
+	}
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("automata: start state %d out of range [0,%d)", start, n)
+	}
+	cp := make([][]float64, n)
+	for i, row := range p {
+		if len(row) != n {
+			return nil, fmt.Errorf("automata: row %d has %d entries, want %d", i, len(row), n)
+		}
+		var sum float64
+		cp[i] = make([]float64, n)
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("automata: P[%d][%d] = %v is not a probability", i, j, v)
+			}
+			cp[i][j] = v
+			sum += v
+		}
+		if math.Abs(sum-1) > rowSumTol {
+			return nil, fmt.Errorf("automata: row %d sums to %v, want 1", i, sum)
+		}
+	}
+	m := &Machine{
+		names:  append([]string(nil), names...),
+		labels: append([]Label(nil), labels...),
+		p:      cp,
+		start:  start,
+	}
+	return m, nil
+}
+
+// NumStates returns |S|.
+func (m *Machine) NumStates() int { return len(m.labels) }
+
+// Start returns the index of the start state s0.
+func (m *Machine) Start() int { return m.start }
+
+// Name returns the name of state i.
+func (m *Machine) Name(i int) string { return m.names[i] }
+
+// Label returns the label of state i.
+func (m *Machine) Label(i int) Label { return m.labels[i] }
+
+// Prob returns the transition probability P[i][j].
+func (m *Machine) Prob(i, j int) float64 { return m.p[i][j] }
+
+// MemoryBits returns b = ⌈log₂|S|⌉, the number of bits needed to encode the
+// state set (with b = 1 as a floor: even a one-state machine is "one bit" of
+// hardware in the χ accounting, matching b = ⌈log |S|⌉ ≥ 0 and avoiding a
+// degenerate log 0 downstream; the paper's machines all have |S| ≥ 2).
+func (m *Machine) MemoryBits() int {
+	n := len(m.labels)
+	b := 0
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+// MinProb returns the smallest non-zero transition probability.
+func (m *Machine) MinProb() float64 {
+	minP := math.Inf(1)
+	for _, row := range m.p {
+		for _, v := range row {
+			if v > 0 && v < minP {
+				minP = v
+			}
+		}
+	}
+	return minP
+}
+
+// Ell returns the paper's ℓ: the smallest integer with every non-zero
+// probability at least 1/2^ℓ, i.e. ⌈log₂(1/min-prob)⌉, floored at 1.
+func (m *Machine) Ell() int {
+	ell := int(math.Ceil(-math.Log2(m.MinProb()) - 1e-12))
+	if ell < 1 {
+		ell = 1
+	}
+	return ell
+}
+
+// Chi returns the selection complexity χ = b + log₂ ℓ of the machine.
+func (m *Machine) Chi() float64 {
+	return float64(m.MemoryBits()) + math.Log2(float64(m.Ell()))
+}
+
+// Successors returns the indices of states reachable from i in one step.
+func (m *Machine) Successors(i int) []int {
+	var out []int
+	for j, v := range m.p[i] {
+		if v > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Builder incrementally assembles a Machine. It is the convenient way to
+// write down the paper's state diagrams.
+type Builder struct {
+	names  []string
+	labels []Label
+	index  map[string]int
+	edges  map[int]map[int]float64
+	start  string
+}
+
+// NewBuilder returns an empty machine builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		index: make(map[string]int),
+		edges: make(map[int]map[int]float64),
+	}
+}
+
+// State declares a state with the given name and label. Redeclaring a name
+// is an error reported at Build time via duplicate tracking; State returns
+// the builder for chaining.
+func (b *Builder) State(name string, label Label) *Builder {
+	if _, dup := b.index[name]; dup {
+		// Mark the duplicate by remembering an impossible edge; Build
+		// reports it. Simpler: record duplicate names.
+		b.names = append(b.names, name) // triggers length mismatch check
+		return b
+	}
+	b.index[name] = len(b.names)
+	b.names = append(b.names, name)
+	b.labels = append(b.labels, label)
+	return b
+}
+
+// Start sets the start state by name.
+func (b *Builder) Start(name string) *Builder {
+	b.start = name
+	return b
+}
+
+// Edge adds a transition from -> to with probability p, accumulating if the
+// edge already exists.
+func (b *Builder) Edge(from, to string, p float64) *Builder {
+	fi, ok1 := b.index[from]
+	ti, ok2 := b.index[to]
+	if !ok1 || !ok2 {
+		// Defer the error: record an invalid marker by using -1 keys.
+		if b.edges[-1] == nil {
+			b.edges[-1] = make(map[int]float64)
+		}
+		b.edges[-1][len(b.edges[-1])] = p
+		return b
+	}
+	if b.edges[fi] == nil {
+		b.edges[fi] = make(map[int]float64)
+	}
+	b.edges[fi][ti] += p
+	return b
+}
+
+// Build validates and constructs the machine.
+func (b *Builder) Build() (*Machine, error) {
+	if len(b.names) != len(b.labels) {
+		return nil, errors.New("automata: duplicate state name declared")
+	}
+	if _, bad := b.edges[-1]; bad {
+		return nil, errors.New("automata: edge references undeclared state")
+	}
+	n := len(b.names)
+	if n == 0 {
+		return nil, errors.New("automata: no states declared")
+	}
+	start, ok := b.index[b.start]
+	if !ok {
+		return nil, fmt.Errorf("automata: start state %q not declared", b.start)
+	}
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+		for j, v := range b.edges[i] {
+			p[i][j] = v
+		}
+	}
+	return New(b.names, b.labels, p, start)
+}

@@ -1,0 +1,267 @@
+package automata
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	names := []string{"a", "b"}
+	labels := []Label{LabelNone, LabelUp}
+	good := [][]float64{{0.5, 0.5}, {0, 1}}
+	if _, err := New(names, labels, good, 0); err != nil {
+		t.Fatalf("valid machine rejected: %v", err)
+	}
+
+	tests := []struct {
+		name   string
+		names  []string
+		labels []Label
+		p      [][]float64
+		start  int
+	}{
+		{"no states", nil, nil, nil, 0},
+		{"label mismatch", names, labels[:1], good, 0},
+		{"row count", names, labels, good[:1], 0},
+		{"start out of range", names, labels, good, 2},
+		{"negative start", names, labels, good, -1},
+		{"row length", names, labels, [][]float64{{1}, {0, 1}}, 0},
+		{"negative prob", names, labels, [][]float64{{-0.5, 1.5}, {0, 1}}, 0},
+		{"row sum", names, labels, [][]float64{{0.5, 0.4}, {0, 1}}, 0},
+		{"nan prob", names, labels, [][]float64{{math.NaN(), 1}, {0, 1}}, 0},
+	}
+	for _, tt := range tests {
+		if _, err := New(tt.names, tt.labels, tt.p, tt.start); err == nil {
+			t.Errorf("%s: expected error", tt.name)
+		}
+	}
+}
+
+func TestNewCopiesInputs(t *testing.T) {
+	names := []string{"a", "b"}
+	labels := []Label{LabelNone, LabelUp}
+	p := [][]float64{{0.5, 0.5}, {0, 1}}
+	m, err := New(names, labels, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[0][0] = 0.9
+	names[0] = "mutated"
+	if m.Prob(0, 0) != 0.5 {
+		t.Error("machine shares transition matrix with caller")
+	}
+	if m.Name(0) != "a" {
+		t.Error("machine shares names with caller")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	tests := []struct {
+		l    Label
+		want string
+	}{
+		{LabelNone, "none"}, {LabelUp, "up"}, {LabelDown, "down"},
+		{LabelLeft, "left"}, {LabelRight, "right"}, {LabelOrigin, "origin"},
+		{Label(99), "label(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.l.String(); got != tt.want {
+			t.Errorf("Label(%d).String() = %q, want %q", int(tt.l), got, tt.want)
+		}
+	}
+}
+
+func TestLabelDirection(t *testing.T) {
+	for _, l := range []Label{LabelUp, LabelDown, LabelLeft, LabelRight} {
+		d, ok := l.Direction()
+		if !ok {
+			t.Errorf("%v should map to a direction", l)
+		}
+		if d.String() != l.String() {
+			t.Errorf("%v maps to direction %v", l, d)
+		}
+	}
+	for _, l := range []Label{LabelNone, LabelOrigin} {
+		if _, ok := l.Direction(); ok {
+			t.Errorf("%v should not map to a direction", l)
+		}
+	}
+}
+
+func TestMemoryBits(t *testing.T) {
+	tests := []struct {
+		states, want int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+	}
+	for _, tt := range tests {
+		names := make([]string, tt.states)
+		labels := make([]Label, tt.states)
+		p := make([][]float64, tt.states)
+		for i := range p {
+			names[i] = strings.Repeat("s", i+1)
+			p[i] = make([]float64, tt.states)
+			p[i][i] = 1
+		}
+		m, err := New(names, labels, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.MemoryBits(); got != tt.want {
+			t.Errorf("MemoryBits(%d states) = %d, want %d", tt.states, got, tt.want)
+		}
+	}
+}
+
+func TestChiAccounting(t *testing.T) {
+	// 5-state machine with min prob 1/4: b = 3, ℓ = 2, χ = 3 + 1 = 4.
+	m := RandomWalk()
+	if got := m.MinProb(); got != 0.25 {
+		t.Errorf("MinProb = %v, want 0.25", got)
+	}
+	if got := m.Ell(); got != 2 {
+		t.Errorf("Ell = %d, want 2", got)
+	}
+	if got := m.MemoryBits(); got != 3 {
+		t.Errorf("MemoryBits = %d, want 3", got)
+	}
+	if got := m.Chi(); got != 4 {
+		t.Errorf("Chi = %v, want 4", got)
+	}
+}
+
+func TestEllFloorsAtOne(t *testing.T) {
+	m := ZigZag() // deterministic transitions: min prob 1
+	if got := m.Ell(); got != 1 {
+		t.Errorf("Ell of deterministic machine = %d, want 1 (floor)", got)
+	}
+}
+
+func TestEllNonDyadic(t *testing.T) {
+	// min prob 1/3 needs ℓ = 2 (1/4 ≤ 1/3 < 1/2).
+	m, err := BiasedWalk(1.0/3, 1.0/3, 1.0/6, 1.0/6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Ell(); got != 3 { // min prob 1/6: 1/8 <= 1/6 -> ℓ=3
+		t.Errorf("Ell = %d, want 3", got)
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	m := TwoClassMachine()
+	succ := m.Successors(m.Start())
+	if len(succ) != 2 {
+		t.Fatalf("start successors = %v, want 2 entries", succ)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Error("empty builder should fail")
+	}
+	if _, err := NewBuilder().State("a", LabelNone).Start("missing").
+		Edge("a", "a", 1).Build(); err == nil {
+		t.Error("undeclared start should fail")
+	}
+	if _, err := NewBuilder().State("a", LabelNone).State("a", LabelUp).
+		Start("a").Edge("a", "a", 1).Build(); err == nil {
+		t.Error("duplicate state should fail")
+	}
+	if _, err := NewBuilder().State("a", LabelNone).Start("a").
+		Edge("a", "ghost", 1).Build(); err == nil {
+		t.Error("edge to undeclared state should fail")
+	}
+	if _, err := NewBuilder().State("a", LabelNone).Start("a").
+		Edge("a", "a", 0.5).Build(); err == nil {
+		t.Error("sub-stochastic row should fail")
+	}
+}
+
+func TestBuilderAccumulatesEdges(t *testing.T) {
+	m, err := NewBuilder().
+		State("a", LabelNone).
+		Start("a").
+		Edge("a", "a", 0.5).
+		Edge("a", "a", 0.5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Prob(0, 0) != 1 {
+		t.Errorf("accumulated edge prob = %v, want 1", m.Prob(0, 0))
+	}
+}
+
+func TestLibraryMachinesValid(t *testing.T) {
+	machines := map[string]*Machine{
+		"RandomWalk":      RandomWalk(),
+		"ZigZag":          ZigZag(),
+		"TwoClassMachine": TwoClassMachine(),
+	}
+	if m, err := BiasedWalk(0.25, 0.25, 0.25, 0.25); err != nil {
+		t.Errorf("BiasedWalk: %v", err)
+	} else {
+		machines["BiasedWalk"] = m
+	}
+	if m, err := TransientThenLoop(3); err != nil {
+		t.Errorf("TransientThenLoop: %v", err)
+	} else {
+		machines["TransientThenLoop"] = m
+	}
+	if m, err := DriftLineMachine(3); err != nil {
+		t.Errorf("DriftLineMachine: %v", err)
+	} else {
+		machines["DriftLineMachine"] = m
+	}
+	if m, err := LazyBiasedWalk(0.5, 0.25, 0.25, 0.25, 0.25); err != nil {
+		t.Errorf("LazyBiasedWalk: %v", err)
+	} else {
+		machines["LazyBiasedWalk"] = m
+	}
+	for name, m := range machines {
+		if m.NumStates() == 0 {
+			t.Errorf("%s has no states", name)
+		}
+		if _, err := Analyze(m); err != nil {
+			t.Errorf("%s analysis failed: %v", name, err)
+		}
+	}
+}
+
+func TestLibraryConstructorErrors(t *testing.T) {
+	if _, err := BiasedWalk(0.5, 0.5, 0.5, 0.5); err == nil {
+		t.Error("BiasedWalk with sum 2 should fail")
+	}
+	if _, err := TransientThenLoop(0); err == nil {
+		t.Error("TransientThenLoop(0) should fail")
+	}
+	if _, err := DriftLineMachine(0); err == nil {
+		t.Error("DriftLineMachine(0) should fail")
+	}
+	if _, err := DriftLineMachine(17); err == nil {
+		t.Error("DriftLineMachine(17) should fail")
+	}
+	if _, err := LazyBiasedWalk(0, 0.25, 0.25, 0.25, 0.25); err == nil {
+		t.Error("LazyBiasedWalk with moveProb 0 should fail")
+	}
+	if _, err := LazyBiasedWalk(0.5, 1, 1, 1, 1); err == nil {
+		t.Error("LazyBiasedWalk with bad direction sum should fail")
+	}
+}
+
+func TestDriftLineMachineStates(t *testing.T) {
+	for bits := 1; bits <= 6; bits++ {
+		m, err := DriftLineMachine(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumStates() != 1<<bits {
+			t.Errorf("bits=%d: %d states, want %d", bits, m.NumStates(), 1<<bits)
+		}
+		if m.MemoryBits() != bits {
+			t.Errorf("bits=%d: MemoryBits = %d", bits, m.MemoryBits())
+		}
+	}
+}

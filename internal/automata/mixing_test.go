@@ -1,0 +1,123 @@
+package automata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVerifyMixingRandomWalkInstant(t *testing.T) {
+	m := RandomWalk()
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyMixing(m, a.Recurrent[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All rows are identical: one step reaches stationarity exactly.
+	if rep.MaxTV > 1e-12 {
+		t.Errorf("MaxTV = %v, want 0 after one step", rep.MaxTV)
+	}
+	if rep.Period != 1 || rep.Steps != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestVerifyMixingPeriodicExact(t *testing.T) {
+	// ZigZag has period 2; along P² each cyclic class is a single state,
+	// so the conditioned distribution is trivially stationary.
+	m := ZigZag()
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyMixing(m, a.Recurrent[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps%rep.Period != 0 {
+		t.Errorf("steps %d not rounded to period %d", rep.Steps, rep.Period)
+	}
+	if rep.MaxTV > 1e-12 {
+		t.Errorf("MaxTV = %v, want 0 for deterministic cycle", rep.MaxTV)
+	}
+}
+
+func TestVerifyMixingGeometricDecay(t *testing.T) {
+	// Corollary 4.6's shape: TV distance decays geometrically in the
+	// number of blocks. Build a lazy 2-state chain with slow mixing and
+	// check that doubling the steps at least squares... loosely, strictly
+	// reduces the distance.
+	m, err := NewBuilder().
+		State("a", LabelLeft).
+		State("b", LabelRight).
+		Start("a").
+		Edge("a", "a", 0.9).
+		Edge("a", "b", 0.1).
+		Edge("b", "b", 0.9).
+		Edge("b", "a", 0.1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := func(steps int) float64 {
+		t.Helper()
+		rep, err := VerifyMixing(m, a.Recurrent[0], steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MaxTV
+	}
+	tv4, tv8, tv16 := tv(4), tv(8), tv(16)
+	if !(tv4 > tv8 && tv8 > tv16) {
+		t.Errorf("TV not decreasing: %v, %v, %v", tv4, tv8, tv16)
+	}
+	// Spectral gap is 0.2: TV(k) ≈ 0.5·0.8^k.
+	want := 0.5 * math.Pow(0.8, 16)
+	if math.Abs(tv16-want) > want {
+		t.Errorf("TV(16) = %v, want ≈ %v", tv16, want)
+	}
+}
+
+func TestVerifyMixingValidation(t *testing.T) {
+	m := RandomWalk()
+	if _, err := VerifyMixing(m, nil, 5); err == nil {
+		t.Error("empty class should fail")
+	}
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyMixing(m, a.Recurrent[0], 0); err == nil {
+		t.Error("zero steps should fail")
+	}
+}
+
+func TestVerifyMixingBetaFromPaper(t *testing.T) {
+	// Instantiate β = |S|·ln D / p₀^|S| for the biased walk at D = 64 and
+	// confirm the distribution is within 1/D of stationarity after β
+	// steps — the concrete content of Corollary 4.6 with c = 1.
+	m, err := BiasedWalk(0.5, 0.125, 0.125, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 64
+	s := float64(m.NumStates())
+	beta := int(s * math.Log(d) / math.Pow(m.MinProb(), s))
+	rep, err := VerifyMixing(m, a.Recurrent[0], beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxTV > 1.0/d {
+		t.Errorf("after β = %d steps TV = %v, want ≤ 1/D = %v", beta, rep.MaxTV, 1.0/d)
+	}
+}

@@ -1,0 +1,149 @@
+package automata
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CyclicClasses computes the Feller decomposition of Theorem A.1 for one
+// recurrent class: in an irreducible chain with period t, the states split
+// into t classes G_0, ..., G_{t-1} such that every one-step transition
+// leads from G_τ to G_{(τ+1) mod t}, and the chain with matrix P^t is
+// irreducible on each G_τ. The paper's Section 4 coupling argument works
+// per-G_τ; this function makes that structure inspectable and testable.
+//
+// states must be one recurrent class of m (as produced by Analyze). The
+// result maps each state of the class to its class index τ ∈ [0, t), with
+// the first (lowest-index) state assigned τ = 0.
+func CyclicClasses(m *Machine, states []int) (tau map[int]int, period int, err error) {
+	if len(states) == 0 {
+		return nil, 0, errors.New("automata: empty recurrent class")
+	}
+	inClass := make(map[int]bool, len(states))
+	for _, s := range states {
+		inClass[s] = true
+	}
+	period = classPeriod(m, states)
+	// BFS levels mod t give the class index.
+	tau = make(map[int]int, len(states))
+	tau[states[0]] = 0
+	queue := []int{states[0]}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range m.Successors(u) {
+			if !inClass[w] {
+				return nil, 0, fmt.Errorf("automata: state %d leaves the class: not recurrent", u)
+			}
+			want := (tau[u] + 1) % period
+			if have, seen := tau[w]; seen {
+				if have != want {
+					return nil, 0, fmt.Errorf(
+						"automata: inconsistent cyclic classes at state %d (%d vs %d)", w, have, want)
+				}
+				continue
+			}
+			tau[w] = want
+			queue = append(queue, w)
+		}
+	}
+	if len(tau) != len(states) {
+		return nil, 0, errors.New("automata: class is not strongly connected")
+	}
+	return tau, period, nil
+}
+
+// HittingTimes returns the expected number of steps to reach state target
+// from every state, solving the first-step linear system
+//
+//	h[target] = 0,  h[i] = 1 + Σ_j P[i][j]·h[j]
+//
+// by Gauss-Seidel iteration (the chains here are tiny and substochastic
+// after removing the target, so the iteration converges geometrically).
+// States that cannot reach the target get +Inf. This is the quantity
+// Lemma 4.2 bounds by R₀ = p₀^{-2^b}·2^b·c·log D.
+func HittingTimes(m *Machine, target int) ([]float64, error) {
+	n := m.NumStates()
+	if target < 0 || target >= n {
+		return nil, fmt.Errorf("automata: target state %d out of range [0,%d)", target, n)
+	}
+	reach := reachSet(m, target)
+	h := make([]float64, n)
+	const (
+		iterations = 200000
+		tol        = 1e-12
+	)
+	for iter := 0; iter < iterations; iter++ {
+		var maxDelta float64
+		for i := 0; i < n; i++ {
+			if i == target || !reach[i] {
+				continue
+			}
+			sum := 1.0
+			for j := 0; j < n; j++ {
+				p := m.Prob(i, j)
+				if p == 0 || j == target {
+					continue
+				}
+				if !reach[j] {
+					// Mass escaping to a non-reaching state means i's
+					// hitting time is infinite in expectation.
+					sum = -1
+					break
+				}
+				sum += p * h[j]
+			}
+			if sum < 0 {
+				reach[i] = false
+				continue
+			}
+			if d := abs64f(sum - h[i]); d > maxDelta {
+				maxDelta = d
+			}
+			h[i] = sum
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	for i := range h {
+		if i != target && !reach[i] {
+			h[i] = math.Inf(1)
+		}
+	}
+	return h, nil
+}
+
+// reachSet marks the states from which target is reachable.
+func reachSet(m *Machine, target int) []bool {
+	n := m.NumStates()
+	// Build reverse adjacency once.
+	rev := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, j := range m.Successors(i) {
+			rev[j] = append(rev[j], i)
+		}
+	}
+	reach := make([]bool, n)
+	reach[target] = true
+	queue := []int{target}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range rev[u] {
+			if !reach[w] {
+				reach[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return reach
+}
+
+func abs64f(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

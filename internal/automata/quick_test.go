@@ -1,0 +1,229 @@
+package automata
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomMachine builds a valid machine from raw fuzz input: n states
+// (2..9), dyadic-ish probabilities derived from the seed. Labels cycle
+// through all six kinds so every structural case appears.
+func randomMachine(seed uint64, nRaw uint8) *Machine {
+	n := int(nRaw%8) + 2
+	src := rng.New(seed)
+	names := make([]string, n)
+	labels := make([]Label, n)
+	p := make([][]float64, n)
+	allLabels := []Label{LabelNone, LabelUp, LabelDown, LabelLeft, LabelRight, LabelOrigin}
+	for i := 0; i < n; i++ {
+		names[i] = string(rune('a' + i))
+		labels[i] = allLabels[int(src.Intn(int64(len(allLabels))))]
+		row := make([]float64, n)
+		// Pick 1..3 successors with random dyadic weights, normalized.
+		succ := int(src.Intn(3)) + 1
+		var total float64
+		for s := 0; s < succ; s++ {
+			j := int(src.Intn(int64(n)))
+			w := float64(src.Intn(7) + 1)
+			row[j] += w
+			total += w
+		}
+		for j := range row {
+			row[j] /= total
+		}
+		p[i] = row
+	}
+	m, err := New(names, labels, p, 0)
+	if err != nil {
+		panic("randomMachine produced invalid machine: " + err.Error())
+	}
+	return m
+}
+
+// TestAnalyzeInvariantsQuick checks the structural invariants of the
+// Markov-chain analysis over random machines:
+//
+//  1. there is at least one recurrent class;
+//  2. recurrent classes are closed (no edges leave them) and disjoint;
+//  3. every stationary distribution sums to 1 with non-negative entries
+//     and is a fixed point of P;
+//  4. drifts are within [-1, 1]²; move fractions within [0, 1];
+//  5. the period of each class divides every cycle length (spot-checked
+//     by verifying CyclicClasses' +1-mod-t edge property).
+func TestAnalyzeInvariantsQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		m := randomMachine(seed, nRaw)
+		a, err := Analyze(m)
+		if err != nil {
+			t.Logf("analyze failed: %v", err)
+			return false
+		}
+		if len(a.Recurrent) == 0 {
+			t.Log("no recurrent class")
+			return false
+		}
+		seen := make(map[int]bool)
+		for c, states := range a.Recurrent {
+			for _, s := range states {
+				if seen[s] {
+					t.Logf("state %d in two classes", s)
+					return false
+				}
+				seen[s] = true
+				if a.RecurrentID[s] != c {
+					t.Logf("RecurrentID mismatch at %d", s)
+					return false
+				}
+				for _, w := range m.Successors(s) {
+					if a.RecurrentID[w] != c {
+						t.Logf("class %d leaks via %d->%d", c, s, w)
+						return false
+					}
+				}
+			}
+			var sum float64
+			for _, v := range a.Stationary[c] {
+				if v < -1e-12 {
+					t.Logf("negative stationary entry %v", v)
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Logf("stationary sums to %v", sum)
+				return false
+			}
+			// Fixed-point check.
+			full := make([]float64, m.NumStates())
+			for k, s := range states {
+				full[s] = a.Stationary[c][k]
+			}
+			next, err := m.StepDistribution(full)
+			if err != nil {
+				return false
+			}
+			for i := range full {
+				if math.Abs(next[i]-full[i]) > 1e-6 {
+					t.Logf("not a fixed point at state %d: %v vs %v", i, full[i], next[i])
+					return false
+				}
+			}
+			d := a.Drift[c]
+			if math.Abs(d[0]) > 1+1e-9 || math.Abs(d[1]) > 1+1e-9 {
+				t.Logf("drift out of range: %v", d)
+				return false
+			}
+			if a.MoveFraction[c] < -1e-9 || a.MoveFraction[c] > 1+1e-9 {
+				t.Logf("move fraction out of range: %v", a.MoveFraction[c])
+				return false
+			}
+			tau, period, err := CyclicClasses(m, states)
+			if err != nil {
+				t.Logf("cyclic classes: %v", err)
+				return false
+			}
+			if period != a.Period[c] {
+				t.Logf("period mismatch: %d vs %d", period, a.Period[c])
+				return false
+			}
+			for _, s := range states {
+				for _, w := range m.Successors(s) {
+					if tau[w] != (tau[s]+1)%period {
+						t.Logf("cyclic class edge property violated at %d->%d", s, w)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChiBoundsQuick: χ = b + log ℓ is consistent with its parts for
+// random machines, and MinProb is attained by some entry.
+func TestChiBoundsQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		m := randomMachine(seed, nRaw)
+		b := m.MemoryBits()
+		if (1 << b) < m.NumStates() {
+			t.Logf("2^b = %d < |S| = %d", 1<<b, m.NumStates())
+			return false
+		}
+		minP := m.MinProb()
+		found := false
+		for i := 0; i < m.NumStates(); i++ {
+			for j := 0; j < m.NumStates(); j++ {
+				p := m.Prob(i, j)
+				if p > 0 && p < minP-1e-15 {
+					t.Logf("prob %v below reported min %v", p, minP)
+					return false
+				}
+				if math.Abs(p-minP) < 1e-15 {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Log("MinProb not attained")
+			return false
+		}
+		ell := m.Ell()
+		if ell < 1 {
+			return false
+		}
+		// 1/2^ℓ must lower-bound the min probability.
+		if minP < 1/math.Pow(2, float64(ell))-1e-12 {
+			t.Logf("ℓ = %d does not bound min prob %v", ell, minP)
+			return false
+		}
+		return m.Chi() == float64(b)+math.Log2(float64(ell))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWalkerStepCountQuick: a walker's moves never exceed its steps, and
+// positions change by at most one per step (the grid semantics).
+func TestWalkerStepCountQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, stepsRaw uint16) bool {
+		m := randomMachine(seed, nRaw)
+		w := NewWalker(m, rng.New(seed^0xabcdef))
+		steps := int(stepsRaw%2000) + 1
+		prev := w.Pos()
+		for i := 0; i < steps; i++ {
+			label := w.Step()
+			cur := w.Pos()
+			dx := cur.X - prev.X
+			dy := cur.Y - prev.Y
+			switch label {
+			case LabelUp, LabelDown, LabelLeft, LabelRight:
+				if abs(int(dx))+abs(int(dy)) != 1 {
+					t.Logf("move step displaced by (%d,%d)", dx, dy)
+					return false
+				}
+			case LabelNone:
+				if dx != 0 || dy != 0 {
+					t.Log("none step moved the agent")
+					return false
+				}
+			case LabelOrigin:
+				if cur.X != 0 || cur.Y != 0 {
+					t.Log("origin step did not reset position")
+					return false
+				}
+			}
+			prev = cur
+		}
+		return w.Moves() <= w.Steps() && w.Steps() == uint64(steps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

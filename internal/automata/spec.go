@@ -1,0 +1,141 @@
+package automata
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec is the JSON-serializable description of a machine, so that custom
+// agent automata can be defined in files and fed to the analysis tools
+// (cmd/antanalyze) without recompiling.
+//
+// Example:
+//
+//	{
+//	  "states": [
+//	    {"name": "scan", "label": "right"},
+//	    {"name": "rise", "label": "up"}
+//	  ],
+//	  "start": "scan",
+//	  "edges": [
+//	    {"from": "scan", "to": "scan", "p": 0.75},
+//	    {"from": "scan", "to": "rise", "p": 0.25},
+//	    {"from": "rise", "to": "scan", "p": 1}
+//	  ]
+//	}
+type Spec struct {
+	States []StateSpec `json:"states"`
+	Start  string      `json:"start"`
+	Edges  []EdgeSpec  `json:"edges"`
+}
+
+// StateSpec declares one state.
+type StateSpec struct {
+	Name string `json:"name"`
+	// Label is one of: none, up, down, left, right, origin.
+	Label string `json:"label"`
+}
+
+// EdgeSpec declares one transition.
+type EdgeSpec struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	P    float64 `json:"p"`
+}
+
+// ParseLabel converts a label name to its Label value.
+func ParseLabel(s string) (Label, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "":
+		return LabelNone, nil
+	case "up":
+		return LabelUp, nil
+	case "down":
+		return LabelDown, nil
+	case "left":
+		return LabelLeft, nil
+	case "right":
+		return LabelRight, nil
+	case "origin":
+		return LabelOrigin, nil
+	default:
+		return 0, fmt.Errorf("automata: unknown label %q (want none/up/down/left/right/origin)", s)
+	}
+}
+
+// Build validates the spec and constructs the machine.
+func (s *Spec) Build() (*Machine, error) {
+	if len(s.States) == 0 {
+		return nil, fmt.Errorf("automata: spec has no states")
+	}
+	b := NewBuilder()
+	for _, st := range s.States {
+		label, err := ParseLabel(st.Label)
+		if err != nil {
+			return nil, fmt.Errorf("automata: state %q: %w", st.Name, err)
+		}
+		b.State(st.Name, label)
+	}
+	b.Start(s.Start)
+	for _, e := range s.Edges {
+		if e.P < 0 {
+			return nil, fmt.Errorf("automata: edge %s->%s has negative probability %v", e.From, e.To, e.P)
+		}
+		b.Edge(e.From, e.To, e.P)
+	}
+	m, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ParseSpec decodes a JSON spec and builds the machine.
+func ParseSpec(data []byte) (*Machine, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("automata: decode spec: %w", err)
+	}
+	return s.Build()
+}
+
+// ToSpec exports the machine back to a serializable spec (inverse of
+// Spec.Build up to edge ordering).
+func (m *Machine) ToSpec() *Spec {
+	s := &Spec{Start: m.Name(m.Start())}
+	for i := 0; i < m.NumStates(); i++ {
+		s.States = append(s.States, StateSpec{
+			Name:  m.Name(i),
+			Label: m.Label(i).String(),
+		})
+	}
+	for i := 0; i < m.NumStates(); i++ {
+		for _, j := range m.Successors(i) {
+			s.Edges = append(s.Edges, EdgeSpec{
+				From: m.Name(i),
+				To:   m.Name(j),
+				P:    m.Prob(i, j),
+			})
+		}
+	}
+	sort.Slice(s.Edges, func(a, b int) bool {
+		if s.Edges[a].From != s.Edges[b].From {
+			return s.Edges[a].From < s.Edges[b].From
+		}
+		return s.Edges[a].To < s.Edges[b].To
+	})
+	return s
+}
+
+// MarshalSpec renders the machine's spec as indented JSON.
+func (m *Machine) MarshalSpec() ([]byte, error) {
+	data, err := json.MarshalIndent(m.ToSpec(), "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("automata: marshal spec: %w", err)
+	}
+	return data, nil
+}

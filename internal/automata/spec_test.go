@@ -1,0 +1,124 @@
+package automata
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const demoSpec = `{
+  "states": [
+    {"name": "scan", "label": "right"},
+    {"name": "rise", "label": "up"}
+  ],
+  "start": "scan",
+  "edges": [
+    {"from": "scan", "to": "scan", "p": 0.75},
+    {"from": "scan", "to": "rise", "p": 0.25},
+    {"from": "rise", "to": "scan", "p": 1}
+  ]
+}`
+
+func TestParseSpec(t *testing.T) {
+	m, err := ParseSpec([]byte(demoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 2 {
+		t.Fatalf("states = %d, want 2", m.NumStates())
+	}
+	if m.Name(m.Start()) != "scan" {
+		t.Errorf("start = %q", m.Name(m.Start()))
+	}
+	a, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stationary: scan 4/5, rise 1/5; drift = (0.75·0.8, 0.2)?? Check:
+	// π(scan) = 0.8, π(rise) = 0.2; drift x = 0.8, y = 0.2.
+	if math.Abs(a.Drift[0][0]-0.8) > 1e-6 || math.Abs(a.Drift[0][1]-0.2) > 1e-6 {
+		t.Errorf("drift = %v, want (0.8, 0.2)", a.Drift[0])
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"invalid json", `{`},
+		{"no states", `{"states": [], "start": "a", "edges": []}`},
+		{"bad label", `{"states": [{"name":"a","label":"sideways"}], "start": "a",
+			"edges": [{"from":"a","to":"a","p":1}]}`},
+		{"unknown field", `{"states": [{"name":"a","label":"up"}], "start": "a",
+			"edges": [{"from":"a","to":"a","p":1}], "bogus": 1}`},
+		{"negative prob", `{"states": [{"name":"a","label":"up"}], "start": "a",
+			"edges": [{"from":"a","to":"a","p":-1}]}`},
+		{"missing start", `{"states": [{"name":"a","label":"up"}], "start": "zz",
+			"edges": [{"from":"a","to":"a","p":1}]}`},
+		{"sub-stochastic", `{"states": [{"name":"a","label":"up"}], "start": "a",
+			"edges": [{"from":"a","to":"a","p":0.5}]}`},
+		{"unknown edge endpoint", `{"states": [{"name":"a","label":"up"}], "start": "a",
+			"edges": [{"from":"a","to":"ghost","p":1}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSpec([]byte(tc.data)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestParseLabelAll(t *testing.T) {
+	for _, name := range []string{"none", "up", "down", "left", "right", "origin", "UP", " left "} {
+		if _, err := ParseLabel(name); err != nil {
+			t.Errorf("ParseLabel(%q): %v", name, err)
+		}
+	}
+	if l, err := ParseLabel(""); err != nil || l != LabelNone {
+		t.Errorf("empty label should default to none, got %v/%v", l, err)
+	}
+	if _, err := ParseLabel("diagonal"); err == nil {
+		t.Error("bad label should fail")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	machines := []*Machine{RandomWalk(), ZigZag(), TwoClassMachine()}
+	for _, m := range machines {
+		data, err := m.MarshalSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("round trip parse: %v\n%s", err, data)
+		}
+		if back.NumStates() != m.NumStates() {
+			t.Errorf("round trip changed state count: %d vs %d", back.NumStates(), m.NumStates())
+		}
+		for i := 0; i < m.NumStates(); i++ {
+			if back.Name(i) != m.Name(i) || back.Label(i) != m.Label(i) {
+				t.Errorf("state %d changed: %s/%v vs %s/%v",
+					i, back.Name(i), back.Label(i), m.Name(i), m.Label(i))
+			}
+			for j := 0; j < m.NumStates(); j++ {
+				if math.Abs(back.Prob(i, j)-m.Prob(i, j)) > 1e-12 {
+					t.Errorf("P[%d][%d] changed: %v vs %v", i, j, back.Prob(i, j), m.Prob(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestMarshalSpecIsIndentedJSON(t *testing.T) {
+	data, err := RandomWalk().MarshalSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\n  ") {
+		t.Error("spec JSON is not indented")
+	}
+	if !strings.Contains(string(data), `"start": "origin"`) {
+		t.Errorf("spec missing start: %s", data)
+	}
+}

@@ -1,0 +1,96 @@
+package automata
+
+import (
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// Walker executes a Machine against a random source, producing the induced
+// walk on the grid. It implements the paper's execution semantics: each
+// step is one Markov-chain transition; states labeled up/down/left/right
+// move the agent, none does nothing, and origin teleports the agent to the
+// origin (the oracle return, whose path length the paper's accounting
+// excludes).
+type Walker struct {
+	m   *Machine
+	src *rng.Source
+
+	state int
+	pos   grid.Point
+
+	steps uint64
+	moves uint64
+}
+
+// NewWalker returns a walker at the machine's start state and the origin.
+func NewWalker(m *Machine, src *rng.Source) *Walker {
+	return &Walker{m: m, src: src, state: m.Start()}
+}
+
+// Machine returns the machine being walked.
+func (w *Walker) Machine() *Machine { return w.m }
+
+// State returns the current state index.
+func (w *Walker) State() int { return w.state }
+
+// Pos returns the walker's current grid position.
+func (w *Walker) Pos() grid.Point { return w.pos }
+
+// Steps returns the number of Markov-chain transitions taken.
+func (w *Walker) Steps() uint64 { return w.steps }
+
+// Moves returns the number of grid moves taken (steps whose destination
+// state is labeled up/down/left/right).
+func (w *Walker) Moves() uint64 { return w.moves }
+
+// Step performs one Markov-chain transition and applies the destination
+// state's grid action. It returns the label of the new state.
+func (w *Walker) Step() Label {
+	w.state = w.sample(w.state)
+	w.steps++
+	label := w.m.Label(w.state)
+	switch label {
+	case LabelUp, LabelDown, LabelLeft, LabelRight:
+		d, _ := label.Direction()
+		w.pos = w.pos.Move(d)
+		w.moves++
+	case LabelOrigin:
+		w.pos = grid.Origin
+	}
+	return label
+}
+
+// sample draws the successor of state i from row i of the transition
+// matrix by inverse-CDF sampling.
+func (w *Walker) sample(i int) int {
+	u := w.src.Float64()
+	var acc float64
+	n := w.m.NumStates()
+	for j := 0; j < n; j++ {
+		p := w.m.Prob(i, j)
+		if p == 0 {
+			continue
+		}
+		acc += p
+		if u < acc {
+			return j
+		}
+	}
+	// Float rounding can leave u just above the accumulated mass; return
+	// the last state with non-zero probability.
+	for j := n - 1; j >= 0; j-- {
+		if w.m.Prob(i, j) > 0 {
+			return j
+		}
+	}
+	return i
+}
+
+// Reset returns the walker to the start state and the origin and clears its
+// counters. The random source is not reset.
+func (w *Walker) Reset() {
+	w.state = w.m.Start()
+	w.pos = grid.Origin
+	w.steps = 0
+	w.moves = 0
+}

@@ -1,0 +1,245 @@
+// Package baseline implements the comparison algorithms the paper measures
+// its contribution against:
+//
+//   - PureRandomWalk — the uniform random walk; Alon et al. bound its
+//     multi-agent speed-up by min{log n, D}, the paper's motivating
+//     negative example.
+//   - Spiral — the deterministic single-agent square spiral, which is
+//     move-optimal for one agent (Θ(D²) worst case) but gains nothing from
+//     extra agents.
+//   - Feinerman — a harmonic-search-style algorithm in the spirit of
+//     Feinerman et al. [12]: the agent knows n, repeatedly picks a uniform
+//     random cell within a doubling distance estimate, walks there, and
+//     spirals over a patch of ≈ estimate²/n cells. It achieves the optimal
+//     O(D²/n + D) expected moves but needs Θ(log D) memory bits to store
+//     coordinates, i.e. χ = Θ(log D) — the selection-complexity price the
+//     paper's algorithms avoid.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+// PureRandomWalk is the uniform random walk program: every move picks one
+// of the four directions with probability 1/4. It never returns to the
+// origin.
+type PureRandomWalk struct{}
+
+var _ sim.Program = PureRandomWalk{}
+
+// RandomWalkFactory returns a factory for the uniform random walk.
+func RandomWalkFactory() sim.Factory {
+	return func() sim.Program { return PureRandomWalk{} }
+}
+
+// Run implements sim.Program.
+func (PureRandomWalk) Run(env *sim.Env) error {
+	src := env.Src()
+	for !env.Done() {
+		if err := env.Move(grid.Directions[src.Intn(4)]); err != nil {
+			if errors.Is(err, sim.ErrBudget) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Audit reports the walk's selection complexity: a single state per
+// direction (b = 2) and probabilities of 1/4 (ℓ = 2).
+func (PureRandomWalk) Audit() search.Audit {
+	return search.Audit{
+		Algorithm: "random-walk",
+		Ell:       2,
+		Registers: []search.Register{{Name: "direction state", Bits: 2}},
+		B:         2,
+	}
+}
+
+// Spiral is the deterministic square spiral: right 1, up 1, left 2, down 2,
+// right 3, ... It visits every cell of the ball of radius r within
+// (2r+1)² + O(r) moves and is the classic single-agent baseline.
+type Spiral struct{}
+
+var _ sim.Program = Spiral{}
+
+// SpiralFactory returns a factory for the spiral program.
+func SpiralFactory() sim.Factory {
+	return func() sim.Program { return Spiral{} }
+}
+
+// Run implements sim.Program.
+func (Spiral) Run(env *sim.Env) error {
+	err := spiralFrom(env, -1)
+	if errors.Is(err, sim.ErrBudget) {
+		return nil
+	}
+	return err
+}
+
+// spiralFrom walks a square spiral from the current position, stopping when
+// the environment is done, when the budget runs out, or after maxMoves
+// moves (maxMoves < 0 means unbounded).
+func spiralFrom(env *sim.Env, maxMoves int64) error {
+	dirs := [4]grid.Direction{grid.Right, grid.Up, grid.Left, grid.Down}
+	var done int64
+	for leg := int64(1); ; leg++ {
+		for rep := 0; rep < 2; rep++ { // two legs per length: e.g. right then up
+			d := dirs[int(2*(leg-1)+int64(rep))%4]
+			for s := int64(0); s < leg; s++ {
+				if env.Done() {
+					return nil
+				}
+				if maxMoves >= 0 && done >= maxMoves {
+					return nil
+				}
+				if err := env.Move(d); err != nil {
+					return err
+				}
+				done++
+			}
+		}
+	}
+}
+
+// Audit reports the spiral's selection complexity: it is deterministic
+// (ℓ = 1) but must count leg lengths up to D, so b = Θ(log D).
+func (Spiral) AuditForDistance(d int64) search.Audit {
+	bits := search.CeilLog2(d) + 2
+	return search.Audit{
+		Algorithm: "spiral",
+		Ell:       1,
+		Registers: []search.Register{
+			{Name: "leg length counter", Bits: bits},
+			{Name: "direction + phase", Bits: 3},
+		},
+		B: bits + 3,
+	}
+}
+
+// Feinerman is the harmonic-search-style baseline: phase i = 1, 2, ...
+// doubles the distance estimate Dᵢ = 2^i; within a phase the agent picks a
+// uniformly random cell p with ‖p‖ ≤ Dᵢ, walks to it directly, spirals over
+// ≈ 4·Dᵢ²/n + Dᵢ cells, and returns to the origin. Knowing n, the patch
+// sizes partition the ball among agents, giving the optimal O(D²/n + D)
+// expected moves (the bound of [12]) at the cost of Θ(log D) memory.
+type Feinerman struct {
+	n int
+}
+
+var _ sim.Program = (*Feinerman)(nil)
+
+// NewFeinerman configures the baseline for n agents.
+func NewFeinerman(n int) (*Feinerman, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: agent count %d must be positive", n)
+	}
+	return &Feinerman{n: n}, nil
+}
+
+// FeinermanFactory returns a factory for the configuration.
+func FeinermanFactory(n int) (sim.Factory, error) {
+	p, err := NewFeinerman(n)
+	if err != nil {
+		return nil, err
+	}
+	return func() sim.Program { return p }, nil
+}
+
+// Run implements sim.Program.
+func (p *Feinerman) Run(env *sim.Env) error {
+	src := env.Src()
+	for phase := uint(1); !env.Done(); phase++ {
+		if phase > 40 {
+			phase = 40 // clamp the estimate; budgets end runs long before
+		}
+		di := int64(1) << phase
+		patch := 4*di*di/int64(p.n) + di
+		// Repeat enough probes that the n agents together cover the ball
+		// w.h.p.: each probe covers patch cells of ~(2Dᵢ+1)² ≈ 4Dᵢ².
+		probes := int64(4)
+		for r := int64(0); r < probes && !env.Done(); r++ {
+			dest := grid.Point{
+				X: src.Intn(2*di+1) - di,
+				Y: src.Intn(2*di+1) - di,
+			}
+			if err := walkTo(env, dest); err != nil {
+				if errors.Is(err, sim.ErrBudget) {
+					return nil
+				}
+				return err
+			}
+			if env.Done() {
+				return nil
+			}
+			if err := spiralFrom(env, patch); err != nil {
+				if errors.Is(err, sim.ErrBudget) {
+					return nil
+				}
+				return err
+			}
+			if env.Done() {
+				return nil
+			}
+			env.ReturnToOrigin()
+		}
+	}
+	return nil
+}
+
+// AuditForDistance reports the Θ(log D) memory account of the baseline.
+func (p *Feinerman) AuditForDistance(d int64) search.Audit {
+	coord := search.CeilLog2(2*d+1) + 1
+	regs := []search.Register{
+		{Name: "destination x", Bits: coord},
+		{Name: "destination y", Bits: coord},
+		{Name: "spiral counter", Bits: coord + 2},
+		{Name: "control", Bits: 3},
+	}
+	b := 0
+	for _, r := range regs {
+		b += r.Bits
+	}
+	return search.Audit{
+		Algorithm: "feinerman",
+		Ell:       uint(coord), // uniform cell choice uses probabilities ~1/2^{log D}
+		Registers: regs,
+		B:         b,
+	}
+}
+
+// walkTo moves the agent from its current position to dest along an L-path
+// (x first, then y).
+func walkTo(env *sim.Env, dest grid.Point) error {
+	for env.Pos().X != dest.X {
+		d := grid.Right
+		if env.Pos().X > dest.X {
+			d = grid.Left
+		}
+		if err := env.Move(d); err != nil {
+			return err
+		}
+		if env.Done() {
+			return nil
+		}
+	}
+	for env.Pos().Y != dest.Y {
+		d := grid.Up
+		if env.Pos().Y > dest.Y {
+			d = grid.Down
+		}
+		if err := env.Move(d); err != nil {
+			return err
+		}
+		if env.Done() {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/automata"
+	"repro/internal/lowerbound"
+)
+
+// e6 reproduces Theorem 4.1 / Corollary 4.11 empirically: machines with
+// χ ≤ log log D − ω(1) cover only o(D²) of the D-ball in D² steps and miss
+// an adversarially placed target. Every machine in the family is analyzed
+// (drift lines per recurrent class) and then simulated with n agents.
+func e6() Experiment {
+	return Experiment{
+		ID:    "E6",
+		Title: "Lower bound: low-χ machines cover o(D²) and miss adversarial targets",
+		Claim: "Theorem 4.1 and Corollary 4.11",
+		Run:   runE6,
+	}
+}
+
+// e6Machines builds the machine family the lower bound is evaluated on.
+func e6Machines() (map[string]*automata.Machine, []string, error) {
+	biased, err := automata.BiasedWalk(0.5, 0.125, 0.125, 0.25)
+	if err != nil {
+		return nil, nil, err
+	}
+	drift2, err := automata.DriftLineMachine(2)
+	if err != nil {
+		return nil, nil, err
+	}
+	drift4, err := automata.DriftLineMachine(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	lazy, err := automata.LazyBiasedWalk(0.5, 0.25, 0.25, 0.25, 0.25)
+	if err != nil {
+		return nil, nil, err
+	}
+	machines := map[string]*automata.Machine{
+		"random-walk": automata.RandomWalk(),
+		"biased-walk": biased,
+		"zigzag":      automata.ZigZag(),
+		"drift-2bit":  drift2,
+		"drift-4bit":  drift4,
+		"lazy-walk":   lazy,
+		"two-class":   automata.TwoClassMachine(),
+	}
+	order := []string{"random-walk", "lazy-walk", "biased-walk", "zigzag",
+		"drift-2bit", "drift-4bit", "two-class"}
+	return machines, order, nil
+}
+
+func runE6(cfg Config) ([]*Table, error) {
+	ds := []int64{32, 64, 128}
+	agents := 8
+	if cfg.Quick {
+		ds = []int64{32, 64}
+		agents = 4
+	}
+	machines, order, err := e6Machines()
+	if err != nil {
+		return nil, err
+	}
+
+	table := &Table{
+		Title:   "E6: coverage of the D-ball within D² steps (n agents, union)",
+		Columns: []string{"machine", "χ", "D", "log log D", "coverage", "cells", "adversarial_found"},
+	}
+	for _, name := range order {
+		m := machines[name]
+		for _, d := range ds {
+			res, err := lowerbound.MeasureCoverage(m, lowerbound.CoverageConfig{
+				D:         d,
+				NumAgents: agents,
+				Workers:   cfg.Workers,
+			}, cfg.Seed+uint64(d))
+			if err != nil {
+				return nil, fmt.Errorf("E6 %s D=%d: %w", name, d, err)
+			}
+			table.AddRow(name, m.Chi(), d, math.Log2(math.Log2(float64(d))),
+				res.Fraction, res.Cells, res.FoundAdversarial)
+		}
+	}
+	table.Notes = append(table.Notes,
+		"coverage fractions shrink as D grows (o(D²) cells visited in Θ(D²) steps)",
+		"adversarial_found stays false for the drift machines: the target sits off every drift line")
+
+	dev := &Table{
+		Title:   "E6b: concentration around the drift line (Corollary 4.10)",
+		Columns: []string{"machine", "steps", "max_deviation", "deviation/steps", "final_distance"},
+	}
+	steps := uint64(100000)
+	if cfg.Quick {
+		steps = 20000
+	}
+	for _, name := range []string{"random-walk", "biased-walk", "drift-2bit", "drift-4bit"} {
+		res, err := lowerbound.MeasureDeviation(machines[name], steps, cfg.Seed+99)
+		if err != nil {
+			return nil, fmt.Errorf("E6b %s: %w", name, err)
+		}
+		dev.AddRow(name, res.Steps, res.MaxDeviation,
+			res.MaxDeviation/float64(res.Steps), res.FinalDistance)
+	}
+	dev.Notes = append(dev.Notes,
+		"deviation/steps ≪ 1 for every machine: positions concentrate around r·drift, the heart of Theorem 4.1")
+
+	params := &Table{
+		Title:   "E6c: Section 4 proof quantities instantiated (c = 1)",
+		Columns: []string{"machine", "D", "b", "|S|", "p0", "χ", "R0", "β", "Δ", "applicable"},
+	}
+	dParams := ds[len(ds)-1]
+	for _, name := range order {
+		m := machines[name]
+		tp, err := lowerbound.ComputeParams(m, dParams)
+		if err != nil {
+			return nil, fmt.Errorf("E6c %s: %w", name, err)
+		}
+		params.AddRow(name, dParams, tp.B, tp.NumState,
+			fmt.Sprintf("%.3g", tp.P0), tp.Chi,
+			fmt.Sprintf("%.3g", tp.R0), fmt.Sprintf("%.3g", tp.Beta),
+			fmt.Sprintf("%.3g", tp.Delta), tp.Applicable)
+	}
+	params.Notes = append(params.Notes,
+		"R0 (Lemma 4.2) and β (mixing block) stay D^{o(1)} exactly for the applicable machines;",
+		"Δ is the concrete D^{2−o(1)} horizon the coverage table above runs against")
+	return []*Table{table, dev, params}, nil
+}

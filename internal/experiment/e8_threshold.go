@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/automata"
+	"repro/internal/lowerbound"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+// e8 probes the χ threshold itself: log log D is where searchability
+// switches on. Below it (drift machines with b < log log D bits, χ small)
+// agents cover o(D²) and miss adversarial targets; just above it the
+// paper's Non-Uniform-Search (χ = log log D + O(1)) finds every target in
+// O(D²/n + D) moves.
+func e8() Experiment {
+	return Experiment{
+		ID:    "E8",
+		Title: "The log log D threshold for selection complexity",
+		Claim: "Theorem 4.1 (below threshold) vs Theorem 3.7 (above threshold)",
+		Run:   runE8,
+	}
+}
+
+func runE8(cfg Config) ([]*Table, error) {
+	d := int64(128)
+	agents := 8
+	trials := 20
+	if cfg.Quick {
+		d = 64
+		agents = 4
+		trials = 8
+	}
+	loglogD := math.Log2(math.Log2(float64(d)))
+
+	table := &Table{
+		Title: fmt.Sprintf(
+			"E8: search success across the χ spectrum at D = %d (log log D = %.2f)", d, loglogD),
+		Columns: []string{"machine", "b", "ℓ", "χ", "side", "coverage", "found_frac", "mean_moves"},
+	}
+
+	// Below the threshold: drift machines with growing state budgets. All
+	// of them have a single drift line, so coverage stays o(D²) no matter
+	// how many bits they spend.
+	for _, bits := range []int{1, 2, 3, 4, 6} {
+		m, err := automata.DriftLineMachine(bits)
+		if err != nil {
+			return nil, err
+		}
+		res, err := lowerbound.MeasureCoverage(m, lowerbound.CoverageConfig{
+			D:         d,
+			NumAgents: agents,
+			Workers:   cfg.Workers,
+		}, cfg.Seed+uint64(bits))
+		if err != nil {
+			return nil, fmt.Errorf("E8 drift-%dbit: %w", bits, err)
+		}
+		foundFrac := 0.0
+		if res.FoundAdversarial {
+			foundFrac = 1
+		}
+		table.AddRow(fmt.Sprintf("drift-%dbit", bits), bits, m.Ell(), m.Chi(),
+			"below", res.Fraction, foundFrac, "-")
+	}
+	// The diffusive extreme.
+	rw := automata.RandomWalk()
+	res, err := lowerbound.MeasureCoverage(rw, lowerbound.CoverageConfig{
+		D:         d,
+		NumAgents: agents,
+		Workers:   cfg.Workers,
+	}, cfg.Seed+50)
+	if err != nil {
+		return nil, err
+	}
+	rwFound := 0.0
+	if res.FoundAdversarial {
+		rwFound = 1
+	}
+	table.AddRow("random-walk", 3, rw.Ell(), rw.Chi(), "below", res.Fraction, rwFound, "-")
+
+	// Above the threshold: the paper's algorithm with χ = log log D + O(1)
+	// finds adversarially placed corner targets reliably.
+	prog, err := search.NewNonUniform(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := search.NonUniformFactory(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.RunPlacedTrials(sim.Config{
+		NumAgents:  agents,
+		MoveBudget: uint64(d*d) * 512,
+		Workers:    cfg.Workers,
+	}, sim.PlaceCorner, d, factory, trials, cfg.Seed+51)
+	if err != nil {
+		return nil, err
+	}
+	a := prog.Audit()
+	table.AddRow("non-uniform-search", a.B, a.Ell, a.Chi(), "above",
+		"-", st.FoundFrac, meanOf(st.Moves))
+
+	table.Notes = append(table.Notes,
+		"below the threshold, spending more bits on a single drift line buys nothing: coverage stays o(D²), adversarial targets are missed",
+		"above it, χ = log log D + O(1) suffices for guaranteed fast search — the paper's headline trade-off")
+	return []*Table{table}, nil
+}

@@ -1,0 +1,154 @@
+// Package experiment is the reproduction harness: it defines the registry
+// of experiments E1–E8 (one per quantitative claim of the paper, see
+// DESIGN.md §4 and EXPERIMENTS.md), parameter sweeps, and plain-text/CSV
+// table rendering.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed is the root seed; all randomness derives from it.
+	Seed uint64
+	// Quick shrinks sweeps and trial counts for CI-speed runs.
+	Quick bool
+	// Workers bounds simulation concurrency (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes holds free-form observations (fit exponents, verdicts).
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Render formats the table as aligned monospace text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting; cells never
+// contain commas).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment is one registered reproduction experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	// Claim is the paper statement being reproduced.
+	Claim string
+	Run   func(cfg Config) ([]*Table, error)
+}
+
+// Registry returns all experiments in id order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
+		ab1(), ab2(), ab3(), ab4(), s1(),
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Lookup returns the experiment with the given id (case-insensitive), or
+// an error listing the valid ids.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("experiment: unknown id %q (valid: %s)", id, strings.Join(ids, ", "))
+}
+
+// meanOf returns the arithmetic mean of xs, or 0 for an empty slice.
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,90 @@
+package grid
+
+// CountSet records how many times each grid point was visited (VisitSet's
+// multiplicity-aware sibling). It backs visit-density heat-maps: drift
+// machines hammer the same thin ray over and over, diffusive walks smear
+// their budget thinly — a distinction plain visited/not-visited rendering
+// cannot show.
+//
+// CountSet is not safe for concurrent use; wrap it behind a lock when
+// several agents share one (see viz.DensityHook).
+type CountSet struct {
+	r      int64
+	side   int64
+	dense  []uint32
+	sparse map[Point]uint64
+	total  uint64
+}
+
+// NewCountSet returns a count set with a dense window of radius r.
+func NewCountSet(r int64) *CountSet {
+	if r < 0 {
+		r = 0
+	}
+	side := 2*r + 1
+	return &CountSet{
+		r:     r,
+		side:  side,
+		dense: make([]uint32, side*side),
+	}
+}
+
+// Radius returns the dense-window radius.
+func (c *CountSet) Radius() int64 { return c.r }
+
+func (c *CountSet) denseIndex(p Point) (int64, bool) {
+	if p.Norm() > c.r {
+		return 0, false
+	}
+	return (p.Y+c.r)*c.side + (p.X + c.r), true
+}
+
+// Visit increments p's count and the total.
+func (c *CountSet) Visit(p Point) {
+	c.total++
+	if idx, ok := c.denseIndex(p); ok {
+		// Saturate rather than wrap on pathological 4-billion-visit cells.
+		if c.dense[idx] != ^uint32(0) {
+			c.dense[idx]++
+		}
+		return
+	}
+	if c.sparse == nil {
+		c.sparse = make(map[Point]uint64)
+	}
+	c.sparse[p]++
+}
+
+// Count returns the number of visits to p.
+func (c *CountSet) Count(p Point) uint64 {
+	if idx, ok := c.denseIndex(p); ok {
+		return uint64(c.dense[idx])
+	}
+	return c.sparse[p]
+}
+
+// Total returns the total number of recorded visits.
+func (c *CountSet) Total() uint64 { return c.total }
+
+// MaxCount returns the largest per-cell count inside the dense window.
+func (c *CountSet) MaxCount() uint64 {
+	var maxC uint32
+	for _, v := range c.dense {
+		if v > maxC {
+			maxC = v
+		}
+	}
+	return uint64(maxC)
+}
+
+// Distinct returns the number of distinct cells visited inside the dense
+// window.
+func (c *CountSet) Distinct() int64 {
+	var n int64
+	for _, v := range c.dense {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+package grid
+
+import "testing"
+
+func TestCountSetBasic(t *testing.T) {
+	c := NewCountSet(4)
+	p := Point{X: 1, Y: -1}
+	if c.Count(p) != 0 {
+		t.Error("fresh cell has non-zero count")
+	}
+	c.Visit(p)
+	c.Visit(p)
+	c.Visit(Point{X: 0, Y: 2})
+	if got := c.Count(p); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if c.Total() != 3 {
+		t.Errorf("Total = %d, want 3", c.Total())
+	}
+	if c.MaxCount() != 2 {
+		t.Errorf("MaxCount = %d, want 2", c.MaxCount())
+	}
+	if c.Distinct() != 2 {
+		t.Errorf("Distinct = %d, want 2", c.Distinct())
+	}
+}
+
+func TestCountSetSparse(t *testing.T) {
+	c := NewCountSet(2)
+	far := Point{X: 50, Y: 50}
+	c.Visit(far)
+	c.Visit(far)
+	if c.Count(far) != 2 {
+		t.Errorf("sparse count = %d, want 2", c.Count(far))
+	}
+	if c.Total() != 2 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	// Sparse cells do not contribute to the dense MaxCount/Distinct.
+	if c.MaxCount() != 0 || c.Distinct() != 0 {
+		t.Errorf("dense stats include sparse cells: max=%d distinct=%d", c.MaxCount(), c.Distinct())
+	}
+}
+
+func TestCountSetNegativeRadius(t *testing.T) {
+	c := NewCountSet(-1)
+	if c.Radius() != 0 {
+		t.Errorf("Radius = %d, want 0", c.Radius())
+	}
+	c.Visit(Origin)
+	if c.Count(Origin) != 1 {
+		t.Error("origin count broken")
+	}
+}

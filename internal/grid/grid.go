@@ -1,0 +1,205 @@
+// Package grid provides the two-dimensional integer lattice Z^2 that the
+// ANTS search problem is played on: points, the max-norm distance used by
+// the paper, the four grid directions, and helpers for enumerating and
+// sampling target positions within a given distance of the origin.
+package grid
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Point is a lattice point of Z^2.
+type Point struct {
+	X int64
+	Y int64
+}
+
+// Origin is the starting point of every agent.
+var Origin = Point{}
+
+// String renders the point as "(x,y)".
+func (p Point) String() string {
+	return "(" + strconv.FormatInt(p.X, 10) + "," + strconv.FormatInt(p.Y, 10) + ")"
+}
+
+// Add returns the component-wise sum p + q.
+func (p Point) Add(q Point) Point {
+	return Point{X: p.X + q.X, Y: p.Y + q.Y}
+}
+
+// Sub returns the component-wise difference p - q.
+func (p Point) Sub(q Point) Point {
+	return Point{X: p.X - q.X, Y: p.Y - q.Y}
+}
+
+// Norm returns the max-norm (Chebyshev norm) of p, the distance measure the
+// paper uses; it is a constant-factor approximation of the hop distance.
+func (p Point) Norm() int64 {
+	return max(abs64(p.X), abs64(p.Y))
+}
+
+// L1Norm returns the Manhattan norm of p, the exact hop distance in the grid.
+func (p Point) L1Norm() int64 {
+	return abs64(p.X) + abs64(p.Y)
+}
+
+// Dist returns the max-norm distance between p and q.
+func Dist(p, q Point) int64 {
+	return p.Sub(q).Norm()
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Direction is one of the four grid moves.
+type Direction int
+
+// The four directions, starting at 1 so that the zero value is invalid.
+const (
+	Up Direction = iota + 1
+	Down
+	Left
+	Right
+)
+
+// Directions lists all four directions in a fixed order.
+var Directions = [4]Direction{Up, Down, Left, Right}
+
+// String returns the lower-case name of the direction.
+func (d Direction) String() string {
+	switch d {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	case Left:
+		return "left"
+	case Right:
+		return "right"
+	default:
+		return "direction(" + strconv.Itoa(int(d)) + ")"
+	}
+}
+
+// Valid reports whether d is one of the four grid directions.
+func (d Direction) Valid() bool {
+	return d >= Up && d <= Right
+}
+
+// Delta returns the unit vector of the direction.
+func (d Direction) Delta() Point {
+	switch d {
+	case Up:
+		return Point{X: 0, Y: 1}
+	case Down:
+		return Point{X: 0, Y: -1}
+	case Left:
+		return Point{X: -1, Y: 0}
+	case Right:
+		return Point{X: 1, Y: 0}
+	default:
+		return Point{}
+	}
+}
+
+// Opposite returns the direction pointing the other way.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case Up:
+		return Down
+	case Down:
+		return Up
+	case Left:
+		return Right
+	case Right:
+		return Left
+	default:
+		return 0
+	}
+}
+
+// Move returns the neighbouring point of p in direction d.
+func (p Point) Move(d Direction) Point {
+	return p.Add(d.Delta())
+}
+
+// BallSize returns the number of grid points at max-norm distance at most d
+// from the origin, i.e. (2d+1)^2.
+func BallSize(d int64) int64 {
+	side := 2*d + 1
+	return side * side
+}
+
+// SphereSize returns the number of grid points at max-norm distance exactly
+// d from the origin: 8d for d > 0 and 1 for d = 0.
+func SphereSize(d int64) int64 {
+	if d == 0 {
+		return 1
+	}
+	return 8 * d
+}
+
+// BallPoints enumerates every point at max-norm distance at most d from the
+// origin, calling fn for each. Enumeration order is row-major. If fn returns
+// false the enumeration stops early.
+func BallPoints(d int64, fn func(Point) bool) {
+	for y := -d; y <= d; y++ {
+		for x := -d; x <= d; x++ {
+			if !fn(Point{X: x, Y: y}) {
+				return
+			}
+		}
+	}
+}
+
+// SpherePoint returns the i-th point (0-based, counter-clockwise from the
+// right-middle corner column) at max-norm distance exactly d from the
+// origin. It panics if i is out of range; callers index with i in
+// [0, SphereSize(d)).
+func SpherePoint(d, i int64) Point {
+	if d == 0 {
+		if i != 0 {
+			panic(fmt.Sprintf("grid: sphere index %d out of range for d=0", i))
+		}
+		return Point{}
+	}
+	n := SphereSize(d)
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("grid: sphere index %d out of range for d=%d", i, d))
+	}
+	side := 2 * d // points per edge, excluding one shared corner
+	switch edge := i / side; edge {
+	case 0: // right edge, bottom to top: x = d, y from -d to d-1
+		return Point{X: d, Y: -d + i%side}
+	case 1: // top edge, right to left: y = d, x from d to -d+1
+		return Point{X: d - i%side, Y: d}
+	case 2: // left edge, top to bottom: x = -d, y from d to -d+1
+		return Point{X: -d, Y: d - i%side}
+	default: // bottom edge, left to right: y = -d, x from -d to d-1
+		return Point{X: -d + i%side, Y: -d}
+	}
+}
+
+// Clamp returns p restricted to the ball of radius d around the origin,
+// moving each out-of-range coordinate to the nearest boundary value.
+func (p Point) Clamp(d int64) Point {
+	q := p
+	if q.X > d {
+		q.X = d
+	}
+	if q.X < -d {
+		q.X = -d
+	}
+	if q.Y > d {
+		q.Y = d
+	}
+	if q.Y < -d {
+		q.Y = -d
+	}
+	return q
+}

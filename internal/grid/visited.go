@@ -1,0 +1,129 @@
+package grid
+
+import "math/bits"
+
+// VisitSet records which grid points have been visited. It combines a dense
+// bitmap for the window [-r, r]^2 around the origin (the region the
+// experiments care about) with a sparse map for the rare excursions beyond
+// it, so that coverage statistics over the D-ball are cheap while remaining
+// exact for arbitrary walks.
+//
+// VisitSet is not safe for concurrent use; the simulation engine gives each
+// worker its own set and merges afterwards.
+type VisitSet struct {
+	r      int64
+	side   int64
+	dense  []uint64
+	sparse map[Point]struct{}
+	count  int64 // total distinct points visited
+	inBall int64 // distinct points visited with norm <= r
+}
+
+// NewVisitSet returns a visit set with a dense window of radius r.
+// A radius of 0 still tracks the origin densely.
+func NewVisitSet(r int64) *VisitSet {
+	if r < 0 {
+		r = 0
+	}
+	side := 2*r + 1
+	words := (side*side + 63) / 64
+	return &VisitSet{
+		r:     r,
+		side:  side,
+		dense: make([]uint64, words),
+	}
+}
+
+// Radius returns the dense-window radius the set was created with.
+func (v *VisitSet) Radius() int64 { return v.r }
+
+func (v *VisitSet) denseIndex(p Point) (word, bit int64, ok bool) {
+	if p.Norm() > v.r {
+		return 0, 0, false
+	}
+	idx := (p.Y+v.r)*v.side + (p.X + v.r)
+	return idx / 64, idx % 64, true
+}
+
+// Visit marks p as visited and reports whether it was newly visited.
+func (v *VisitSet) Visit(p Point) bool {
+	if word, bit, ok := v.denseIndex(p); ok {
+		mask := uint64(1) << uint(bit)
+		if v.dense[word]&mask != 0 {
+			return false
+		}
+		v.dense[word] |= mask
+		v.count++
+		v.inBall++
+		return true
+	}
+	if v.sparse == nil {
+		v.sparse = make(map[Point]struct{})
+	}
+	if _, seen := v.sparse[p]; seen {
+		return false
+	}
+	v.sparse[p] = struct{}{}
+	v.count++
+	return true
+}
+
+// Contains reports whether p has been visited.
+func (v *VisitSet) Contains(p Point) bool {
+	if word, bit, ok := v.denseIndex(p); ok {
+		return v.dense[word]&(uint64(1)<<uint(bit)) != 0
+	}
+	_, seen := v.sparse[p]
+	return seen
+}
+
+// Count returns the number of distinct visited points.
+func (v *VisitSet) Count() int64 { return v.count }
+
+// CountInBall returns the number of distinct visited points with max-norm at
+// most the dense radius. It is the numerator of the coverage fraction used
+// by the lower-bound experiments.
+func (v *VisitSet) CountInBall() int64 { return v.inBall }
+
+// CoverageFraction returns the fraction of the dense window's points that
+// have been visited.
+func (v *VisitSet) CoverageFraction() float64 {
+	total := BallSize(v.r)
+	return float64(v.inBall) / float64(total)
+}
+
+// Merge adds every point visited in other into v. Sets may have different
+// dense radii; points are re-classified against v's window.
+func (v *VisitSet) Merge(other *VisitSet) {
+	if other == nil {
+		return
+	}
+	if other.r == v.r && other.side == v.side {
+		for i, w := range other.dense {
+			nw := w &^ v.dense[i]
+			if nw != 0 {
+				added := int64(bits.OnesCount64(nw))
+				v.dense[i] |= w
+				v.count += added
+				v.inBall += added
+			}
+		}
+	} else {
+		other.EachDense(func(p Point) { v.Visit(p) })
+	}
+	for p := range other.sparse {
+		v.Visit(p)
+	}
+}
+
+// EachDense calls fn for every visited point inside other's dense window.
+func (v *VisitSet) EachDense(fn func(Point)) {
+	for y := -v.r; y <= v.r; y++ {
+		for x := -v.r; x <= v.r; x++ {
+			p := Point{X: x, Y: y}
+			if v.Contains(p) {
+				fn(p)
+			}
+		}
+	}
+}

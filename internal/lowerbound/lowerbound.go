@@ -1,0 +1,239 @@
+// Package lowerbound operationalizes the paper's Section 4: for a concrete
+// agent automaton it computes the drift-line prediction of Theorem 4.1
+// (each agent's position concentrates around one of at most |S| straight
+// lines through the origin, one per recurrent class), places a target
+// adversarially far from every such line, and measures empirically that
+// low-χ machines cover only a vanishing fraction of the D-ball within
+// D^{2−ε} steps.
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/automata"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Prediction is the Section 4 forecast for one machine: the drift rays of
+// its recurrent classes and the resulting reachable-region bound.
+type Prediction struct {
+	// Machine metadata.
+	Chi float64
+	// Drifts lists the per-step expected displacement of each recurrent
+	// class (the direction vectors of the straight lines).
+	Drifts [][2]float64
+	// Speeds lists the Euclidean norms of the drifts; a near-zero speed
+	// means the class is diffusive (random-walk-like), which covers only
+	// O(T) ⊂ o(D²) cells in T steps anyway.
+	Speeds []float64
+	// HasOriginClass reports whether some recurrent class keeps returning
+	// to the origin (Corollary 4.5 case 1: the agent then never leaves a
+	// D^{o(1)} neighbourhood).
+	HasOriginClass bool
+}
+
+// Predict analyzes the machine and returns its drift-line prediction.
+func Predict(m *automata.Machine) (*Prediction, error) {
+	if m == nil {
+		return nil, errors.New("lowerbound: nil machine")
+	}
+	a, err := automata.Analyze(m)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %w", err)
+	}
+	p := &Prediction{Chi: m.Chi()}
+	for c := range a.Recurrent {
+		d := a.Drift[c]
+		p.Drifts = append(p.Drifts, d)
+		p.Speeds = append(p.Speeds, math.Hypot(d[0], d[1]))
+		if a.HasOrigin[c] {
+			p.HasOriginClass = true
+		}
+	}
+	return p, nil
+}
+
+// DistanceToRay returns the Euclidean distance from point pt to the ray
+// {t·v : t ≥ 0} from the origin. A zero direction vector degenerates to the
+// distance from the origin.
+func DistanceToRay(pt grid.Point, v [2]float64) float64 {
+	px, py := float64(pt.X), float64(pt.Y)
+	norm2 := v[0]*v[0] + v[1]*v[1]
+	if norm2 == 0 {
+		return math.Hypot(px, py)
+	}
+	t := (px*v[0] + py*v[1]) / norm2
+	if t < 0 {
+		t = 0
+	}
+	dx, dy := px-t*v[0], py-t*v[1]
+	return math.Hypot(dx, dy)
+}
+
+// AdversarialTarget returns the point at max-norm distance exactly d that
+// maximizes the minimum distance to every drift ray of the prediction —
+// the placement Theorem 4.1 promises exists. For drift-free (diffusive)
+// machines any distance-d point works; the corner is returned.
+func (p *Prediction) AdversarialTarget(d int64) (grid.Point, error) {
+	if d < 1 {
+		return grid.Point{}, fmt.Errorf("lowerbound: distance %d must be positive", d)
+	}
+	best := grid.Point{X: d, Y: d}
+	bestScore := -1.0
+	for i := int64(0); i < grid.SphereSize(d); i++ {
+		pt := grid.SpherePoint(d, i)
+		score := math.Inf(1)
+		for _, v := range p.Drifts {
+			if dist := DistanceToRay(pt, v); dist < score {
+				score = dist
+			}
+		}
+		if len(p.Drifts) == 0 {
+			score = math.Hypot(float64(pt.X), float64(pt.Y))
+		}
+		if score > bestScore {
+			bestScore = score
+			best = pt
+		}
+	}
+	return best, nil
+}
+
+// CoverageResult is the outcome of a coverage experiment.
+type CoverageResult struct {
+	// Fraction is the fraction of the D-ball's cells visited by the union
+	// of all agents within the step budget.
+	Fraction float64
+	// Cells is the number of distinct cells visited inside the ball.
+	Cells int64
+	// FoundAdversarial reports whether any agent stepped on the
+	// adversarially placed target.
+	FoundAdversarial bool
+	// Target is the adversarial target used.
+	Target grid.Point
+}
+
+// CoverageConfig parameterizes a coverage experiment.
+type CoverageConfig struct {
+	// D is the ball radius (and adversarial target distance).
+	D int64
+	// NumAgents is the number of concurrent agents (n ∈ poly(D)).
+	NumAgents int
+	// Steps is the per-agent Markov-step budget; Theorem 4.1 uses
+	// Δ = D^{2−o(1)}. Zero defaults to D².
+	Steps uint64
+	// Workers bounds concurrency (0 = GOMAXPROCS).
+	Workers int
+}
+
+// MeasureCoverage runs n agents of the machine for the step budget and
+// measures the union coverage of the D-ball plus whether the adversarial
+// target was hit. This is experiment E6's kernel.
+func MeasureCoverage(m *automata.Machine, cfg CoverageConfig, seed uint64) (*CoverageResult, error) {
+	if m == nil {
+		return nil, errors.New("lowerbound: nil machine")
+	}
+	if cfg.D < 1 {
+		return nil, fmt.Errorf("lowerbound: D = %d must be positive", cfg.D)
+	}
+	if cfg.NumAgents < 1 {
+		return nil, fmt.Errorf("lowerbound: need at least one agent, got %d", cfg.NumAgents)
+	}
+	steps := cfg.Steps
+	if steps == 0 {
+		steps = uint64(cfg.D) * uint64(cfg.D)
+	}
+	pred, err := Predict(m)
+	if err != nil {
+		return nil, err
+	}
+	target, err := pred.AdversarialTarget(cfg.D)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := sim.MachineFactory(m, steps)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Config{
+		NumAgents:   cfg.NumAgents,
+		Target:      target,
+		HasTarget:   true,
+		TrackRadius: cfg.D,
+		Workers:     cfg.Workers,
+	}, factory, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &CoverageResult{
+		Fraction:         res.Visited.CoverageFraction(),
+		Cells:            res.Visited.CountInBall(),
+		FoundAdversarial: res.Found,
+		Target:           target,
+	}, nil
+}
+
+// DeviationResult reports how far an agent strays from its class's drift
+// line (Lemma 4.9 / Corollary 4.10: the deviation is o(D/|S|), i.e.
+// sublinear in the number of steps).
+type DeviationResult struct {
+	// MaxDeviation is the maximum over sampled times of the distance
+	// between the agent's position and r·drift.
+	MaxDeviation float64
+	// FinalDistance is the Euclidean distance of the final position from
+	// the origin.
+	FinalDistance float64
+	// Steps is the number of steps simulated.
+	Steps uint64
+}
+
+// MeasureDeviation runs one agent for the given number of steps and
+// measures its maximum deviation from the drift ray of the recurrent class
+// it lands in. For multi-class machines the class is detected from the
+// agent's state after a warm-up of steps/10.
+func MeasureDeviation(m *automata.Machine, steps uint64, seed uint64) (*DeviationResult, error) {
+	if m == nil {
+		return nil, errors.New("lowerbound: nil machine")
+	}
+	if steps < 10 {
+		return nil, fmt.Errorf("lowerbound: need at least 10 steps, got %d", steps)
+	}
+	a, err := automata.Analyze(m)
+	if err != nil {
+		return nil, err
+	}
+	w := automata.NewWalker(m, rng.New(seed))
+	warmup := steps / 10
+	for i := uint64(0); i < warmup; i++ {
+		w.Step()
+	}
+	classID := a.RecurrentID[w.State()]
+	if classID == -1 {
+		// Still transient after warm-up (possible only for contrived
+		// machines); treat the drift as unknown and measure from origin.
+		return nil, errors.New("lowerbound: agent still in a transient state after warm-up")
+	}
+	drift := a.Drift[classID]
+	basePos := w.Pos()
+	baseStep := w.Steps()
+	var maxDev float64
+	for w.Steps() < steps {
+		w.Step()
+		r := float64(w.Steps() - baseStep)
+		want := [2]float64{float64(basePos.X) + r*drift[0], float64(basePos.Y) + r*drift[1]}
+		dx := float64(w.Pos().X) - want[0]
+		dy := float64(w.Pos().Y) - want[1]
+		if dev := math.Max(math.Abs(dx), math.Abs(dy)); dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return &DeviationResult{
+		MaxDeviation:  maxDev,
+		FinalDistance: math.Hypot(float64(w.Pos().X), float64(w.Pos().Y)),
+		Steps:         steps,
+	}, nil
+}

@@ -1,0 +1,211 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/grid"
+)
+
+func TestPredictRandomWalk(t *testing.T) {
+	p, err := Predict(automata.RandomWalk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Drifts) != 1 {
+		t.Fatalf("drifts = %v, want one class", p.Drifts)
+	}
+	if p.Speeds[0] > 1e-9 {
+		t.Errorf("random walk drift speed = %v, want 0", p.Speeds[0])
+	}
+	if p.HasOriginClass {
+		t.Error("random walk recurrent class should not contain origin states")
+	}
+}
+
+func TestPredictDriftMachine(t *testing.T) {
+	m, err := automata.DriftLineMachine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Predict(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Drifts) != 1 {
+		t.Fatalf("drifts = %v", p.Drifts)
+	}
+	if p.Speeds[0] < 0.5 {
+		t.Errorf("drift machine speed = %v, want large", p.Speeds[0])
+	}
+}
+
+func TestPredictNil(t *testing.T) {
+	if _, err := Predict(nil); err == nil {
+		t.Error("nil machine should fail")
+	}
+}
+
+func TestDistanceToRay(t *testing.T) {
+	tests := []struct {
+		pt   grid.Point
+		v    [2]float64
+		want float64
+	}{
+		{grid.Point{X: 5, Y: 0}, [2]float64{1, 0}, 0},          // on the ray
+		{grid.Point{X: 0, Y: 3}, [2]float64{1, 0}, 3},          // perpendicular
+		{grid.Point{X: -4, Y: 0}, [2]float64{1, 0}, 4},         // behind the ray: distance to origin
+		{grid.Point{X: 3, Y: 4}, [2]float64{0, 0}, 5},          // zero drift: distance to origin
+		{grid.Point{X: 2, Y: 2}, [2]float64{1, 1}, 0},          // diagonal ray
+		{grid.Point{X: 2, Y: 0}, [2]float64{1, 1}, math.Sqrt2}, // off-diagonal
+	}
+	for _, tt := range tests {
+		if got := DistanceToRay(tt.pt, tt.v); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("DistanceToRay(%v, %v) = %v, want %v", tt.pt, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestAdversarialTargetAvoidsDriftLine(t *testing.T) {
+	m, err := automata.DriftLineMachine(4) // drift mostly along +x
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Predict(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 20
+	target, err := p.AdversarialTarget(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target.Norm() != d {
+		t.Fatalf("target %v not at distance %d", target, int64(d))
+	}
+	// The target must be far from the drift ray: at least d/2 away.
+	if dist := DistanceToRay(target, p.Drifts[0]); dist < d/2 {
+		t.Errorf("adversarial target %v only %v from drift ray", target, dist)
+	}
+	if _, err := p.AdversarialTarget(0); err == nil {
+		t.Error("d=0 should fail")
+	}
+}
+
+func TestMeasureCoverageDriftMachineIsSparse(t *testing.T) {
+	// Theorem 4.1's content: a low-χ machine covers a vanishing fraction
+	// of the ball and misses the adversarial target.
+	m, err := automata.DriftLineMachine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureCoverage(m, CoverageConfig{
+		D:         64,
+		NumAgents: 4,
+		Steps:     64 * 64, // D² steps, beyond the D^{2-o(1)} bound
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FoundAdversarial {
+		t.Error("drift machine should miss the adversarial target")
+	}
+	if res.Fraction > 0.05 {
+		t.Errorf("coverage fraction = %v, want ≪ 1", res.Fraction)
+	}
+}
+
+func TestMeasureCoverageRandomWalkIsSparse(t *testing.T) {
+	res, err := MeasureCoverage(automata.RandomWalk(), CoverageConfig{
+		D:         64,
+		NumAgents: 4,
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A diffusive walk reaches only O(sqrt(T)) distance; T = D² steps stay
+	// within ~D of the origin but visit only O(T/log T) distinct cells of
+	// the (2D+1)² ball.
+	if res.Fraction > 0.5 {
+		t.Errorf("random walk covered %v of the ball, want a vanishing fraction", res.Fraction)
+	}
+	if res.Cells == 0 {
+		t.Error("random walk visited nothing")
+	}
+}
+
+func TestMeasureCoverageValidation(t *testing.T) {
+	m := automata.RandomWalk()
+	if _, err := MeasureCoverage(nil, CoverageConfig{D: 8, NumAgents: 1}, 1); err == nil {
+		t.Error("nil machine should fail")
+	}
+	if _, err := MeasureCoverage(m, CoverageConfig{D: 0, NumAgents: 1}, 1); err == nil {
+		t.Error("D=0 should fail")
+	}
+	if _, err := MeasureCoverage(m, CoverageConfig{D: 8, NumAgents: 0}, 1); err == nil {
+		t.Error("zero agents should fail")
+	}
+}
+
+func TestMeasureDeviationDriftMachine(t *testing.T) {
+	// A deterministic drift machine follows its line exactly after the
+	// period is accounted for: deviation stays bounded by the cycle length.
+	m, err := automata.DriftLineMachine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureDeviation(m, 10000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDeviation > 16 { // cycle length 8: deviation bounded by it
+		t.Errorf("deviation = %v, want bounded by cycle length", res.MaxDeviation)
+	}
+	if res.FinalDistance < 5000 {
+		t.Errorf("final distance = %v, drift machine should travel far", res.FinalDistance)
+	}
+}
+
+func TestMeasureDeviationRandomWalkDiffusive(t *testing.T) {
+	// The random walk's deviation grows like sqrt(T), far below T.
+	const steps = 40000
+	res, err := MeasureDeviation(automata.RandomWalk(), steps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDeviation > steps/10 {
+		t.Errorf("deviation = %v over %d steps: not concentrated", res.MaxDeviation, int64(steps))
+	}
+}
+
+func TestMeasureDeviationValidation(t *testing.T) {
+	if _, err := MeasureDeviation(nil, 100, 1); err == nil {
+		t.Error("nil machine should fail")
+	}
+	if _, err := MeasureDeviation(automata.RandomWalk(), 5, 1); err == nil {
+		t.Error("too few steps should fail")
+	}
+}
+
+func TestBiasedWalkConcentration(t *testing.T) {
+	// Corollary 4.10 empirically: a biased walk stays within o(T) of its
+	// drift line over T steps.
+	m, err := automata.BiasedWalk(0.4, 0.1, 0.1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 40000
+	res, err := MeasureDeviation(m, steps, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sqrt(T)·polylog ≈ 200·log; 2000 is a loose ceiling far below T.
+	if res.MaxDeviation > 2000 {
+		t.Errorf("biased walk deviation = %v over %d steps", res.MaxDeviation, int64(steps))
+	}
+	// Drift (0.3, 0.3): final distance ≈ 0.42·T.
+	if res.FinalDistance < 0.2*steps {
+		t.Errorf("final distance = %v, want ≈ 0.42·T", res.FinalDistance)
+	}
+}

@@ -1,0 +1,106 @@
+package lowerbound
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/search"
+)
+
+func TestComputeParamsValidation(t *testing.T) {
+	if _, err := ComputeParams(nil, 64); err == nil {
+		t.Error("nil machine should fail")
+	}
+	if _, err := ComputeParams(automata.RandomWalk(), 2); err == nil {
+		t.Error("tiny distance should fail")
+	}
+}
+
+func TestComputeParamsDriftMachine(t *testing.T) {
+	m, err := automata.DriftLineMachine(2) // 4 states, deterministic (p0 = 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ComputeParams(m, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B != 2 || p.NumState != 4 {
+		t.Errorf("b=%d |S|=%d, want 2/4", p.B, p.NumState)
+	}
+	if p.P0 != 1 {
+		t.Errorf("p0 = %v, want 1 (deterministic machine)", p.P0)
+	}
+	// With p0 = 1, R0 = 2^b·log D = 4·8 = 32 — D^{o(1)} as required.
+	if math.Abs(p.R0-32) > 1e-9 {
+		t.Errorf("R0 = %v, want 32", p.R0)
+	}
+	// χ = 2 ≤ log log 256 = 3: the theorem applies.
+	if !p.Applicable {
+		t.Error("drift machine at D=256 should be in the theorem's regime")
+	}
+	// Δ must be genuinely below D² but polynomially large.
+	d2 := 256.0 * 256
+	if p.Delta >= d2 || p.Delta < 16 {
+		t.Errorf("Δ = %v, want within (16, D²=%v)", p.Delta, d2)
+	}
+	if !strings.Contains(p.String(), "applicable=true") {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestComputeParamsRandomWalk(t *testing.T) {
+	m := automata.RandomWalk() // 5 states, p0 = 1/4, b = 3, χ = 4
+	p, err := ComputeParams(m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// log log D = log 20 ≈ 4.32 > χ = 4: applicable.
+	if !p.Applicable {
+		t.Errorf("random walk at D=2^20 should be applicable (χ=%v)", p.Chi)
+	}
+	// At D = 256, log log D = 3 < 4: not applicable.
+	p2, err := ComputeParams(m, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Applicable {
+		t.Error("random walk at D=256 should be outside the regime")
+	}
+}
+
+func TestComputeParamsAlgorithm1MachineNotApplicable(t *testing.T) {
+	// Algorithm 1's collapsed machine has p0 = 1/D², so χ = Θ(log D) ≫
+	// log log D: the lower bound must NOT apply to it — consistency check
+	// between the upper and lower bound implementations.
+	const d = 256
+	m, err := search.Algorithm1Machine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ComputeParams(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Applicable {
+		t.Errorf("Algorithm 1 machine (χ=%v) must be outside the Theorem 4.1 regime", p.Chi)
+	}
+}
+
+func TestR0GrowsDoublyExponentiallyInB(t *testing.T) {
+	// R₀ = p₀^{−2^b}·2^b·log D: for fixed p0 < 1 it must explode with b —
+	// the quantitative reason χ (not b alone) is the right metric.
+	mk := func(bits int) float64 {
+		// Synthesize the formula directly for a machine with b bits and
+		// p0 = 1/2 at log D = 8.
+		return math.Pow(0.5, -math.Pow(2, float64(bits))) * math.Pow(2, float64(bits)) * 8
+	}
+	if !(mk(2) < mk(3) && mk(3) < mk(4)) {
+		t.Error("R0 not monotone in b")
+	}
+	if mk(4)/mk(3) < 100 {
+		t.Errorf("R0 growth b=3→4 is %v, want explosive", mk(4)/mk(3))
+	}
+}

@@ -1,0 +1,129 @@
+// Package rng is the randomness substrate for the ANTS simulations.
+//
+// The paper's model restricts agents to probabilities that are bounded from
+// below by 1/2^ℓ; the natural primitive is therefore a dyadic coin. This
+// package provides a fast deterministic generator (xoshiro256**), cheap
+// derivation of independent substreams (one per agent per trial, via
+// SplitMix64 seeding), dyadic Bernoulli coins, and samplers built on top of
+// them. Everything is reproducible from a single root seed.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic pseudo-random generator. It intentionally
+// mirrors the subset of math/rand/v2 the simulations need so that agent code
+// depends only on this package.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via SplitMix64, so that any seed —
+// including 0 — yields a well-mixed state.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed resets the source to the stream identified by seed.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
+	}
+	// xoshiro's all-zero state is absorbing; splitmix cannot produce four
+	// zero outputs from any input, but guard anyway for robustness.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// splitMix64 advances the SplitMix64 state and returns (newState, output).
+func splitMix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return state, z
+}
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Derive returns a new independent Source for substream i of this source's
+// stream. It consumes no state from r; the substream identity is a pure
+// function of (r's current state, i), hashed through SplitMix64. Use it to
+// hand each agent of each trial its own generator.
+func (r *Source) Derive(i uint64) *Source {
+	seed := r.s[0] ^ bits.RotateLeft64(r.s[1], 13) ^ bits.RotateLeft64(r.s[2], 29) ^ r.s[3]
+	_, h := splitMix64(seed ^ (i+1)*0xd1342543de82ef95)
+	return New(h)
+}
+
+// Intn returns a uniformly random integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, un)
+		}
+	}
+	return int64(hi)
+}
+
+// Float64 returns a uniformly random float in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (r *Source) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// jumpPoly is the xoshiro256** 2^128-step jump polynomial.
+var jumpPoly = [4]uint64{
+	0x180ec6d33cfd0aba, 0xd5a61266f0c9392c,
+	0xa9582618e03fc9aa, 0x39abdc4529b1661c,
+}
+
+// Jump advances the source by 2^128 steps in O(1) amortized work. Two
+// sources separated by a Jump have provably non-overlapping output streams
+// for any realistic draw count — a stronger guarantee than Derive's hashed
+// substreams when overlap must be ruled out, at the cost of being
+// sequential (stream i requires i jumps).
+func (r *Source) Jump() {
+	var s0, s1, s2, s3 uint64
+	for _, jp := range jumpPoly {
+		for b := 0; b < 64; b++ {
+			if jp&(uint64(1)<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}

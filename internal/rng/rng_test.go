@@ -1,0 +1,245 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 collided on %d of 100 draws", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	var all uint64
+	for i := 0; i < 10; i++ {
+		all |= r.Uint64()
+	}
+	if all == 0 {
+		t.Error("zero seed produced all-zero output")
+	}
+}
+
+func TestReseedResets(t *testing.T) {
+	r := New(9)
+	first := make([]uint64, 8)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(9)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("reseeded stream differs at %d", i)
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(123)
+	a := root.Derive(0)
+	b := root.Derive(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("derived streams 0 and 1 agree on %d of 1000 draws", same)
+	}
+}
+
+func TestDeriveStable(t *testing.T) {
+	// Deriving the same index twice (without consuming the root) must give
+	// identical streams: that is what makes trials reproducible.
+	root := New(55)
+	a := root.Derive(7)
+	b := root.Derive(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("re-derived stream differs at draw %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n = 10
+	const draws = 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn bucket %d has %d draws, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(17)
+	const draws = 100000
+	heads := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool() {
+			heads++
+		}
+	}
+	if math.Abs(float64(heads)-draws/2) > 4*math.Sqrt(draws/4) {
+		t.Errorf("Bool heads = %d of %d, implausibly unbalanced", heads, draws)
+	}
+}
+
+func TestJumpChangesState(t *testing.T) {
+	a := New(5)
+	b := New(5)
+	b.Jump()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("jumped stream collides with original on %d of 1000 draws", same)
+	}
+}
+
+func TestJumpDeterministic(t *testing.T) {
+	a := New(6)
+	b := New(6)
+	a.Jump()
+	b.Jump()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("two identical jumps diverged at draw %d", i)
+		}
+	}
+}
+
+func TestJumpStreamsIndependent(t *testing.T) {
+	// Successive jumps define a family of streams; adjacent ones must not
+	// correlate.
+	r := New(7)
+	streams := make([]*Source, 3)
+	for i := range streams {
+		cp := *r // copy current state
+		streams[i] = &cp
+		r.Jump()
+	}
+	for i := 1; i < len(streams); i++ {
+		same := 0
+		for d := 0; d < 500; d++ {
+			if streams[0].Uint64() == streams[i].Uint64() {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Errorf("stream 0 and %d agree on %d of 500 draws", i, same)
+		}
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	// Monobit test per bit position: each of the 64 output bits must be
+	// set about half the time.
+	r := New(13)
+	const draws = 20000
+	counts := make([]int, 64)
+	for i := 0; i < draws; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(uint64(1)<<uint(b)) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	tol := 5 * math.Sqrt(draws/4)
+	for b, c := range counts {
+		if math.Abs(float64(c)-draws/2) > tol {
+			t.Errorf("bit %d set %d of %d times", b, c, draws)
+		}
+	}
+}
+
+func TestSerialCorrelation(t *testing.T) {
+	// Lag-1 serial correlation of the normalized output must be near zero.
+	r := New(29)
+	const draws = 100000
+	var prev, sumX, sumY, sumXY, sumXX, sumYY float64
+	first := true
+	n := 0.0
+	for i := 0; i < draws; i++ {
+		x := r.Float64()
+		if !first {
+			sumX += prev
+			sumY += x
+			sumXY += prev * x
+			sumXX += prev * prev
+			sumYY += x * x
+			n++
+		}
+		prev = x
+		first = false
+	}
+	cov := sumXY/n - (sumX/n)*(sumY/n)
+	vx := sumXX/n - (sumX/n)*(sumX/n)
+	vy := sumYY/n - (sumY/n)*(sumY/n)
+	corr := cov / math.Sqrt(vx*vy)
+	if math.Abs(corr) > 0.02 {
+		t.Errorf("lag-1 serial correlation = %v, want ≈ 0", corr)
+	}
+}

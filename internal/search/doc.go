@@ -1,0 +1,27 @@
+// Package search implements the paper's contribution: plane-search
+// algorithms with low selection complexity χ = b + log ℓ.
+//
+// The package provides, following the paper's Section 3:
+//
+//   - CompositeCoin — Algorithm 2, coin(k, ℓ): a tails-probability 1/2^{kℓ}
+//     coin built from the base coin C_{1/2^ℓ}, costing ⌈log k⌉ memory bits.
+//   - Walk — Algorithm 3, walk(k, ℓ, dir): a geometric directed walk of
+//     expected length just under 2^{kℓ}.
+//   - BoxSearch — Algorithm 4, search(k, ℓ): one random probe of the square
+//     of side 2^{kℓ}, visiting each of its points with probability
+//     Ω(1/2^{2kℓ}).
+//   - NonUniform — Algorithms 1+2 combined (Non-Uniform-Search): knows D,
+//     finds the target in O(D²/n + D) expected moves with
+//     χ = log log D + O(1) (Theorems 3.5, 3.7).
+//   - Uniform — Algorithm 5: does not know D, finds the target in
+//     (D²/n + D)·2^{O(ℓ)} expected moves with χ ≤ 3 log log D + O(1)
+//     (Theorem 3.14).
+//   - Algorithm1Machine — the explicit 5-state automaton of the paper's
+//     figure, used to cross-validate the program implementations and to
+//     feed the Section 4 Markov-chain analysis.
+//   - Audit — per-algorithm χ accounting (memory bits by register, ℓ).
+//
+// Every algorithm draws randomness exclusively through dyadic coins, so the
+// χ claims are auditable: the smallest probability an agent ever uses is
+// exactly 1/2^ℓ for its configured ℓ.
+package search

@@ -1,0 +1,64 @@
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+)
+
+// Algorithm1Machine builds the explicit five-state automaton of Algorithm 1
+// shown in the paper's figure, for a known distance D. States are
+// {origin, up, down, left, right}; entering a movement state performs one
+// grid move, and entering the origin state invokes the oracle return.
+//
+// The transition probabilities realize exactly the pseudocode's
+// distribution: the number of moves of each directed walk is geometric with
+// stopping probability 1/D —
+//
+//	origin → up/down:    ½(1−1/D)        (vertical walk starts)
+//	origin → left/right: (1/D)·½(1−1/D)  (vertical walk empty, horizontal starts)
+//	origin → origin:     1/D²            (both walks empty)
+//	up/down → same:      1−1/D           (vertical walk continues)
+//	up/down → left/right:(1/D)·½(1−1/D)  (vertical ends, horizontal starts)
+//	up/down → origin:    1/D²            (vertical ends, horizontal empty)
+//	left/right → same:   1−1/D           (horizontal walk continues)
+//	left/right → origin: 1/D             (horizontal ends)
+//
+// This collapsed machine aggregates the coin(k, ℓ) sub-flips of the real
+// implementation into single transitions, so its *matrix* min-probability
+// is 1/D²; the χ accounting of the algorithm uses the coin-level
+// construction instead (NonUniform.Audit), where the smallest physical
+// probability is 1/2^ℓ. The machine exists to cross-validate the program's
+// per-iteration move distribution and to feed the Section 4 analysis.
+func Algorithm1Machine(d int64) (*automata.Machine, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("search: Algorithm1Machine needs D ≥ 2, got %d", d)
+	}
+	q := 1 / float64(d)      // walk-stop probability 1/D
+	cont := 1 - q            // walk-continue probability
+	startH := q * 0.5 * cont // end current (or empty) vertical walk, start horizontal
+	toOrigin := q * q        // both remaining walks empty
+	return automata.New(
+		[]string{"origin", "up", "down", "left", "right"},
+		[]automata.Label{
+			automata.LabelOrigin,
+			automata.LabelUp,
+			automata.LabelDown,
+			automata.LabelLeft,
+			automata.LabelRight,
+		},
+		[][]float64{
+			// origin: choose vertical direction, maybe skip to horizontal.
+			{toOrigin, 0.5 * cont, 0.5 * cont, startH, startH},
+			// up: continue, or end vertical and start horizontal / finish.
+			{toOrigin, cont, 0, startH, startH},
+			// down: symmetric.
+			{toOrigin, 0, cont, startH, startH},
+			// left: continue or finish the iteration.
+			{q, 0, 0, cont, 0},
+			// right: symmetric.
+			{q, 0, 0, 0, cont},
+		},
+		0,
+	)
+}

@@ -1,0 +1,40 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// simEnvSrc returns a fresh deterministic source for environment tests.
+func simEnvSrc(t testing.TB) *rng.Source {
+	t.Helper()
+	return rng.New(uint64(len(t.Name())))
+}
+
+// iterationWalker runs the Algorithm 1 machine for exactly one iteration of
+// the outer loop: from the origin state until the origin state recurs.
+type iterationWalker struct {
+	w *automata.Walker
+}
+
+func newIterationWalker(m *automata.Machine, src *rng.Source) *iterationWalker {
+	return &iterationWalker{w: automata.NewWalker(m, src)}
+}
+
+// runOneIteration steps the machine until it re-enters the origin state,
+// returning the number of grid moves made and whether the target was
+// visited.
+func (iw *iterationWalker) runOneIteration(target grid.Point) (moves uint64, found bool) {
+	for {
+		label := iw.w.Step()
+		if iw.w.Pos() == target {
+			found = true
+		}
+		if label == automata.LabelOrigin {
+			return iw.w.Moves(), found
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// NonUniform is the paper's Non-Uniform-Search: Algorithm 1 with the
+// C_{1/D} coin realized by Algorithm 2's coin(k, ℓ) for k = ⌈log D / ℓ⌉.
+// The agent knows D. Each iteration of the main loop walks a geometric
+// number of steps in a fair vertical direction, then a geometric number in
+// a fair horizontal direction, then returns to the origin.
+//
+// With n agents, the minimum over agents of the expected number of moves to
+// find a target within distance D is O(D²/n + D) (Theorems 3.5 and 3.7),
+// and χ = log log D + O(1).
+type NonUniform struct {
+	d   int64
+	ell uint
+	k   uint
+}
+
+var _ sim.Program = (*NonUniform)(nil)
+
+// NewNonUniform configures the algorithm for target distance d ≥ 2 and
+// base-coin precision ℓ ≥ 1.
+func NewNonUniform(d int64, ell uint) (*NonUniform, error) {
+	k, err := KForDistance(d, ell)
+	if err != nil {
+		return nil, err
+	}
+	return &NonUniform{d: d, ell: ell, k: k}, nil
+}
+
+// NonUniformFactory returns a sim.Factory for the configuration; the
+// program is stateless between runs so a single instance is shared.
+func NonUniformFactory(d int64, ell uint) (sim.Factory, error) {
+	p, err := NewNonUniform(d, ell)
+	if err != nil {
+		return nil, err
+	}
+	return func() sim.Program { return p }, nil
+}
+
+// D returns the configured distance.
+func (p *NonUniform) D() int64 { return p.d }
+
+// K returns the composite-coin parameter k = ⌈log D / ℓ⌉.
+func (p *NonUniform) K() uint { return p.k }
+
+// Audit returns the χ account of the configuration: 3 control bits for
+// Algorithm 1's five-state skeleton plus ⌈log k⌉ bits for Algorithm 2's
+// flip counter (Theorem 3.7).
+func (p *NonUniform) Audit() Audit {
+	regs := []Register{
+		{Name: "control (Algorithm 1 skeleton)", Bits: 3},
+		{Name: "coin flip counter (Algorithm 2)", Bits: CeilLog2(int64(p.k))},
+	}
+	return Audit{
+		Algorithm: "non-uniform-search",
+		Ell:       p.ell,
+		Registers: regs,
+		B:         sumRegisters(regs),
+	}
+}
+
+// Run executes iterations of the main loop until the environment is done.
+func (p *NonUniform) Run(env *sim.Env) error {
+	coin, err := rng.NewCoin(p.ell, env.Src())
+	if err != nil {
+		return fmt.Errorf("search: non-uniform run: %w", err)
+	}
+	for !env.Done() {
+		if err := p.RunIteration(env, coin); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunIteration performs exactly one iteration of Algorithm 1's outer loop:
+// vertical walk, horizontal walk, return to origin. It is exported so the
+// E2 experiment can measure per-iteration statistics (Lemmas 3.1–3.4).
+func (p *NonUniform) RunIteration(env *sim.Env, coin *rng.Coin) error {
+	if err := BoxSearch(env, coin, p.k); err != nil {
+		if errors.Is(err, sim.ErrBudget) {
+			return nil
+		}
+		return err
+	}
+	if env.Done() {
+		return nil
+	}
+	env.ReturnToOrigin()
+	return nil
+}

@@ -1,0 +1,82 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// MaxDistance bounds the supported target distance D. Composite coins use
+// k·ℓ ≤ rng.MaxEll bits of probability mass, so D up to 2^40 is far beyond
+// anything simulable anyway.
+const MaxDistance = int64(1) << 40
+
+// KForDistance returns the Algorithm 2 parameter k = ⌈log₂(D)/ℓ⌉, the
+// number of base-coin flips per composite flip so that the composite
+// tails-probability 1/2^{kℓ} is at most 1/D.
+func KForDistance(d int64, ell uint) (uint, error) {
+	if d < 2 {
+		return 0, fmt.Errorf("search: distance %d must be at least 2", d)
+	}
+	if d > MaxDistance {
+		return 0, fmt.Errorf("search: distance %d exceeds maximum %d", d, MaxDistance)
+	}
+	if ell < 1 || ell > rng.MaxEll {
+		return 0, fmt.Errorf("search: ℓ=%d out of [1,%d]", ell, rng.MaxEll)
+	}
+	logD := uint(bits.Len64(uint64(d - 1))) // ⌈log₂ D⌉
+	k := (logD + ell - 1) / ell
+	if k == 0 {
+		k = 1
+	}
+	if k*ell > rng.MaxEll {
+		return 0, fmt.Errorf("search: composite precision k·ℓ = %d exceeds %d", k*ell, rng.MaxEll)
+	}
+	return k, nil
+}
+
+// CeilLog2 returns ⌈log₂ v⌉ for v ≥ 1.
+func CeilLog2(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v - 1))
+}
+
+// Audit is the selection-complexity account of a concrete algorithm
+// configuration: which registers the agent keeps, how many bits each costs,
+// and the resulting χ = b + log₂ ℓ.
+type Audit struct {
+	Algorithm string
+	Ell       uint
+	// Registers lists (name, bits) pairs summing to B.
+	Registers []Register
+	// B is the total memory bits b.
+	B int
+}
+
+// Register is one named component of an agent's memory.
+type Register struct {
+	Name string
+	Bits int
+}
+
+// Chi returns χ = b + log₂ ℓ.
+func (a Audit) Chi() float64 {
+	return float64(a.B) + math.Log2(float64(a.Ell))
+}
+
+// String formats the audit as a one-line summary.
+func (a Audit) String() string {
+	return fmt.Sprintf("%s: b=%d bits, ℓ=%d, χ=%.2f", a.Algorithm, a.B, a.Ell, a.Chi())
+}
+
+func sumRegisters(regs []Register) int {
+	total := 0
+	for _, r := range regs {
+		total += r.Bits
+	}
+	return total
+}

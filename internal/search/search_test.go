@@ -1,0 +1,542 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestKForDistance(t *testing.T) {
+	tests := []struct {
+		d    int64
+		ell  uint
+		want uint
+	}{
+		{2, 1, 1},
+		{4, 1, 2},
+		{5, 1, 3}, // ⌈log 5⌉ = 3
+		{1024, 2, 5},
+		{1024, 4, 3}, // ⌈10/4⌉ = 3
+		{3, 8, 1},    // ⌈2/8⌉ = 1
+	}
+	for _, tt := range tests {
+		got, err := KForDistance(tt.d, tt.ell)
+		if err != nil {
+			t.Fatalf("KForDistance(%d, %d): %v", tt.d, tt.ell, err)
+		}
+		if got != tt.want {
+			t.Errorf("KForDistance(%d, %d) = %d, want %d", tt.d, tt.ell, got, tt.want)
+		}
+		// 2^{kℓ} must be at least D.
+		if math.Pow(2, float64(got*tt.ell)) < float64(tt.d) {
+			t.Errorf("KForDistance(%d, %d): 2^{kℓ} = 2^%d < D", tt.d, tt.ell, got*tt.ell)
+		}
+	}
+}
+
+func TestKForDistanceErrors(t *testing.T) {
+	if _, err := KForDistance(1, 1); err == nil {
+		t.Error("D=1 should fail")
+	}
+	if _, err := KForDistance(MaxDistance+1, 1); err == nil {
+		t.Error("huge D should fail")
+	}
+	if _, err := KForDistance(16, 0); err == nil {
+		t.Error("ℓ=0 should fail")
+	}
+	if _, err := KForDistance(16, rng.MaxEll+1); err == nil {
+		t.Error("huge ℓ should fail")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	tests := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, tt := range tests {
+		if got := CeilLog2(tt.v); got != tt.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestAuditChi(t *testing.T) {
+	a := Audit{
+		Algorithm: "test",
+		Ell:       4,
+		Registers: []Register{{Name: "x", Bits: 3}, {Name: "y", Bits: 2}},
+		B:         5,
+	}
+	if got := a.Chi(); got != 7 { // 5 + log2(4)
+		t.Errorf("Chi = %v, want 7", got)
+	}
+	if a.String() == "" {
+		t.Error("empty audit string")
+	}
+}
+
+func TestWalkLengthDistribution(t *testing.T) {
+	// Lemma 3.8: walk(k, ℓ) has expected length just below 2^{kℓ} and
+	// reaches at least 2^{kℓ} moves with probability ≥ 1/4.
+	const (
+		k, ell = 3, 1 // 2^{kℓ} = 8
+		trials = 20000
+	)
+	root := rng.New(21)
+	var sum float64
+	atLeast := 0
+	for i := 0; i < trials; i++ {
+		src := root.Derive(uint64(i))
+		env := sim.NewEnv(sim.EnvConfig{Src: src})
+		coin := rng.MustCoin(ell, src)
+		if err := Walk(env, coin, k, grid.Right); err != nil {
+			t.Fatal(err)
+		}
+		moves := float64(env.Moves())
+		sum += moves
+		if moves >= 8 {
+			atLeast++
+		}
+	}
+	mean := sum / trials
+	if mean < 5 || mean > 8 {
+		t.Errorf("walk mean length = %v, want in [5, 8) (2^{kℓ}−1 = 7)", mean)
+	}
+	frac := float64(atLeast) / trials
+	if frac < 0.25 {
+		t.Errorf("P[length ≥ 2^{kℓ}] = %v, Lemma 3.8 promises ≥ 1/4", frac)
+	}
+}
+
+func TestWalkInvalidDirection(t *testing.T) {
+	src := rng.New(1)
+	env := sim.NewEnv(sim.EnvConfig{Src: src})
+	if err := Walk(env, rng.MustCoin(1, src), 1, 0); err == nil {
+		t.Error("invalid direction should fail")
+	}
+}
+
+func TestWalkStopsOnBudget(t *testing.T) {
+	src := rng.New(1)
+	env := sim.NewEnv(sim.EnvConfig{Src: src, MoveBudget: 5})
+	// ℓ = MaxEll: composite tails essentially never, so only the budget
+	// stops the walk.
+	coin := rng.MustCoin(rng.MaxEll, src)
+	if err := Walk(env, coin, 1, grid.Up); err != nil {
+		t.Fatal(err)
+	}
+	if env.Moves() != 5 {
+		t.Errorf("moves = %d, want exactly the budget 5", env.Moves())
+	}
+}
+
+func TestWalkStopsOnFind(t *testing.T) {
+	src := rng.New(2)
+	env := sim.NewEnv(sim.EnvConfig{
+		Target: grid.Point{X: 0, Y: 1}, HasTarget: true, Src: src})
+	coin := rng.MustCoin(rng.MaxEll, src) // effectively endless walk
+	if err := Walk(env, coin, 1, grid.Up); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Found() {
+		t.Error("walk crossed the target but did not find it")
+	}
+	if env.Moves() != 1 {
+		t.Errorf("walk continued after finding: moves = %d", env.Moves())
+	}
+}
+
+func TestBoxSearchVisitProbability(t *testing.T) {
+	// Lemma 3.9: search(k, ℓ) from the origin visits each (x, y) in
+	// {0..2^{kℓ}}² with probability ≥ 1/2^{2kℓ+6}... the paper states the
+	// per-point bound 1/2^{kℓ+6}; empirically the hit rate for a fixed
+	// point must beat that bound.
+	const (
+		k, ell = 2, 1 // square side 2^{kℓ} = 4
+		trials = 100000
+	)
+	target := grid.Point{X: 2, Y: 1}
+	bound := 1 / math.Pow(2, float64(k*ell+6))
+	root := rng.New(8)
+	hits := 0
+	for i := 0; i < trials; i++ {
+		src := root.Derive(uint64(i))
+		env := sim.NewEnv(sim.EnvConfig{Target: target, HasTarget: true, Src: src})
+		coin := rng.MustCoin(ell, src)
+		if err := BoxSearch(env, coin, k); err != nil {
+			t.Fatal(err)
+		}
+		if env.Found() {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < bound {
+		t.Errorf("visit probability of %v = %v, Lemma 3.9 bound = %v", target, got, bound)
+	}
+}
+
+func TestBoxSearchSymmetry(t *testing.T) {
+	// The four reflections of a point must be visited with comparable
+	// probability (the proof's "analogously for (−x, y), ..." step).
+	const (
+		k, ell = 2, 1
+		trials = 200000
+	)
+	points := []grid.Point{{X: 1, Y: 1}, {X: -1, Y: 1}, {X: 1, Y: -1}, {X: -1, Y: -1}}
+	counts := make([]int, len(points))
+	root := rng.New(14)
+	for i := 0; i < trials; i++ {
+		src := root.Derive(uint64(i))
+		v := grid.NewVisitSet(8)
+		env := sim.NewEnv(sim.EnvConfig{Src: src, TrackVisits: v})
+		coin := rng.MustCoin(ell, src)
+		if err := BoxSearch(env, coin, k); err != nil {
+			t.Fatal(err)
+		}
+		for j, p := range points {
+			if v.Contains(p) {
+				counts[j]++
+			}
+		}
+	}
+	base := float64(counts[0])
+	for j, c := range counts {
+		ratio := float64(c) / base
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("visit count of %v = %d, not symmetric with %v = %d",
+				points[j], c, points[0], counts[0])
+		}
+	}
+}
+
+func TestNonUniformValidation(t *testing.T) {
+	if _, err := NewNonUniform(1, 1); err == nil {
+		t.Error("D=1 should fail")
+	}
+	if _, err := NewNonUniform(16, 0); err == nil {
+		t.Error("ℓ=0 should fail")
+	}
+	if _, err := NonUniformFactory(1, 1); err == nil {
+		t.Error("factory with D=1 should fail")
+	}
+}
+
+func TestNonUniformFindsTarget(t *testing.T) {
+	const d = 16
+	f, err := NonUniformFactory(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunTrials(sim.Config{
+		NumAgents:  4,
+		Target:     grid.Point{X: d, Y: d},
+		HasTarget:  true,
+		MoveBudget: 1 << 22,
+	}, f, 20, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FoundAll {
+		t.Fatalf("found fraction = %v, want 1", st.FoundFrac)
+	}
+}
+
+func TestNonUniformScalesWithN(t *testing.T) {
+	// Theorem 3.5: more agents means fewer expected moves for the first
+	// finder. Compare n=1 against n=16 at D=32.
+	const d = 32
+	f, err := NonUniformFactory(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(n int) float64 {
+		t.Helper()
+		st, err := sim.RunTrials(sim.Config{
+			NumAgents:  n,
+			Target:     grid.Point{X: d / 2, Y: d / 2},
+			HasTarget:  true,
+			MoveBudget: 1 << 24,
+		}, f, 30, 44)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.FoundAll {
+			t.Fatalf("n=%d: found fraction %v", n, st.FoundFrac)
+		}
+		var s float64
+		for _, m := range st.Moves {
+			s += m
+		}
+		return s / float64(len(st.Moves))
+	}
+	m1 := mean(1)
+	m16 := mean(16)
+	if m16 >= m1 {
+		t.Errorf("mean moves n=16 (%v) should beat n=1 (%v)", m16, m1)
+	}
+}
+
+func TestNonUniformMeetsTheorem35Bound(t *testing.T) {
+	// Mean M_moves must be within a moderate constant of D²/n + D.
+	const (
+		d      = 32
+		n      = 4
+		trials = 40
+	)
+	f, err := NonUniformFactory(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunPlacedTrials(sim.Config{
+		NumAgents:  n,
+		MoveBudget: 1 << 24,
+	}, sim.PlaceUniformBall, d, f, trials, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FoundAll {
+		t.Fatalf("found fraction = %v", st.FoundFrac)
+	}
+	var sum float64
+	for _, m := range st.Moves {
+		sum += m
+	}
+	mean := sum / float64(len(st.Moves))
+	bound := float64(d*d)/n + d
+	if mean > 60*bound {
+		t.Errorf("mean M_moves = %v, bound D²/n+D = %v: constant factor too large", mean, bound)
+	}
+}
+
+func TestNonUniformAudit(t *testing.T) {
+	// Theorem 3.7: b = 3 + ⌈log k⌉ with k = ⌈log D/ℓ⌉, so
+	// χ = log log D + O(1).
+	p, err := NewNonUniform(1<<16, 1) // log D = 16, k = 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Audit()
+	if a.B != 3+4 { // ⌈log 16⌉ = 4
+		t.Errorf("b = %d, want 7", a.B)
+	}
+	if a.Ell != 1 {
+		t.Errorf("ℓ = %d, want 1", a.Ell)
+	}
+	// χ = 7 + log2(1) = 7 = log log D (= 4) + 3.
+	if got, want := a.Chi(), 7.0; got != want {
+		t.Errorf("χ = %v, want %v", got, want)
+	}
+	// Larger ℓ trades memory for probability: k = 4, b = 3 + 2.
+	p4, err := NewNonUniform(1<<16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a4 := p4.Audit()
+	if a4.B != 5 {
+		t.Errorf("ℓ=4: b = %d, want 5", a4.B)
+	}
+	if got := a4.Chi(); got != 7 { // 5 + log2(4) = 7: χ invariant in the trade
+		t.Errorf("ℓ=4: χ = %v, want 7", got)
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := NewUniform(0, 4); err == nil {
+		t.Error("ℓ=0 should fail")
+	}
+	if _, err := NewUniform(1, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := UniformFactory(0, 1); err == nil {
+		t.Error("factory with ℓ=0 should fail")
+	}
+}
+
+func TestUniformPhaseForDistance(t *testing.T) {
+	p, err := NewUniform(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		d    int64
+		want int
+	}{
+		{2, 1}, {4, 1}, {5, 2}, {16, 2}, {17, 3}, {256, 4},
+	}
+	for _, tt := range tests {
+		if got := p.PhaseForDistance(tt.d); got != tt.want {
+			t.Errorf("PhaseForDistance(%d) = %d, want %d", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestUniformFindsTarget(t *testing.T) {
+	const d = 16
+	f, err := UniformFactory(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunTrials(sim.Config{
+		NumAgents:  4,
+		Target:     grid.Point{X: d, Y: -d / 2},
+		HasTarget:  true,
+		MoveBudget: 1 << 22,
+	}, f, 20, 66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FoundFrac < 0.95 {
+		t.Fatalf("found fraction = %v, want ≥ 0.95", st.FoundFrac)
+	}
+}
+
+func TestUniformCloserTargetsFoundFaster(t *testing.T) {
+	// The whole point of the doubling estimate: a target at distance 4
+	// must be found in far fewer moves than one at distance 64.
+	f, err := UniformFactory(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(d int64) float64 {
+		t.Helper()
+		st, err := sim.RunTrials(sim.Config{
+			NumAgents:  2,
+			Target:     grid.Point{X: d, Y: 0},
+			HasTarget:  true,
+			MoveBudget: 1 << 24,
+		}, f, 25, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.FoundAll {
+			t.Fatalf("d=%d: found fraction %v", d, st.FoundFrac)
+		}
+		var s float64
+		for _, m := range st.Moves {
+			s += m
+		}
+		return s / float64(len(st.Moves))
+	}
+	near := mean(4)
+	far := mean(64)
+	if near >= far {
+		t.Errorf("mean moves d=4 (%v) should be below d=64 (%v)", near, far)
+	}
+}
+
+func TestUniformAudit(t *testing.T) {
+	p, err := NewUniform(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At distance 2^16, phase i0 = 16: three ⌈log i⌉-ish counters ≈
+	// 3 log log D + O(1).
+	a := p.AuditForDistance(1 << 16)
+	if a.B < 12 || a.B > 18 {
+		t.Errorf("b = %d, want ≈ 3·log log D + 3 = 15", a.B)
+	}
+	// χ must grow with log log D, not log D: doubling log D adds ≈ 3 bits.
+	a2 := p.AuditForDistance(1 << 32)
+	if a2.B-a.B > 6 {
+		t.Errorf("b grew from %d to %d between log D = 16 and 32: too fast", a.B, a2.B)
+	}
+}
+
+func TestUniformWithK(t *testing.T) {
+	p, err := NewUniform(1, 1, WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.kConst != 3 {
+		t.Errorf("kConst = %d, want 3", p.kConst)
+	}
+}
+
+func TestAlgorithm1MachineValid(t *testing.T) {
+	for _, d := range []int64{2, 3, 8, 100} {
+		m, err := Algorithm1Machine(d)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		if m.NumStates() != 5 {
+			t.Errorf("D=%d: %d states, want 5", d, m.NumStates())
+		}
+	}
+	if _, err := Algorithm1Machine(1); err == nil {
+		t.Error("D=1 should fail")
+	}
+}
+
+func TestAlgorithm1MachineMatchesProgram(t *testing.T) {
+	// Cross-validation: per-iteration displacement distribution of the
+	// 5-state machine must match Algorithm 1's program. Use D = 8, ℓ = 1,
+	// so 2^{kℓ} = D exactly and the coins agree. Compare mean moves per
+	// iteration (expected 2(D−1)) and the per-iteration probability of
+	// visiting the point (2, 1).
+	const (
+		d      = 8
+		trials = 60000
+	)
+	target := grid.Point{X: 2, Y: 1}
+
+	// Program side: one iteration = BoxSearch with k = log2 D.
+	prog, err := NewNonUniform(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rng.New(101)
+	var progMoves float64
+	progHits := 0
+	for i := 0; i < trials; i++ {
+		src := root.Derive(uint64(i))
+		env := sim.NewEnv(sim.EnvConfig{Target: target, HasTarget: true, Src: src})
+		coin := rng.MustCoin(1, src)
+		if err := prog.RunIteration(env, coin); err != nil {
+			t.Fatal(err)
+		}
+		progMoves += float64(env.Moves())
+		if env.Found() {
+			progHits++
+		}
+	}
+
+	// Machine side: walk until the origin state recurs = one iteration.
+	m, err := Algorithm1Machine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var machMoves float64
+	machHits := 0
+	root2 := rng.New(202)
+	for i := 0; i < trials; i++ {
+		// One machine iteration: steps until the origin state recurs.
+		w := newIterationWalker(m, root2.Derive(uint64(i)))
+		moves, found := w.runOneIteration(target)
+		machMoves += float64(moves)
+		if found {
+			machHits++
+		}
+	}
+
+	progMean := progMoves / trials
+	machMean := machMoves / trials
+	if math.Abs(progMean-machMean) > 0.05*math.Max(progMean, machMean)+0.5 {
+		t.Errorf("mean moves per iteration: program %v vs machine %v", progMean, machMean)
+	}
+	wantMean := 2 * float64(d-1)
+	if math.Abs(progMean-wantMean) > 0.1*wantMean {
+		t.Errorf("program mean moves %v, want ≈ %v", progMean, wantMean)
+	}
+	pProg := float64(progHits) / trials
+	pMach := float64(machHits) / trials
+	if math.Abs(pProg-pMach) > 0.25*math.Max(pProg, pMach)+0.002 {
+		t.Errorf("iteration hit probability: program %v vs machine %v", pProg, pMach)
+	}
+}

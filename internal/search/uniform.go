@@ -1,0 +1,184 @@
+package search
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// MinK is the smallest K Algorithm 5 accepts.
+const MinK = 2
+
+// DefaultKForEll returns the default value of Algorithm 5's constant K ("a
+// sufficiently large constant") for base precision ℓ. The proofs of Lemmas
+// 3.12–3.13 need 2^{Kℓ} large against the 2^{iℓ+6} per-point visit bound of
+// Lemma 3.9; concretely, each phase beyond i₀ succeeds with probability
+// ≈ 1 − exp(−2^{Kℓ−6}) while costing 2^{2ℓ} times the previous phase, so
+// the expected total cost is finite only when the per-phase failure
+// probability is below 2^{−2ℓ}. Kℓ ≈ 8 is the smallest product satisfying
+// that with margin; larger K only multiplies every phase by 2^{(K−8/ℓ)ℓ}.
+func DefaultKForEll(ell uint) uint {
+	k := (8 + ell - 1) / ell // ⌈8/ℓ⌉
+	if k < MinK {
+		k = MinK
+	}
+	return k
+}
+
+// Uniform is the paper's Algorithm 5, the search algorithm that is uniform
+// in D: the agent iterates phases i = 1, 2, ..., maintaining the distance
+// estimate 2^{iℓ}, and in phase i performs a geometrically-distributed
+// number (mean ≈ ρ_i = 2^{(K+max{i−⌊log n/ℓ⌋, 0})ℓ}) of search(i, ℓ) probes.
+//
+// With n agents the minimum over agents of the expected moves to find a
+// target within distance D is (D²/n + D)·2^{O(ℓ)} (Theorem 3.14) and
+// χ ≤ 3 log log D + O(1).
+type Uniform struct {
+	ell     uint
+	n       int
+	kConst  uint
+	maxKL   uint // cap on composite exponent to stay within coin precision
+	logNell int  // ⌊log₂(n)/ℓ⌋
+	// phaseReturn returns to the origin once per phase instead of once
+	// per probe (the AB1 ablation; see WithPhaseReturn).
+	phaseReturn bool
+}
+
+var _ sim.Program = (*Uniform)(nil)
+
+// UniformOption customizes the Uniform algorithm.
+type UniformOption func(*Uniform)
+
+// WithK overrides Algorithm 5's constant K.
+func WithK(k uint) UniformOption {
+	return func(u *Uniform) { u.kConst = k }
+}
+
+// NewUniform configures the algorithm for base-coin precision ℓ ≥ 1 and
+// agent count n ≥ 1 (the algorithm is non-uniform in n, per the paper's
+// simplification; the agents' machine depends on n).
+func NewUniform(ell uint, n int, opts ...UniformOption) (*Uniform, error) {
+	if ell < 1 || ell > rng.MaxEll {
+		return nil, fmt.Errorf("search: ℓ=%d out of [1,%d]", ell, rng.MaxEll)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("search: agent count %d must be positive", n)
+	}
+	u := &Uniform{
+		ell:     ell,
+		n:       n,
+		kConst:  DefaultKForEll(ell),
+		maxKL:   rng.MaxEll,
+		logNell: bits.Len(uint(n)) - 1, // ⌊log₂ n⌋, then divided by ℓ below
+	}
+	u.logNell = u.logNell / int(ell)
+	for _, opt := range opts {
+		opt(u)
+	}
+	return u, nil
+}
+
+// UniformFactory returns a sim.Factory for the configuration.
+func UniformFactory(ell uint, n int, opts ...UniformOption) (sim.Factory, error) {
+	p, err := NewUniform(ell, n, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return func() sim.Program { return p }, nil
+}
+
+// PhaseForDistance returns i₀ = ⌈log_{2^ℓ} D⌉, the first phase whose
+// estimate 2^{iℓ} reaches D (Corollary 3.11's threshold).
+func (p *Uniform) PhaseForDistance(d int64) int {
+	if d < 2 {
+		return 1
+	}
+	logD := CeilLog2(d)
+	i0 := (logD + int(p.ell) - 1) / int(p.ell)
+	if i0 < 1 {
+		i0 = 1
+	}
+	return i0
+}
+
+// AuditAt returns the χ account of the algorithm when it has reached phase
+// i: a phase counter (⌈log i⌉ bits, the paper's log log D term since
+// i₀ ≈ log D/ℓ), Algorithm 2's flip counter for the per-phase repetition
+// coin (⌈log(K+i)⌉ bits), and the walk coin counter (⌈log i⌉ bits), plus
+// the constant-size control skeleton — the paper's b = 3 log log_{2^ℓ} D +
+// O(1) (Section 3.2).
+func (p *Uniform) AuditAt(i int) Audit {
+	if i < 1 {
+		i = 1
+	}
+	regs := []Register{
+		{Name: "control (Algorithm 5 skeleton)", Bits: 3},
+		{Name: "phase counter i", Bits: CeilLog2(int64(i) + 1)},
+		{Name: "repetition coin counter (coin(K+i', ℓ))", Bits: CeilLog2(int64(p.kConst) + int64(i) + 1)},
+		{Name: "walk coin counter (coin(i, ℓ))", Bits: CeilLog2(int64(i) + 1)},
+	}
+	return Audit{
+		Algorithm: "uniform-search",
+		Ell:       p.ell,
+		Registers: regs,
+		B:         sumRegisters(regs),
+	}
+}
+
+// AuditForDistance is AuditAt at the phase i₀ that first covers distance d.
+func (p *Uniform) AuditForDistance(d int64) Audit {
+	return p.AuditAt(p.PhaseForDistance(d))
+}
+
+// Run executes phases until the environment is done. Phase i performs
+// search(i, ℓ) probes while the repetition coin shows heads, returning to
+// the origin after every probe so that each probe starts at the origin
+// (the precondition of Lemma 3.9).
+func (p *Uniform) Run(env *sim.Env) error {
+	coin, err := rng.NewCoin(p.ell, env.Src())
+	if err != nil {
+		return fmt.Errorf("search: uniform run: %w", err)
+	}
+	for i := uint(1); !env.Done(); i++ {
+		// Cap exponents so composite coins stay within precision; in any
+		// sane configuration the move budget ends the run long before.
+		searchK := i
+		if searchK*p.ell > p.maxKL {
+			searchK = p.maxKL / p.ell
+		}
+		repK := p.repetitionK(int(i))
+		for !env.Done() && !coin.Composite(repK) {
+			if err := BoxSearch(env, coin, searchK); err != nil {
+				return err
+			}
+			if env.Done() {
+				return nil
+			}
+			if !p.phaseReturn {
+				env.ReturnToOrigin()
+			}
+		}
+		if p.phaseReturn && !env.Done() {
+			env.ReturnToOrigin()
+		}
+	}
+	return nil
+}
+
+// repetitionK returns the composite-coin parameter of phase i's repetition
+// coin: K + max{i − ⌊log n / ℓ⌋, 0}, capped to coin precision.
+func (p *Uniform) repetitionK(i int) uint {
+	k := int(p.kConst)
+	if extra := i - p.logNell; extra > 0 {
+		k += extra
+	}
+	if uint(k)*p.ell > p.maxKL {
+		k = int(p.maxKL / p.ell)
+		if k < 1 {
+			k = 1
+		}
+	}
+	return uint(k)
+}

@@ -1,0 +1,200 @@
+// Package sim is the execution engine for the ANTS search problem: it runs
+// n independent agents (each a Program or a compiled automaton) against a
+// target placement and reports the paper's performance metrics M_moves and
+// M_steps (minimum over agents of the moves/steps until the target is
+// found).
+//
+// Because agents are non-communicating and identical, the first agent to
+// find the target is simply the one whose independent run has the smallest
+// hitting count; the engine therefore simulates agents independently and in
+// parallel, with per-agent deterministic substreams derived from a root
+// seed.
+package sim
+
+import (
+	"errors"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// ErrBudget is the sentinel returned by Env methods' error value when an
+// agent exhausts its move or step budget. Programs should stop promptly
+// when they observe it.
+var ErrBudget = errors.New("sim: move budget exhausted")
+
+// Env is the interface between an agent program and the world. It tracks
+// the agent's position, counts moves and steps, detects the target, and
+// enforces the move budget. An Env is used by a single agent; it is not
+// safe for concurrent use.
+type Env struct {
+	target    grid.Point
+	hasTarget bool
+	budget    uint64 // max moves (grid actions); 0 = unlimited
+	src       *rng.Source
+
+	pos     grid.Point
+	moves   uint64
+	steps   uint64
+	found   bool
+	foundAt uint64 // move count at the moment of discovery
+	visited *grid.VisitSet
+	path    []grid.Point // recorded trajectory, nil unless requested
+	hook    EnvHook
+}
+
+// EnvConfig configures an agent environment.
+type EnvConfig struct {
+	// Target is the point to find; HasTarget false means a pure coverage
+	// run (agents never "find" anything).
+	Target    grid.Point
+	HasTarget bool
+	// MoveBudget caps the number of grid moves; 0 means unlimited.
+	MoveBudget uint64
+	// Src is the agent's private random source.
+	Src *rng.Source
+	// TrackVisits, when non-nil, records every visited cell (including the
+	// origin) into the given set. Used by coverage experiments.
+	TrackVisits *grid.VisitSet
+	// RecordPath, when true, appends every position (starting at the
+	// origin, including oracle returns) to the trajectory returned by
+	// Path. Intended for visualization of single agents; it grows without
+	// bound, so leave it off in large sweeps.
+	RecordPath bool
+	// Hook, when non-nil, observes the agent's grid events (used by the
+	// trace package). Hook methods run synchronously on the agent's
+	// simulation path; keep them cheap.
+	Hook EnvHook
+}
+
+// EnvHook observes one agent's grid events.
+type EnvHook interface {
+	// OnMove fires after each completed move.
+	OnMove(pos grid.Point, moveIndex uint64)
+	// OnReturn fires after each oracle return to the origin.
+	OnReturn()
+	// OnFound fires once, when the agent steps on the target.
+	OnFound(pos grid.Point, moveIndex uint64)
+}
+
+// NewEnv creates an environment. The agent starts at the origin; if the
+// target is the origin it is found immediately at zero moves.
+func NewEnv(cfg EnvConfig) *Env {
+	e := &Env{
+		target:    cfg.Target,
+		hasTarget: cfg.HasTarget,
+		budget:    cfg.MoveBudget,
+		src:       cfg.Src,
+		visited:   cfg.TrackVisits,
+		hook:      cfg.Hook,
+	}
+	if e.visited != nil {
+		e.visited.Visit(grid.Origin)
+	}
+	if cfg.RecordPath {
+		e.path = []grid.Point{grid.Origin}
+	}
+	if e.hasTarget && e.target == grid.Origin {
+		e.found = true
+	}
+	return e
+}
+
+// Path returns the recorded trajectory (nil unless RecordPath was set).
+// The returned slice is a copy.
+func (e *Env) Path() []grid.Point {
+	if e.path == nil {
+		return nil
+	}
+	return append([]grid.Point(nil), e.path...)
+}
+
+// Src returns the agent's random source (programs build their coins on it).
+func (e *Env) Src() *rng.Source { return e.src }
+
+// Pos returns the agent's current position.
+func (e *Env) Pos() grid.Point { return e.pos }
+
+// Moves returns the number of grid moves performed so far.
+func (e *Env) Moves() uint64 { return e.moves }
+
+// Steps returns the number of Markov-chain steps recorded via CountStep
+// plus one per move.
+func (e *Env) Steps() uint64 { return e.steps }
+
+// Found reports whether the agent has stepped on the target.
+func (e *Env) Found() bool { return e.found }
+
+// FoundAt returns the move count at which the target was found; it is
+// meaningful only when Found is true.
+func (e *Env) FoundAt() uint64 { return e.foundAt }
+
+// Done reports whether the agent should stop: it found the target or ran
+// out of budget.
+func (e *Env) Done() bool {
+	return e.found || (e.budget > 0 && e.moves >= e.budget)
+}
+
+// CountStep records a non-moving Markov-chain step (a "none" state, or a
+// local coin flip the caller wants accounted as a step).
+func (e *Env) CountStep() {
+	e.steps++
+}
+
+// Move moves the agent one cell in direction d. It returns ErrBudget when
+// the move budget was already exhausted (the move is not performed).
+// Discovery of the target is recorded but does not stop the agent; callers
+// check Done.
+func (e *Env) Move(d grid.Direction) error {
+	if e.budget > 0 && e.moves >= e.budget {
+		return ErrBudget
+	}
+	e.pos = e.pos.Move(d)
+	e.moves++
+	e.steps++
+	if e.visited != nil {
+		e.visited.Visit(e.pos)
+	}
+	if e.path != nil {
+		e.path = append(e.path, e.pos)
+	}
+	if e.hook != nil {
+		e.hook.OnMove(e.pos, e.moves)
+	}
+	if e.hasTarget && !e.found && e.pos == e.target {
+		e.found = true
+		e.foundAt = e.moves
+		if e.hook != nil {
+			e.hook.OnFound(e.pos, e.moves)
+		}
+	}
+	return nil
+}
+
+// ReturnToOrigin teleports the agent to the origin. Per the paper's model
+// the return path is provided by an oracle and its length is excluded from
+// the move count.
+func (e *Env) ReturnToOrigin() {
+	e.pos = grid.Origin
+	e.steps++
+	if e.path != nil {
+		e.path = append(e.path, e.pos)
+	}
+	if e.hook != nil {
+		e.hook.OnReturn()
+	}
+}
+
+// Program is an agent algorithm. Run executes the agent until env.Done()
+// (target found or budget exhausted) and returns nil, or returns an error
+// for genuine failures (invalid configuration). Run must be deterministic
+// given env.Src().
+type Program interface {
+	Run(env *Env) error
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(env *Env) error
+
+// Run implements Program.
+func (f ProgramFunc) Run(env *Env) error { return f(env) }

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"errors"
+
+	"repro/internal/automata"
+)
+
+// MachineProgram adapts a compiled automaton to the Program interface: each
+// Markov-chain transition becomes one step, movement labels become grid
+// moves, and origin labels invoke the oracle return. A step budget (in
+// Markov steps, the lower bound's unit) can cap runs of machines that never
+// find the target.
+type MachineProgram struct {
+	machine    *automata.Machine
+	stepBudget uint64 // 0 = unlimited
+}
+
+var _ Program = (*MachineProgram)(nil)
+
+// NewMachineProgram wraps a machine. stepBudget caps the number of Markov
+// steps (0 = unlimited; then the env's move budget must be set).
+func NewMachineProgram(m *automata.Machine, stepBudget uint64) (*MachineProgram, error) {
+	if m == nil {
+		return nil, errors.New("sim: nil machine")
+	}
+	return &MachineProgram{machine: m, stepBudget: stepBudget}, nil
+}
+
+// MachineFactory returns a Factory producing programs for m. The returned
+// programs are stateless between runs, so a single instance is shared.
+func MachineFactory(m *automata.Machine, stepBudget uint64) (Factory, error) {
+	prog, err := NewMachineProgram(m, stepBudget)
+	if err != nil {
+		return nil, err
+	}
+	return func() Program { return prog }, nil
+}
+
+// Run implements Program: it walks the machine until the environment is
+// done or the step budget runs out.
+func (p *MachineProgram) Run(env *Env) error {
+	w := automata.NewWalker(p.machine, env.Src())
+	for !env.Done() {
+		if p.stepBudget > 0 && w.Steps() >= p.stepBudget {
+			return nil
+		}
+		label := w.Step()
+		switch label {
+		case automata.LabelUp, automata.LabelDown, automata.LabelLeft, automata.LabelRight:
+			d, _ := label.Direction()
+			if err := env.Move(d); err != nil {
+				if errors.Is(err, ErrBudget) {
+					return nil
+				}
+				return err
+			}
+		case automata.LabelOrigin:
+			env.ReturnToOrigin()
+		default:
+			env.CountStep()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/automata"
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// This file implements the synchronous execution model of the paper's
+// Section 2 ("a round of an execution consists of one transition of each
+// agent"). The asynchronous engine in runner.go is equivalent for the
+// M_moves/M_steps metrics because agents are independent, but the
+// round-based engine additionally exposes the swarm's joint state over
+// time to observers — the view the Section 4 arguments (and the coverage-
+// growth experiment) are about.
+
+// AgentState is one agent's snapshot at the end of a round.
+type AgentState struct {
+	Pos   grid.Point
+	State int // Markov-chain state index
+	Found bool
+}
+
+// RoundObserver receives the swarm snapshot after each round. Observe runs
+// on the caller's goroutine between rounds; it must not retain the agents
+// slice (it is reused).
+type RoundObserver interface {
+	Observe(round uint64, agents []AgentState)
+}
+
+// RoundObserverFunc adapts a function to RoundObserver.
+type RoundObserverFunc func(round uint64, agents []AgentState)
+
+// Observe implements RoundObserver.
+func (f RoundObserverFunc) Observe(round uint64, agents []AgentState) { f(round, agents) }
+
+// RoundsConfig parameterizes a synchronous run.
+type RoundsConfig struct {
+	// Machine is the agents' automaton (all agents are identical).
+	Machine *automata.Machine
+	// NumAgents is the swarm size n.
+	NumAgents int
+	// Rounds is the number of synchronous rounds to execute.
+	Rounds uint64
+	// Target is found when any agent's position equals it.
+	Target    grid.Point
+	HasTarget bool
+	// StopOnFound ends the run at the end of the round in which the
+	// target is first found.
+	StopOnFound bool
+	// TrackRadius, when positive, maintains the union visit set.
+	TrackRadius int64
+	// Workers bounds per-round stepping concurrency (0 = GOMAXPROCS).
+	Workers int
+}
+
+// RoundsResult is the outcome of a synchronous run.
+type RoundsResult struct {
+	// Found reports whether any agent reached the target.
+	Found bool
+	// FoundRound is the 1-based round at which the target was first
+	// reached (0 when not found) — the metric of Theorem 4.1.
+	FoundRound uint64
+	// RoundsRun is the number of rounds actually executed.
+	RoundsRun uint64
+	// Visited is the union visit set when tracking was requested.
+	Visited *grid.VisitSet
+}
+
+// RunRounds executes the swarm in lockstep. Observers (optional, may be
+// nil) see the exact synchronous trajectory the paper's model defines.
+func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult, error) {
+	if cfg.Machine == nil {
+		return nil, errors.New("sim: nil machine")
+	}
+	if cfg.NumAgents < 1 {
+		return nil, fmt.Errorf("sim: need at least one agent, got %d", cfg.NumAgents)
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("sim: need at least one round, got %d", cfg.Rounds)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.NumAgents {
+		workers = cfg.NumAgents
+	}
+
+	root := rng.New(seed)
+	walkers := make([]*automata.Walker, cfg.NumAgents)
+	for i := range walkers {
+		walkers[i] = automata.NewWalker(cfg.Machine, root.Derive(uint64(i)))
+	}
+	agents := make([]AgentState, cfg.NumAgents)
+	for i := range agents {
+		agents[i] = AgentState{Pos: grid.Origin, State: cfg.Machine.Start()}
+	}
+
+	var visited *grid.VisitSet
+	if cfg.TrackRadius > 0 {
+		visited = grid.NewVisitSet(cfg.TrackRadius)
+		visited.Visit(grid.Origin)
+	}
+
+	res := &RoundsResult{}
+	// Origin target is found before any round.
+	if cfg.HasTarget && cfg.Target == grid.Origin {
+		res.Found = true
+	}
+
+	chunk := (cfg.NumAgents + workers - 1) / workers
+	var wg sync.WaitGroup
+	for round := uint64(1); round <= cfg.Rounds; round++ {
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > cfg.NumAgents {
+				hi = cfg.NumAgents
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					walkers[i].Step()
+					agents[i].Pos = walkers[i].Pos()
+					agents[i].State = walkers[i].State()
+					if cfg.HasTarget && agents[i].Pos == cfg.Target {
+						agents[i].Found = true
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		res.RoundsRun = round
+		for i := range agents {
+			if visited != nil {
+				visited.Visit(agents[i].Pos)
+			}
+			if agents[i].Found && !res.Found {
+				res.Found = true
+				res.FoundRound = round
+			}
+		}
+		if obs != nil {
+			obs.Observe(round, agents)
+		}
+		if res.Found && cfg.StopOnFound {
+			break
+		}
+	}
+	res.Visited = visited
+	return res, nil
+}
+
+// CoverageCurve runs the swarm synchronously and samples the cumulative
+// number of distinct visited cells (within radius) at each checkpoint
+// round. Checkpoints must be strictly increasing; the last one bounds the
+// run length.
+func CoverageCurve(machine *automata.Machine, numAgents int, radius int64, checkpoints []uint64, seed uint64) ([]int64, error) {
+	if len(checkpoints) == 0 {
+		return nil, errors.New("sim: no checkpoints")
+	}
+	for i := 1; i < len(checkpoints); i++ {
+		if checkpoints[i] <= checkpoints[i-1] {
+			return nil, fmt.Errorf("sim: checkpoints must increase (%d after %d)",
+				checkpoints[i], checkpoints[i-1])
+		}
+	}
+	counts := make([]int64, len(checkpoints))
+	visited := grid.NewVisitSet(radius)
+	visited.Visit(grid.Origin)
+	next := 0
+	obs := RoundObserverFunc(func(round uint64, agents []AgentState) {
+		for i := range agents {
+			visited.Visit(agents[i].Pos)
+		}
+		for next < len(checkpoints) && round == checkpoints[next] {
+			counts[next] = visited.CountInBall()
+			next++
+		}
+	})
+	_, err := RunRounds(RoundsConfig{
+		Machine:   machine,
+		NumAgents: numAgents,
+		Rounds:    checkpoints[len(checkpoints)-1],
+	}, obs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}

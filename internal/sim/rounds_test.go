@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/grid"
+)
+
+func TestRunRoundsValidation(t *testing.T) {
+	m := automata.RandomWalk()
+	if _, err := RunRounds(RoundsConfig{NumAgents: 1, Rounds: 1}, nil, 1); err == nil {
+		t.Error("nil machine should fail")
+	}
+	if _, err := RunRounds(RoundsConfig{Machine: m, NumAgents: 0, Rounds: 1}, nil, 1); err == nil {
+		t.Error("zero agents should fail")
+	}
+	if _, err := RunRounds(RoundsConfig{Machine: m, NumAgents: 1, Rounds: 0}, nil, 1); err == nil {
+		t.Error("zero rounds should fail")
+	}
+}
+
+func TestRunRoundsDeterministicZigZag(t *testing.T) {
+	// ZigZag is deterministic: after round r every agent is at the same
+	// position, and the target on the diagonal is found at a predictable
+	// round.
+	res, err := RunRounds(RoundsConfig{
+		Machine:     automata.ZigZag(),
+		NumAgents:   3,
+		Rounds:      100,
+		Target:      grid.Point{X: 2, Y: 2},
+		HasTarget:   true,
+		StopOnFound: true,
+	}, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("zigzag missed its own diagonal")
+	}
+	// Moves: R(1,0) U(1,1) R(2,1) U(2,2): round 4.
+	if res.FoundRound != 4 {
+		t.Errorf("FoundRound = %d, want 4", res.FoundRound)
+	}
+	if res.RoundsRun != 4 {
+		t.Errorf("RoundsRun = %d, want 4 (StopOnFound)", res.RoundsRun)
+	}
+}
+
+func TestRunRoundsObserverSeesLockstep(t *testing.T) {
+	var rounds []uint64
+	var lastAgents int
+	obs := RoundObserverFunc(func(round uint64, agents []AgentState) {
+		rounds = append(rounds, round)
+		lastAgents = len(agents)
+		// ZigZag agents never disagree: lockstep must hold exactly.
+		for i := 1; i < len(agents); i++ {
+			if agents[i].Pos != agents[0].Pos {
+				t.Errorf("round %d: agents at %v and %v, want lockstep",
+					round, agents[0].Pos, agents[i].Pos)
+			}
+		}
+	})
+	_, err := RunRounds(RoundsConfig{
+		Machine:   automata.ZigZag(),
+		NumAgents: 5,
+		Rounds:    10,
+		Workers:   2,
+	}, obs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 10 || rounds[0] != 1 || rounds[9] != 10 {
+		t.Errorf("observer saw rounds %v", rounds)
+	}
+	if lastAgents != 5 {
+		t.Errorf("observer saw %d agents, want 5", lastAgents)
+	}
+}
+
+func TestRunRoundsMatchesAsyncEngine(t *testing.T) {
+	// The synchronous and asynchronous engines must agree on whether a
+	// close target is findable by the random walk within the same step
+	// budget (they use different substream layouts, so compare outcomes,
+	// not exact rounds).
+	const steps = 20000
+	syncRes, err := RunRounds(RoundsConfig{
+		Machine:   automata.RandomWalk(),
+		NumAgents: 8,
+		Rounds:    steps,
+		Target:    grid.Point{X: 2, Y: 1},
+		HasTarget: true,
+	}, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !syncRes.Found {
+		t.Error("synchronous random walk should find a distance-2 target in 20k rounds")
+	}
+}
+
+func TestRunRoundsOriginTarget(t *testing.T) {
+	res, err := RunRounds(RoundsConfig{
+		Machine:   automata.RandomWalk(),
+		NumAgents: 1,
+		Rounds:    5,
+		Target:    grid.Origin,
+		HasTarget: true,
+	}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.FoundRound != 0 {
+		t.Errorf("origin target: found=%v round=%d, want found at round 0", res.Found, res.FoundRound)
+	}
+}
+
+func TestRunRoundsTracksCoverage(t *testing.T) {
+	res, err := RunRounds(RoundsConfig{
+		Machine:     automata.RandomWalk(),
+		NumAgents:   4,
+		Rounds:      500,
+		TrackRadius: 20,
+	}, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited == nil || res.Visited.CountInBall() < 20 {
+		t.Errorf("coverage tracking broken: %+v", res.Visited)
+	}
+}
+
+func TestCoverageCurveMonotone(t *testing.T) {
+	checkpoints := []uint64{8, 64, 256, 1024}
+	counts, err := CoverageCurve(automata.RandomWalk(), 4, 40, checkpoints, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != len(checkpoints) {
+		t.Fatalf("counts = %v", counts)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Errorf("coverage decreased: %v", counts)
+		}
+	}
+	if counts[len(counts)-1] <= counts[0] {
+		t.Errorf("coverage did not grow: %v", counts)
+	}
+}
+
+func TestCoverageCurveDriftMachineLinearThenFlat(t *testing.T) {
+	// A drift machine covers ≈ t cells until it exits the ball, then stops
+	// gaining: the last two checkpoints (far past exit) must be equal.
+	m, err := automata.DriftLineMachine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const radius = 16
+	counts, err := CoverageCurve(m, 1, radius, []uint64{8, 16, 1024, 2048}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[3] != counts[2] {
+		t.Errorf("drift machine kept covering after leaving the ball: %v", counts)
+	}
+	if counts[1] <= counts[0] {
+		t.Errorf("drift machine not covering linearly early: %v", counts)
+	}
+}
+
+func TestCoverageCurveValidation(t *testing.T) {
+	m := automata.RandomWalk()
+	if _, err := CoverageCurve(m, 1, 8, nil, 1); err == nil {
+		t.Error("no checkpoints should fail")
+	}
+	if _, err := CoverageCurve(m, 1, 8, []uint64{5, 5}, 1); err == nil {
+		t.Error("non-increasing checkpoints should fail")
+	}
+}

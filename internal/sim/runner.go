@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// Factory builds a fresh Program instance for one agent. It is invoked once
+// per agent per trial; instances must not share mutable state.
+type Factory func() Program
+
+// Config describes one multi-agent search instance.
+type Config struct {
+	// NumAgents is the paper's n.
+	NumAgents int
+	// Target is the target position (max-norm distance at most D in the
+	// experiments). HasTarget false runs a pure coverage experiment.
+	Target    grid.Point
+	HasTarget bool
+	// MoveBudget caps each agent's moves; 0 means unlimited (only safe for
+	// algorithms guaranteed to find the target).
+	MoveBudget uint64
+	// TrackRadius, when positive, records every cell visited by any agent
+	// into a merged VisitSet with the given dense radius.
+	TrackRadius int64
+	// Workers bounds the concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// HookFactory, when non-nil, builds an event hook per agent id (may
+	// return nil for agents that should not be observed). Hooks fire from
+	// worker goroutines; implementations observing multiple agents must be
+	// concurrency-safe.
+	HookFactory func(agentID int) EnvHook
+}
+
+// AgentResult is the outcome of one agent's run.
+type AgentResult struct {
+	Found bool
+	// Moves is the agent's move count when it found the target, or the
+	// total moves consumed when it did not.
+	Moves uint64
+	// Steps is the corresponding Markov-step count.
+	Steps uint64
+}
+
+// Result is the outcome of one multi-agent search.
+type Result struct {
+	// Found reports whether any agent found the target.
+	Found bool
+	// MinMoves is the paper's M_moves: the minimum over agents that found
+	// the target of their move count. Zero-valued when Found is false.
+	MinMoves uint64
+	// MinSteps is M_steps, analogously.
+	MinSteps uint64
+	// Agents holds the per-agent outcomes, indexed by agent id.
+	Agents []AgentResult
+	// Visited is the union of visited cells across agents when the config
+	// requested tracking, nil otherwise.
+	Visited *grid.VisitSet
+}
+
+// Run executes one search instance: NumAgents independent copies of the
+// program race to find the target. The root source seeds per-agent
+// substreams, so results are reproducible. Agent errors other than budget
+// exhaustion abort the run.
+func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
+	if cfg.NumAgents < 1 {
+		return nil, fmt.Errorf("sim: need at least one agent, got %d", cfg.NumAgents)
+	}
+	if factory == nil {
+		return nil, errors.New("sim: nil program factory")
+	}
+	if root == nil {
+		return nil, errors.New("sim: nil random source")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.NumAgents {
+		workers = cfg.NumAgents
+	}
+
+	res := &Result{Agents: make([]AgentResult, cfg.NumAgents)}
+	visits := make([]*grid.VisitSet, 0, workers)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	for w := 0; w < workers; w++ {
+		var track *grid.VisitSet
+		if cfg.TrackRadius > 0 {
+			track = grid.NewVisitSet(cfg.TrackRadius)
+			visits = append(visits, track)
+		}
+		wg.Add(1)
+		go func(track *grid.VisitSet) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= cfg.NumAgents {
+					mu.Unlock()
+					return
+				}
+				id := next
+				next++
+				mu.Unlock()
+
+				var hook EnvHook
+				if cfg.HookFactory != nil {
+					hook = cfg.HookFactory(id)
+				}
+				env := NewEnv(EnvConfig{
+					Target:      cfg.Target,
+					HasTarget:   cfg.HasTarget,
+					MoveBudget:  cfg.MoveBudget,
+					Src:         root.Derive(uint64(id)),
+					TrackVisits: track,
+					Hook:        hook,
+				})
+				err := factory().Run(env)
+				mu.Lock()
+				if err != nil && !errors.Is(err, ErrBudget) && firstErr == nil {
+					firstErr = fmt.Errorf("sim: agent %d: %w", id, err)
+					mu.Unlock()
+					return
+				}
+				res.Agents[id] = AgentResult{
+					Found: env.Found(),
+					Moves: movesOf(env),
+					Steps: env.Steps(),
+				}
+				mu.Unlock()
+			}
+		}(track)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res.MinMoves = math.MaxUint64
+	res.MinSteps = math.MaxUint64
+	for _, a := range res.Agents {
+		if !a.Found {
+			continue
+		}
+		res.Found = true
+		if a.Moves < res.MinMoves {
+			res.MinMoves = a.Moves
+		}
+		if a.Steps < res.MinSteps {
+			res.MinSteps = a.Steps
+		}
+	}
+	if !res.Found {
+		res.MinMoves = 0
+		res.MinSteps = 0
+	}
+	if cfg.TrackRadius > 0 {
+		merged := grid.NewVisitSet(cfg.TrackRadius)
+		for _, v := range visits {
+			merged.Merge(v)
+		}
+		res.Visited = merged
+	}
+	return res, nil
+}
+
+func movesOf(e *Env) uint64 {
+	if e.Found() {
+		return e.FoundAt()
+	}
+	return e.Moves()
+}
+
+// TrialStats aggregates M_moves over repeated trials of the same config.
+type TrialStats struct {
+	Trials    int
+	FoundAll  bool      // every trial found the target
+	FoundFrac float64   // fraction of trials that found the target
+	Moves     []float64 // M_moves of each successful trial
+	Steps     []float64 // M_steps of each successful trial
+}
+
+// RunTrials repeats Run with independent substreams and collects M_moves.
+// Trials are executed sequentially; the agents within each trial already
+// fan out over the worker pool.
+func RunTrials(cfg Config, factory Factory, trials int, seed uint64) (*TrialStats, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("sim: need at least one trial, got %d", trials)
+	}
+	root := rng.New(seed)
+	st := &TrialStats{Trials: trials}
+	found := 0
+	for t := 0; t < trials; t++ {
+		res, err := Run(cfg, factory, root.Derive(uint64(t)))
+		if err != nil {
+			return nil, fmt.Errorf("sim: trial %d: %w", t, err)
+		}
+		if res.Found {
+			found++
+			st.Moves = append(st.Moves, float64(res.MinMoves))
+			st.Steps = append(st.Steps, float64(res.MinSteps))
+		}
+	}
+	st.FoundFrac = float64(found) / float64(trials)
+	st.FoundAll = found == trials
+	return st, nil
+}

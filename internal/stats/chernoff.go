@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chernoff bounds as stated in the paper's Appendix A (Theorems A.3, A.4).
+// The experiments use them to set thresholds ("how unlikely is this
+// deviation if the lemma holds?") and the tests verify empirical binomial
+// concentration against them.
+
+// ChernoffUpper bounds P[X > (1+δ)μ] ≤ exp(−δ²μ/2) for a sum X of
+// independent 0/1 variables with mean μ and 0 ≤ δ ≤ 1 (Appendix A, eq. 4).
+func ChernoffUpper(mu, delta float64) (float64, error) {
+	if err := checkChernoff(mu, delta); err != nil {
+		return 0, err
+	}
+	return math.Exp(-delta * delta * mu / 2), nil
+}
+
+// ChernoffLower bounds P[X < (1−δ)μ] ≤ exp(−δ²μ/3) (Appendix A, eq. 5).
+func ChernoffLower(mu, delta float64) (float64, error) {
+	if err := checkChernoff(mu, delta); err != nil {
+		return 0, err
+	}
+	return math.Exp(-delta * delta * mu / 3), nil
+}
+
+// ChernoffTwoSided bounds P[|X − μ| > δμ] ≤ 2·exp(−δ²μ/3) (Appendix A,
+// eq. 6, as used in Lemma 4.9).
+func ChernoffTwoSided(mu, delta float64) (float64, error) {
+	if err := checkChernoff(mu, delta); err != nil {
+		return 0, err
+	}
+	return 2 * math.Exp(-delta*delta*mu/3), nil
+}
+
+func checkChernoff(mu, delta float64) error {
+	if mu < 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return fmt.Errorf("stats: chernoff mean %v must be a non-negative finite number", mu)
+	}
+	if delta < 0 || delta > 1 {
+		return fmt.Errorf("stats: chernoff δ = %v out of [0, 1]", delta)
+	}
+	return nil
+}

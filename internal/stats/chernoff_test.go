@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestChernoffValues(t *testing.T) {
+	up, err := ChernoffUpper(100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Exp(-0.25 * 100 / 2); math.Abs(up-want) > 1e-15 {
+		t.Errorf("upper = %v, want %v", up, want)
+	}
+	lo, err := ChernoffLower(100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Exp(-0.25 * 100 / 3); math.Abs(lo-want) > 1e-15 {
+		t.Errorf("lower = %v, want %v", lo, want)
+	}
+	two, err := ChernoffTwoSided(100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(two-2*lo) > 1e-15 {
+		t.Errorf("two-sided = %v, want %v", two, 2*lo)
+	}
+}
+
+func TestChernoffValidation(t *testing.T) {
+	if _, err := ChernoffUpper(-1, 0.5); err == nil {
+		t.Error("negative mean should fail")
+	}
+	if _, err := ChernoffLower(1, 1.5); err == nil {
+		t.Error("δ > 1 should fail")
+	}
+	if _, err := ChernoffTwoSided(math.NaN(), 0.5); err == nil {
+		t.Error("NaN mean should fail")
+	}
+}
+
+func TestChernoffBoundsHoldEmpirically(t *testing.T) {
+	// Binomial(n = 4000, p = 1/4): μ = 1000. Measure the empirical tail
+	// frequencies at δ = 0.1 over many experiments; they must not exceed
+	// the bounds (with slack for sampling noise of the frequency itself).
+	const (
+		n      = 4000
+		p      = 0.25
+		mu     = n * p
+		delta  = 0.1
+		trials = 2000
+	)
+	src := rng.New(909)
+	overCount, underCount := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		x := 0
+		for i := 0; i < n; i++ {
+			if src.Float64() < p {
+				x++
+			}
+		}
+		if float64(x) > (1+delta)*mu {
+			overCount++
+		}
+		if float64(x) < (1-delta)*mu {
+			underCount++
+		}
+	}
+	upper, err := ChernoffUpper(mu, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, err := ChernoffLower(mu, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overFrac := float64(overCount) / trials
+	underFrac := float64(underCount) / trials
+	slack := 3 * math.Sqrt(1.0/trials)
+	if overFrac > upper+slack {
+		t.Errorf("P[X > (1+δ)μ] empirical %v exceeds Chernoff bound %v", overFrac, upper)
+	}
+	if underFrac > lower+slack {
+		t.Errorf("P[X < (1−δ)μ] empirical %v exceeds Chernoff bound %v", underFrac, lower)
+	}
+}

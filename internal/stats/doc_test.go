@@ -1,0 +1,21 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleSummarize() {
+	s, _ := stats.Summarize([]float64{1, 2, 3, 4, 5})
+	fmt.Printf("n=%d mean=%.1f median=%.1f\n", s.N, s.Mean, s.Median)
+	// Output: n=5 mean=3.0 median=3.0
+}
+
+func ExampleFitPowerLaw() {
+	xs := []float64{1, 2, 4, 8}
+	ys := []float64{2, 8, 32, 128} // y = 2 x^2
+	c, p, _, _ := stats.FitPowerLaw(xs, ys)
+	fmt.Printf("c=%.1f p=%.1f\n", c, p)
+	// Output: c=2.0 p=2.0
+}

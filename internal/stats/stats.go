@@ -1,0 +1,263 @@
+// Package stats provides the small set of statistics the experiment harness
+// needs: summary statistics with confidence intervals, bootstrap resampling,
+// histograms, and log-log regression for fitting scaling exponents.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the summary statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	// CI95 is the half-width of a normal-approximation 95% confidence
+	// interval on the mean (1.96 · stderr); zero when N < 2.
+	CI95 float64
+}
+
+// Summarize computes summary statistics for xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{
+		N:   len(xs),
+		Min: xs[0],
+		Max: xs[0],
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+		s.CI95 = 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s, nil
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns NaN for an empty
+// sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// RandSource is the subset of a random source the bootstrap needs; it is
+// satisfied by *rng.Source.
+type RandSource interface {
+	Intn(n int64) int64
+}
+
+// BootstrapCI returns a percentile-bootstrap confidence interval on the
+// statistic stat over xs, using resamples resampled data sets. level is the
+// coverage, e.g. 0.95.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, level float64, src RandSource) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if resamples < 2 {
+		return 0, 0, fmt.Errorf("stats: need at least 2 resamples, got %d", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence level %v out of (0,1)", level)
+	}
+	estimates := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for i := range estimates {
+		for j := range buf {
+			buf[j] = xs[src.Intn(int64(len(xs)))]
+		}
+		estimates[i] = stat(buf)
+	}
+	alpha := (1 - level) / 2
+	return Quantile(estimates, alpha), Quantile(estimates, 1-alpha), nil
+}
+
+// LinearFit holds the result of an ordinary least-squares fit y = a + b·x.
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// FitLine fits y = a + b·x by least squares. It needs at least two points
+// with distinct x values.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, errors.New("stats: need at least 2 points to fit a line")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: x values are all identical")
+	}
+	fit := LinearFit{Slope: sxy / sxx}
+	fit.Intercept = my - fit.Slope*mx
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// FitPowerLaw fits y = c · x^p on log-log axes and returns (c, p, R²).
+// All inputs must be positive.
+func FitPowerLaw(xs, ys []float64) (c, p, r2 float64, err error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	if len(xs) != len(ys) {
+		return 0, 0, 0, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("stats: power-law fit needs positive data, got (%v, %v)", xs[i], ys[i])
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	fit, err := FitLine(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return math.Exp(fit.Intercept), fit.Slope, fit.R2, nil
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Bins     []int
+	Under    int // samples below Lo
+	Over     int // samples at or above Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 bin, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	return &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		Bins:     make([]int, bins),
+		binWidth: (hi - lo) / float64(bins),
+	}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.binWidth)
+		if i >= len(h.Bins) { // guard float rounding at the top edge
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+// Total returns the number of samples recorded, including out-of-range ones.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, b := range h.Bins {
+		n += b
+	}
+	return n
+}
+
+// ChiSquareUniform performs a chi-square goodness-of-fit test of observed
+// counts against expected counts and returns the test statistic. The caller
+// compares against a critical value for len(observed)-1 degrees of freedom.
+func ChiSquareUniform(observed []int, expected []float64) (float64, error) {
+	if len(observed) != len(expected) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d and %d", len(observed), len(expected))
+	}
+	var chi2 float64
+	for i := range observed {
+		if expected[i] <= 0 {
+			return 0, fmt.Errorf("stats: expected count %v at bin %d must be positive", expected[i], i)
+		}
+		d := float64(observed[i]) - expected[i]
+		chi2 += d * d / expected[i]
+	}
+	return chi2, nil
+}

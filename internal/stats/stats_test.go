@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1 || s.Mean != 5 || s.Min != 5 || s.Max != 5 || s.Median != 5 {
+		t.Errorf("Summarize([5]) = %+v", s)
+	}
+	if s.StdDev != 0 || s.CI95 != 0 {
+		t.Errorf("single-sample spread should be zero, got %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev with n-1 denominator: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty sample should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		q1 = math.Mod(math.Abs(q1), 1)
+		q2 = math.Mod(math.Abs(q2), 1)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(raw, q1) <= Quantile(raw, q2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty sample should be NaN")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	src := rng.New(42)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = src.Float64() * 10 // uniform(0,10), mean 5
+	}
+	lo, hi, err := BootstrapCI(xs, Mean, 500, 0.95, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%v, %v]", lo, hi)
+	}
+	if lo > 5 || hi < 5 {
+		t.Errorf("CI [%v, %v] does not contain true mean 5", lo, hi)
+	}
+	if hi-lo > 2 {
+		t.Errorf("CI [%v, %v] implausibly wide for n=500", lo, hi)
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	src := rng.New(1)
+	if _, _, err := BootstrapCI(nil, Mean, 10, 0.95, src); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty input err = %v", err)
+	}
+	if _, _, err := BootstrapCI([]float64{1}, Mean, 1, 0.95, src); err == nil {
+		t.Error("resamples=1 should fail")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, Mean, 10, 1.5, src); err == nil {
+		t.Error("level=1.5 should fail")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("identical x values should fail")
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 3 x^2
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	c, p, r2, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-3) > 1e-9 || math.Abs(p-2) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("power fit = (%v, %v, %v), want (3, 2, 1)", c, p, r2)
+	}
+}
+
+func TestFitPowerLawRejectsNonPositive(t *testing.T) {
+	if _, _, _, err := FitPowerLaw([]float64{1, 0}, []float64{1, 2}); err == nil {
+		t.Error("zero x should fail")
+	}
+	if _, _, _, err := FitPowerLaw([]float64{1, 2}, []float64{1, -2}); err == nil {
+		t.Error("negative y should fail")
+	}
+	if _, _, _, err := FitPowerLaw([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 15} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under/Over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Bins[0] != 2 { // 0 and 1.9
+		t.Errorf("bin 0 = %d, want 2", h.Bins[0])
+	}
+	if h.Bins[1] != 1 { // 2
+		t.Errorf("bin 1 = %d, want 1", h.Bins[1])
+	}
+	if h.Bins[4] != 1 { // 9.99
+		t.Errorf("bin 4 = %d, want 1", h.Bins[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := NewHistogram(1, 1, 3); err == nil {
+		t.Error("empty range should fail")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	// Perfect fit has statistic 0.
+	chi2, err := ChiSquareUniform([]int{10, 10, 10}, []float64{10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi2 != 0 {
+		t.Errorf("chi2 = %v, want 0", chi2)
+	}
+	chi2, err = ChiSquareUniform([]int{12, 8}, []float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(chi2-0.8) > 1e-12 {
+		t.Errorf("chi2 = %v, want 0.8", chi2)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, err := ChiSquareUniform([]int{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := ChiSquareUniform([]int{1}, []float64{0}); err == nil {
+		t.Error("zero expected count should fail")
+	}
+}

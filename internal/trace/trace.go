@@ -1,0 +1,169 @@
+// Package trace records simulation event logs as JSON Lines, one event per
+// line, so that runs can be archived, diffed, and post-processed outside
+// the simulator. A Recorder implements sim.EnvHook and is safe for
+// concurrent use by all agents of a run.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// Kind is the type of a trace event.
+type Kind string
+
+// Event kinds.
+const (
+	KindMove   Kind = "move"
+	KindReturn Kind = "return"
+	KindFound  Kind = "found"
+)
+
+// Event is one line of the trace.
+type Event struct {
+	Agent int   `json:"agent"`
+	Kind  Kind  `json:"kind"`
+	X     int64 `json:"x"`
+	Y     int64 `json:"y"`
+	// Move is the agent's move counter at the event (0 for returns).
+	Move uint64 `json:"move"`
+}
+
+// Pos returns the event position as a grid point.
+func (e Event) Pos() grid.Point { return grid.Point{X: e.X, Y: e.Y} }
+
+// Recorder streams events to a writer. Create one per run and hand
+// per-agent hooks to the simulator via HookFor.
+type Recorder struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+	n   int
+}
+
+// NewRecorder wraps w. Call Flush when the run completes.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	return &Recorder{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// HookFor returns a sim.EnvHook recording events for the given agent id.
+func (r *Recorder) HookFor(agentID int) sim.EnvHook {
+	return &agentHook{rec: r, agent: agentID}
+}
+
+// Events returns the number of events recorded so far.
+func (r *Recorder) Events() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Flush drains buffered output and reports the first write error, if any.
+func (r *Recorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+func (r *Recorder) record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	if err := r.enc.Encode(e); err != nil {
+		r.err = fmt.Errorf("trace: encode event: %w", err)
+		return
+	}
+	r.n++
+}
+
+// agentHook adapts the recorder to sim.EnvHook for one agent.
+type agentHook struct {
+	rec   *Recorder
+	agent int
+}
+
+var _ sim.EnvHook = (*agentHook)(nil)
+
+func (h *agentHook) OnMove(pos grid.Point, moveIndex uint64) {
+	h.rec.record(Event{Agent: h.agent, Kind: KindMove, X: pos.X, Y: pos.Y, Move: moveIndex})
+}
+
+func (h *agentHook) OnReturn() {
+	h.rec.record(Event{Agent: h.agent, Kind: KindReturn})
+}
+
+func (h *agentHook) OnFound(pos grid.Point, moveIndex uint64) {
+	h.rec.record(Event{Agent: h.agent, Kind: KindFound, X: pos.X, Y: pos.Y, Move: moveIndex})
+}
+
+// Read decodes a JSONL trace.
+func Read(r io.Reader) ([]Event, error) {
+	var events []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return events, nil
+			}
+			return events, fmt.Errorf("trace: decode event %d: %w", len(events), err)
+		}
+		if e.Kind != KindMove && e.Kind != KindReturn && e.Kind != KindFound {
+			return events, fmt.Errorf("trace: event %d has unknown kind %q", len(events), e.Kind)
+		}
+		events = append(events, e)
+	}
+}
+
+// Summary aggregates a trace per agent.
+type Summary struct {
+	Agents  int
+	Moves   map[int]uint64 // per-agent move counts
+	Returns map[int]uint64 // per-agent oracle returns
+	// Finder is the agent that found the target with the fewest moves
+	// (-1 when no find events exist).
+	Finder      int
+	FinderMoves uint64
+}
+
+// Summarize aggregates the events.
+func Summarize(events []Event) *Summary {
+	s := &Summary{
+		Moves:   make(map[int]uint64),
+		Returns: make(map[int]uint64),
+		Finder:  -1,
+	}
+	seen := make(map[int]bool)
+	for _, e := range events {
+		if !seen[e.Agent] {
+			seen[e.Agent] = true
+			s.Agents++
+		}
+		switch e.Kind {
+		case KindMove:
+			s.Moves[e.Agent]++
+		case KindReturn:
+			s.Returns[e.Agent]++
+		case KindFound:
+			if s.Finder == -1 || e.Move < s.FinderMoves {
+				s.Finder = e.Agent
+				s.FinderMoves = e.Move
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	var buf strings.Builder
+	rec := NewRecorder(&buf)
+	h0 := rec.HookFor(0)
+	h1 := rec.HookFor(1)
+	h0.OnMove(grid.Point{X: 1, Y: 0}, 1)
+	h0.OnMove(grid.Point{X: 1, Y: 1}, 2)
+	h1.OnMove(grid.Point{X: 0, Y: -1}, 1)
+	h0.OnReturn()
+	h1.OnFound(grid.Point{X: 0, Y: -1}, 1)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events() != 5 {
+		t.Errorf("Events = %d, want 5", rec.Events())
+	}
+	events, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("read %d events, want 5", len(events))
+	}
+	if events[0].Kind != KindMove || events[0].Pos() != (grid.Point{X: 1, Y: 0}) {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[3].Kind != KindReturn || events[3].Agent != 0 {
+		t.Errorf("event 3 = %+v", events[3])
+	}
+	if events[4].Kind != KindFound || events[4].Agent != 1 {
+		t.Errorf("event 4 = %+v", events[4])
+	}
+}
+
+func TestReadRejectsBadKind(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"agent":0,"kind":"teleport","x":0,"y":0,"move":0}` + "\n")); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := Read(strings.NewReader(`{broken`)); err == nil {
+		t.Error("broken JSON should fail")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	events, err := Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Agent: 0, Kind: KindMove, Move: 1},
+		{Agent: 0, Kind: KindMove, Move: 2},
+		{Agent: 1, Kind: KindMove, Move: 1},
+		{Agent: 0, Kind: KindReturn},
+		{Agent: 1, Kind: KindFound, Move: 1},
+		{Agent: 0, Kind: KindFound, Move: 5},
+	}
+	s := Summarize(events)
+	if s.Agents != 2 {
+		t.Errorf("Agents = %d", s.Agents)
+	}
+	if s.Moves[0] != 2 || s.Moves[1] != 1 {
+		t.Errorf("Moves = %v", s.Moves)
+	}
+	if s.Returns[0] != 1 {
+		t.Errorf("Returns = %v", s.Returns)
+	}
+	if s.Finder != 1 || s.FinderMoves != 1 {
+		t.Errorf("Finder = %d at %d, want agent 1 at move 1", s.Finder, s.FinderMoves)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Agents != 0 || s.Finder != -1 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestRecorderThroughSimulator(t *testing.T) {
+	// Full-stack: record a real multi-agent search, then reconcile the
+	// trace against the simulator's own result.
+	const d = 8
+	factory, err := search.NonUniformFactory(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	rec := NewRecorder(&buf)
+	res, err := sim.Run(sim.Config{
+		NumAgents:   4,
+		Target:      grid.Point{X: d / 2, Y: d / 2},
+		HasTarget:   true,
+		MoveBudget:  1 << 20,
+		HookFactory: rec.HookFor,
+	}, factory, rng.New(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("search failed")
+	}
+	events, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(events)
+	if s.Agents != 4 {
+		t.Errorf("trace has %d agents, want 4", s.Agents)
+	}
+	if s.Finder == -1 {
+		t.Fatal("trace has no find event")
+	}
+	if s.FinderMoves != res.MinMoves {
+		t.Errorf("trace finder moves = %d, simulator MinMoves = %d", s.FinderMoves, res.MinMoves)
+	}
+	// Each agent's trace move count must match the simulator's accounting.
+	for id, a := range res.Agents {
+		if s.Moves[id] != a.Moves {
+			t.Errorf("agent %d: trace %d moves, simulator %d", id, s.Moves[id], a.Moves)
+		}
+	}
+}
+
+func TestRecorderNilHooksAllowed(t *testing.T) {
+	// A HookFactory may return nil for unobserved agents.
+	factory, err := search.NonUniformFactory(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	rec := NewRecorder(&buf)
+	_, err = sim.Run(sim.Config{
+		NumAgents:  2,
+		Target:     grid.Point{X: 2, Y: 0},
+		HasTarget:  true,
+		MoveBudget: 1 << 16,
+		HookFactory: func(id int) sim.EnvHook {
+			if id == 0 {
+				return rec.HookFor(0)
+			}
+			return nil
+		},
+	}, factory, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Agent != 0 {
+			t.Fatalf("unobserved agent %d appeared in trace", e.Agent)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// densityGlyphs shade cells from light to heavy visit counts.
+var densityGlyphs = []rune{'·', '░', '▒', '▓', '█'}
+
+// DensityMap renders a visit-count set as a shaded heat-map: cells are
+// bucketed by log-count relative to the maximum, so both a 10-visit smear
+// and a 100k-visit hot ray render informatively.
+func DensityMap(c *grid.CountSet, radius int64) string {
+	if radius < 1 {
+		radius = 1
+	}
+	maxC := float64(c.MaxCount())
+	var b strings.Builder
+	for y := radius; y >= -radius; y-- {
+		for x := -radius; x <= radius; x++ {
+			p := grid.Point{X: x, Y: y}
+			if p == grid.Origin {
+				b.WriteRune(GlyphOrigin)
+				continue
+			}
+			b.WriteRune(densityGlyph(float64(c.Count(p)), maxC))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func densityGlyph(count, maxCount float64) rune {
+	if count <= 0 || maxCount <= 0 {
+		return densityGlyphs[0]
+	}
+	// Log scale: bucket by log(count)/log(max) into the non-empty glyphs.
+	frac := 1.0
+	if maxCount > 1 {
+		frac = math.Log1p(count) / math.Log1p(maxCount)
+	}
+	idx := 1 + int(frac*float64(len(densityGlyphs)-2)+0.5)
+	if idx >= len(densityGlyphs) {
+		idx = len(densityGlyphs) - 1
+	}
+	return densityGlyphs[idx]
+}
+
+// DensityHook adapts a CountSet to the simulation engine's per-agent hook
+// API, serializing access so all agents can share one set.
+type DensityHook struct {
+	mu sync.Mutex
+	c  *grid.CountSet
+}
+
+// NewDensityHook wraps a fresh count set of the given radius. Record the
+// origin start implicitly? No: agents start at the origin without a move
+// event, so the origin's count reflects oracle returns plus move-throughs
+// only.
+func NewDensityHook(radius int64) *DensityHook {
+	return &DensityHook{c: grid.NewCountSet(radius)}
+}
+
+// ForAgent returns the sim.EnvHook for one agent (all agents share the
+// underlying counter).
+func (h *DensityHook) ForAgent(int) sim.EnvHook { return (*densityAgentHook)(h) }
+
+// Counts returns the shared count set. Only read it after the run
+// completes.
+func (h *DensityHook) Counts() *grid.CountSet { return h.c }
+
+type densityAgentHook DensityHook
+
+var _ sim.EnvHook = (*densityAgentHook)(nil)
+
+func (h *densityAgentHook) OnMove(pos grid.Point, _ uint64) {
+	h.mu.Lock()
+	h.c.Visit(pos)
+	h.mu.Unlock()
+}
+
+func (h *densityAgentHook) OnReturn() {
+	h.mu.Lock()
+	h.c.Visit(grid.Origin)
+	h.mu.Unlock()
+}
+
+func (h *densityAgentHook) OnFound(grid.Point, uint64) {}

@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+func TestDensityGlyphScale(t *testing.T) {
+	if g := densityGlyph(0, 100); g != densityGlyphs[0] {
+		t.Errorf("zero count glyph = %c", g)
+	}
+	if g := densityGlyph(100, 100); g != densityGlyphs[len(densityGlyphs)-1] {
+		t.Errorf("max count glyph = %c", g)
+	}
+	low := densityGlyph(1, 100000)
+	high := densityGlyph(99999, 100000)
+	if low == high {
+		t.Error("low and high densities render identically")
+	}
+	if g := densityGlyph(5, 0); g != densityGlyphs[0] {
+		t.Errorf("zero max glyph = %c", g)
+	}
+}
+
+func TestDensityMapShape(t *testing.T) {
+	c := grid.NewCountSet(2)
+	c.Visit(grid.Point{X: 1, Y: 0})
+	c.Visit(grid.Point{X: 1, Y: 0})
+	c.Visit(grid.Point{X: 0, Y: 1})
+	out := DensityMap(c, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("density map has %d rows, want 5", len(lines))
+	}
+	if !strings.ContainsRune(out, GlyphOrigin) {
+		t.Error("density map missing origin")
+	}
+	// The double-visited cell must render darker than an unvisited one.
+	if !strings.ContainsAny(out, "░▒▓█") {
+		t.Errorf("density map has no shaded cells:\n%s", out)
+	}
+}
+
+func TestDensityHookThroughSimulator(t *testing.T) {
+	const d = 8
+	factory, err := search.NonUniformFactory(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := NewDensityHook(d)
+	_, err = sim.Run(sim.Config{
+		NumAgents:   4,
+		Target:      grid.Point{X: d, Y: d},
+		HasTarget:   true,
+		MoveBudget:  20000,
+		HookFactory: hook.ForAgent,
+	}, factory, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := hook.Counts()
+	if counts.Total() == 0 {
+		t.Fatal("density hook recorded nothing")
+	}
+	// Algorithm 1 returns to the origin every iteration: the origin must be
+	// among the hottest cells.
+	if counts.Count(grid.Origin) == 0 {
+		t.Error("origin never counted despite oracle returns")
+	}
+	out := DensityMap(counts, d)
+	if !strings.ContainsAny(out, "░▒▓█") {
+		t.Error("simulated density map is blank")
+	}
+}
+
+func TestDensityHookConcurrentSafety(t *testing.T) {
+	// Many agents sharing the hook under -race: the mutex must hold up.
+	hook := NewDensityHook(4)
+	factory := sim.Factory(func() sim.Program {
+		return sim.ProgramFunc(func(env *sim.Env) error {
+			for !env.Done() {
+				if err := env.Move(grid.Directions[env.Src().Intn(4)]); err != nil {
+					return nil
+				}
+			}
+			return nil
+		})
+	})
+	_, err := sim.Run(sim.Config{
+		NumAgents:   16,
+		MoveBudget:  2000,
+		Workers:     8,
+		HookFactory: hook.ForAgent,
+	}, factory, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hook.Counts().Total() != 16*2000 {
+		t.Errorf("Total = %d, want %d", hook.Counts().Total(), 16*2000)
+	}
+}

@@ -1,0 +1,149 @@
+// Package viz renders ASCII views of the search plane: coverage heat-maps,
+// agent trajectories, and drift-ray overlays. It exists to make the
+// Section 4 geometry visible — a drift machine paints a thin ray, the
+// paper's algorithms fill the ball — and backs cmd/antviz.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/grid"
+)
+
+// Glyphs used by the canvas, exported so callers can test against them.
+const (
+	GlyphEmpty   = '·'
+	GlyphVisited = '#'
+	GlyphOrigin  = 'O'
+	GlyphTarget  = 'X'
+	GlyphRay     = '*'
+	GlyphPath    = 'o'
+)
+
+// Canvas is a square ASCII drawing surface over the window [-R, R]².
+// Later marks override earlier ones except where stated.
+type Canvas struct {
+	radius int64
+	cells  map[grid.Point]rune
+}
+
+// NewCanvas creates a canvas with the given window radius (minimum 1).
+func NewCanvas(radius int64) *Canvas {
+	if radius < 1 {
+		radius = 1
+	}
+	return &Canvas{
+		radius: radius,
+		cells:  make(map[grid.Point]rune),
+	}
+}
+
+// Radius returns the window radius.
+func (c *Canvas) Radius() int64 { return c.radius }
+
+// Set draws r at p (ignored outside the window).
+func (c *Canvas) Set(p grid.Point, r rune) {
+	if p.Norm() > c.radius {
+		return
+	}
+	c.cells[p] = r
+}
+
+// At returns the rune at p, or GlyphEmpty if unset.
+func (c *Canvas) At(p grid.Point) rune {
+	if r, ok := c.cells[p]; ok {
+		return r
+	}
+	return GlyphEmpty
+}
+
+// MarkVisited draws every visited cell of v (within the window) with the
+// visited glyph.
+func (c *Canvas) MarkVisited(v *grid.VisitSet) {
+	if v == nil {
+		return
+	}
+	r := c.radius
+	if vr := v.Radius(); vr < r {
+		r = vr
+	}
+	for y := -r; y <= r; y++ {
+		for x := -r; x <= r; x++ {
+			p := grid.Point{X: x, Y: y}
+			if v.Contains(p) {
+				c.Set(p, GlyphVisited)
+			}
+		}
+	}
+}
+
+// MarkPath draws an agent trajectory with the path glyph.
+func (c *Canvas) MarkPath(path []grid.Point) {
+	for _, p := range path {
+		c.Set(p, GlyphPath)
+	}
+}
+
+// MarkRay rasterizes the ray {t·v : t ≥ 0} with the ray glyph, skipping
+// cells already drawn (the overlay should not hide data).
+func (c *Canvas) MarkRay(v [2]float64) {
+	norm := math.Hypot(v[0], v[1])
+	if norm == 0 {
+		return
+	}
+	ux, uy := v[0]/norm, v[1]/norm
+	// Step at half-cell resolution to avoid gaps.
+	limit := float64(c.radius) * math.Sqrt2
+	for t := 0.0; t <= limit; t += 0.5 {
+		p := grid.Point{X: int64(math.Round(t * ux)), Y: int64(math.Round(t * uy))}
+		if p.Norm() > c.radius {
+			break
+		}
+		if _, drawn := c.cells[p]; !drawn {
+			c.Set(p, GlyphRay)
+		}
+	}
+}
+
+// MarkTarget draws the target glyph (overriding anything beneath it).
+func (c *Canvas) MarkTarget(p grid.Point) {
+	c.Set(p, GlyphTarget)
+}
+
+// MarkOrigin draws the origin glyph (overriding anything beneath it).
+func (c *Canvas) MarkOrigin() {
+	c.Set(grid.Origin, GlyphOrigin)
+}
+
+// Render produces the ASCII frame, top row = +Y, one rune per cell.
+func (c *Canvas) Render() string {
+	var b strings.Builder
+	side := int(2*c.radius + 1)
+	b.Grow(side * (side + 1) * 2)
+	for y := c.radius; y >= -c.radius; y-- {
+		for x := -c.radius; x <= c.radius; x++ {
+			b.WriteRune(c.At(grid.Point{X: x, Y: y}))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Heatmap is the one-call convenience: visited cells plus origin marker.
+func Heatmap(v *grid.VisitSet, radius int64) string {
+	c := NewCanvas(radius)
+	c.MarkVisited(v)
+	c.MarkOrigin()
+	return c.Render()
+}
+
+// CoverageCaption formats the standard caption line under a heat-map.
+func CoverageCaption(v *grid.VisitSet, radius int64) string {
+	if v == nil {
+		return fmt.Sprintf("coverage of the %d-ball: n/a", radius)
+	}
+	return fmt.Sprintf("coverage of the %d-ball: %.1f%% (%d cells)",
+		radius, v.CoverageFraction()*100, v.CountInBall())
+}

@@ -1,0 +1,166 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestCanvasSetAndAt(t *testing.T) {
+	c := NewCanvas(3)
+	p := grid.Point{X: 1, Y: -2}
+	if c.At(p) != GlyphEmpty {
+		t.Error("fresh cell not empty")
+	}
+	c.Set(p, 'Z')
+	if c.At(p) != 'Z' {
+		t.Errorf("At = %c", c.At(p))
+	}
+	// Out-of-window sets are ignored.
+	far := grid.Point{X: 10, Y: 0}
+	c.Set(far, 'Q')
+	if c.At(far) != GlyphEmpty {
+		t.Error("out-of-window set should be ignored")
+	}
+}
+
+func TestCanvasMinimumRadius(t *testing.T) {
+	c := NewCanvas(-3)
+	if c.Radius() != 1 {
+		t.Errorf("radius = %d, want floor 1", c.Radius())
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	c := NewCanvas(2)
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("render has %d lines, want 5", len(lines))
+	}
+	for i, l := range lines {
+		if len([]rune(l)) != 5 {
+			t.Errorf("line %d has %d runes, want 5", i, len([]rune(l)))
+		}
+	}
+}
+
+func TestRenderOrientation(t *testing.T) {
+	// +Y must be the top row, +X the right column.
+	c := NewCanvas(1)
+	c.Set(grid.Point{X: 1, Y: 1}, 'A')
+	c.Set(grid.Point{X: -1, Y: -1}, 'B')
+	lines := strings.Split(strings.TrimRight(c.Render(), "\n"), "\n")
+	if []rune(lines[0])[2] != 'A' {
+		t.Errorf("top-right = %c, want A", []rune(lines[0])[2])
+	}
+	if []rune(lines[2])[0] != 'B' {
+		t.Errorf("bottom-left = %c, want B", []rune(lines[2])[0])
+	}
+}
+
+func TestMarkVisitedAndOrigin(t *testing.T) {
+	v := grid.NewVisitSet(2)
+	v.Visit(grid.Origin)
+	v.Visit(grid.Point{X: 1, Y: 0})
+	c := NewCanvas(2)
+	c.MarkVisited(v)
+	c.MarkOrigin()
+	if c.At(grid.Point{X: 1, Y: 0}) != GlyphVisited {
+		t.Error("visited cell not marked")
+	}
+	if c.At(grid.Origin) != GlyphOrigin {
+		t.Error("origin not marked")
+	}
+	// nil visit set must not panic.
+	c.MarkVisited(nil)
+}
+
+func TestMarkVisitedLargerWindowThanSet(t *testing.T) {
+	v := grid.NewVisitSet(1)
+	v.Visit(grid.Point{X: 1, Y: 1})
+	c := NewCanvas(10)
+	c.MarkVisited(v) // must clip to the set's radius without panicking
+	if c.At(grid.Point{X: 1, Y: 1}) != GlyphVisited {
+		t.Error("visited cell inside smaller set not marked")
+	}
+}
+
+func TestMarkPath(t *testing.T) {
+	c := NewCanvas(3)
+	path := []grid.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}}
+	c.MarkPath(path)
+	for _, p := range path {
+		if c.At(p) != GlyphPath {
+			t.Errorf("path cell %v not marked", p)
+		}
+	}
+}
+
+func TestMarkRayHorizontal(t *testing.T) {
+	c := NewCanvas(4)
+	c.MarkRay([2]float64{1, 0})
+	for x := int64(0); x <= 4; x++ {
+		if c.At(grid.Point{X: x, Y: 0}) != GlyphRay {
+			t.Errorf("ray cell (%d,0) not marked", x)
+		}
+	}
+	if c.At(grid.Point{X: -1, Y: 0}) == GlyphRay {
+		t.Error("ray extended backwards")
+	}
+}
+
+func TestMarkRayDiagonalAndZero(t *testing.T) {
+	c := NewCanvas(4)
+	c.MarkRay([2]float64{1, 1})
+	if c.At(grid.Point{X: 2, Y: 2}) != GlyphRay {
+		t.Error("diagonal ray missing (2,2)")
+	}
+	// Zero ray draws nothing and must not loop forever.
+	c2 := NewCanvas(4)
+	c2.MarkRay([2]float64{0, 0})
+	if c2.At(grid.Origin) != GlyphEmpty {
+		t.Error("zero ray drew something")
+	}
+}
+
+func TestMarkRayDoesNotOverwrite(t *testing.T) {
+	c := NewCanvas(4)
+	c.Set(grid.Point{X: 2, Y: 0}, GlyphVisited)
+	c.MarkRay([2]float64{1, 0})
+	if c.At(grid.Point{X: 2, Y: 0}) != GlyphVisited {
+		t.Error("ray overwrote data")
+	}
+}
+
+func TestMarkTargetOverrides(t *testing.T) {
+	c := NewCanvas(4)
+	p := grid.Point{X: 3, Y: 3}
+	c.Set(p, GlyphVisited)
+	c.MarkTarget(p)
+	if c.At(p) != GlyphTarget {
+		t.Error("target did not override")
+	}
+}
+
+func TestHeatmapConvenience(t *testing.T) {
+	v := grid.NewVisitSet(2)
+	v.Visit(grid.Point{X: 0, Y: 1})
+	out := Heatmap(v, 2)
+	if !strings.ContainsRune(out, GlyphOrigin) || !strings.ContainsRune(out, GlyphVisited) {
+		t.Errorf("heatmap missing glyphs:\n%s", out)
+	}
+}
+
+func TestCoverageCaption(t *testing.T) {
+	v := grid.NewVisitSet(1)
+	v.Visit(grid.Origin)
+	got := CoverageCaption(v, 1)
+	if !strings.Contains(got, "1-ball") || !strings.Contains(got, "1 cells") {
+		t.Errorf("caption = %q", got)
+	}
+	if !strings.Contains(CoverageCaption(nil, 5), "n/a") {
+		t.Error("nil caption broken")
+	}
+}

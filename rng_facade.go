@@ -1,0 +1,9 @@
+package ants
+
+import "repro/internal/rng"
+
+// rngNew seeds a root random source; kept in its own file so the facade's
+// re-export surface stays declaration-only.
+func rngNew(seed uint64) *rng.Source {
+	return rng.New(seed)
+}
