@@ -51,10 +51,21 @@ type (
 	// Machine is a probabilistic finite state automaton (the paper's
 	// agent model).
 	Machine = automata.Machine
+	// CompiledMachine is a machine's execution form: O(1) alias-table
+	// sampling and precomputed grid actions (see DESIGN.md §2). Obtain it
+	// via Machine.Compiled.
+	CompiledMachine = automata.CompiledMachine
 	// MachineAnalysis is the Markov-chain decomposition of a machine
 	// (recurrent classes, periods, stationary distributions, drifts).
 	MachineAnalysis = automata.Analysis
+	// MachineWalker executes a machine against a random source.
+	MachineWalker = automata.Walker
 )
+
+// NewMachineWalker returns a compiled-path walker for m seeded with seed.
+func NewMachineWalker(m *Machine, seed uint64) *MachineWalker {
+	return automata.NewWalker(m, rngNew(seed))
+}
 
 // AnalyzeMachine decomposes a machine's Markov chain.
 func AnalyzeMachine(m *Machine) (*MachineAnalysis, error) {
@@ -200,4 +211,10 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 // at the given checkpoint rounds.
 func CoverageCurve(m *Machine, numAgents int, radius int64, checkpoints []uint64, seed uint64) ([]int64, error) {
 	return sim.CoverageCurve(m, numAgents, radius, checkpoints, seed)
+}
+
+// CoverageCurveWith is CoverageCurve with an explicit engine configuration
+// (worker bound, target, ...).
+func CoverageCurveWith(cfg RoundsConfig, checkpoints []uint64, seed uint64) ([]int64, error) {
+	return sim.CoverageCurveWith(cfg, checkpoints, seed)
 }

@@ -215,12 +215,51 @@ func BenchmarkE8Threshold(b *testing.B) {
 
 // Micro-benchmarks of the substrates, for profiling regressions.
 
+// BenchmarkSubstrateWalkerStep measures the walker's default (compiled,
+// O(1) alias-sampled) step. Compare with BenchmarkSubstrateDenseWalkerStep,
+// the seed's O(|S|) inverse-CDF path, to see the compiled-layer speedup.
 func BenchmarkSubstrateWalkerStep(b *testing.B) {
 	w := automata.NewWalker(automata.RandomWalk(), rng.New(1))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		w.Step()
 	}
+}
+
+// BenchmarkSubstrateDenseWalkerStep is the reference inverse-CDF sampler
+// the compiled path replaced (and is validated against).
+func BenchmarkSubstrateDenseWalkerStep(b *testing.B) {
+	w := automata.NewDenseWalker(automata.RandomWalk(), rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}
+
+var benchSinkState int
+
+// BenchmarkSubstrateCompiledStep measures the raw alias-table transition —
+// the engines' innermost operation — without walker bookkeeping.
+func BenchmarkSubstrateCompiledStep(b *testing.B) {
+	c := automata.RandomWalk().Compiled()
+	src := rng.New(1)
+	s := c.Start()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s = c.Next(s, src.Uint64())
+	}
+	benchSinkState = s
+}
+
+// BenchmarkSubstrateWalkerStepN measures the batched stepping API; one op
+// is a 1024-step batch, and ns/step is reported as a custom metric.
+func BenchmarkSubstrateWalkerStepN(b *testing.B) {
+	w := automata.NewWalker(automata.RandomWalk(), rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.StepN(1024)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1024, "ns/step")
 }
 
 func BenchmarkSubstrateVisitSet(b *testing.B) {
@@ -249,6 +288,24 @@ func BenchmarkS1CoverageCurve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.CoverageCurve(m, 4, 32, []uint64{256, 1024}, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkS1CoverageCurveCompiled is the S1 kernel at swarm scale on the
+// compiled engine with an explicit worker pool: 4096 agents cross the
+// auto-sizing threshold, so this pins the persistent-pool + striped-VisitSet
+// path (goroutines created once per run, merges only at checkpoints).
+func BenchmarkS1CoverageCurveCompiled(b *testing.B) {
+	m := automata.RandomWalk()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.CoverageCurveWith(sim.RoundsConfig{
+			Machine:     m,
+			NumAgents:   4096,
+			TrackRadius: 32,
+		}, []uint64{256, 1024}, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

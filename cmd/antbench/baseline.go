@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Baseline is a machine-readable snapshot of the simulation kernels'
+// throughput, written by `antbench -baseline <path>` so successive PRs can
+// track the perf trajectory (see BENCH_baseline.json at the repo root).
+type Baseline struct {
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Timestamp  string             `json:"timestamp"`
+	Kernels    map[string]float64 `json:"kernels_ns_per_op"`
+}
+
+// measure times fn until it has consumed at least minDur (and at least two
+// batches), returning ns per op. fn runs ops operations per call.
+func measure(ops int, minDur time.Duration, fn func()) float64 {
+	fn() // warm up (and compile machines, fault pages)
+	var total time.Duration
+	var n int
+	for total < minDur || n < 2*ops {
+		start := time.Now()
+		fn()
+		total += time.Since(start)
+		n += ops
+	}
+	return float64(total.Nanoseconds()) / float64(n)
+}
+
+// writeBaseline runs the kernel snapshot and writes it to path as JSON.
+func writeBaseline(path string, out io.Writer) error {
+	const minDur = 200 * time.Millisecond
+	kernels := map[string]float64{}
+
+	// Raw compiled transition (the innermost operation of every engine).
+	rw := automata.RandomWalk()
+	c := rw.Compiled()
+	src := rng.New(1)
+	kernels["compiled_next"] = measure(1<<16, minDur, func() {
+		s := c.Start()
+		for i := 0; i < 1<<16; i++ {
+			s = c.Next(s, src.Uint64())
+		}
+		baselineSink = s
+	})
+
+	// Walker step, compiled vs dense reference.
+	w := automata.NewWalker(rw, rng.New(1))
+	kernels["walker_step"] = measure(1<<16, minDur, func() { w.StepN(1 << 16) })
+	dw := automata.NewDenseWalker(rw, rng.New(1))
+	kernels["dense_walker_step"] = measure(1<<14, minDur, func() {
+		for i := 0; i < 1<<14; i++ {
+			dw.Step()
+		}
+	})
+
+	// The S1 synchronous-rounds kernel (4 agents, 1024 rounds, radius 32).
+	var seed uint64
+	kernels["s1_coverage_curve"] = measure(1, minDur, func() {
+		seed++
+		if _, err := sim.CoverageCurve(rw, 4, 32, []uint64{256, 1024}, seed); err != nil {
+			panic(err)
+		}
+	})
+
+	// The E6 asynchronous coverage kernel (2-bit drift machine, D = 64).
+	drift, err := automata.DriftLineMachine(2)
+	if err != nil {
+		return err
+	}
+	kernels["e6_coverage"] = measure(1, minDur, func() {
+		seed++
+		if _, err := lowerbound.MeasureCoverage(drift, lowerbound.CoverageConfig{
+			D:         64,
+			NumAgents: 2,
+		}, seed); err != nil {
+			panic(err)
+		}
+	})
+
+	b := Baseline{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Kernels:    kernels,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write baseline: %w", err)
+	}
+	fmt.Fprintf(out, "wrote %s\n%s", path, data)
+	return nil
+}
+
+// baselineSink defeats dead-code elimination in the measured loops.
+var baselineSink int

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline measurement takes ~1s")
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var out strings.Builder
+	start := time.Now()
+	if err := run([]string{"-baseline", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline took %v", time.Since(start))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	for _, k := range []string{"compiled_next", "walker_step", "dense_walker_step", "s1_coverage_curve", "e6_coverage"} {
+		if b.Kernels[k] <= 0 {
+			t.Errorf("kernel %q missing or non-positive: %v", k, b.Kernels[k])
+		}
+	}
+	if b.GoVersion == "" || b.Timestamp == "" {
+		t.Errorf("metadata incomplete: %+v", b)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Errorf("no confirmation output: %q", out.String())
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	antbench [-run E1,E5] [-quick] [-seed 42] [-csv] [-list]
+//	antbench [-run E1,E5] [-quick] [-seed 42] [-csv] [-list] [-baseline BENCH_baseline.json]
 package main
 
 import (
@@ -28,16 +28,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("antbench", flag.ContinueOnError)
 	var (
-		runIDs  = fs.String("run", "", "comma-separated experiment ids (default: all)")
-		quick   = fs.Bool("quick", false, "smaller sweeps and trial counts")
-		seed    = fs.Uint64("seed", 42, "root random seed")
-		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		list    = fs.Bool("list", false, "list experiments and exit")
-		workers = fs.Int("workers", 0, "simulation worker bound (0 = GOMAXPROCS)")
-		outDir  = fs.String("out", "", "also write one CSV file per table into this directory")
+		runIDs   = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		quick    = fs.Bool("quick", false, "smaller sweeps and trial counts")
+		seed     = fs.Uint64("seed", 42, "root random seed")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		workers  = fs.Int("workers", 0, "simulation worker bound (0 = GOMAXPROCS)")
+		outDir   = fs.String("out", "", "also write one CSV file per table into this directory")
+		baseline = fs.String("baseline", "", "measure the simulation kernels and write a JSON perf snapshot to this path, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *baseline != "" {
+		return writeBaseline(*baseline, out)
 	}
 
 	if *list {

@@ -1,0 +1,192 @@
+package automata
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/grid"
+)
+
+// CompiledMachine is the execution form of a Machine: every transition row
+// is flattened into a Walker–Vose alias table so that drawing a successor
+// state costs O(1) — one 64-bit draw, one multiply, one table compare —
+// independent of |S|, and every state's grid action (label, movement delta,
+// origin teleport, direction) is precomputed so stepping never branches on
+// Label. It is immutable and safe for concurrent use by any number of
+// walkers; Machine.Compiled caches one instance per machine.
+//
+// Sampling uses the fixed-point alias scheme: for a single uniform draw
+// u ∈ [0, 2⁶⁴), bits.Mul64(u, n) yields (hi, lo) with hi = ⌊u·n/2⁶⁴⌋ the
+// alias column and lo the fractional part rescaled to [0, 2⁶⁴), which is
+// compared against the column's acceptance threshold. The column bias is at
+// most n/2⁶⁴ and the threshold resolution is 2⁻⁶⁴·n — both far below
+// anything a simulation of < 2⁵⁰ steps can observe.
+type CompiledMachine struct {
+	m     *Machine
+	n     int
+	start int
+
+	// Alias table, row-major: cell i*n+j is column j of state i's row.
+	// Threshold and alias are interleaved so a draw touches one cell (and
+	// pays one bounds check) instead of two parallel arrays.
+	cells []aliasCell
+
+	// Per-state grid actions, packed so a step loads one 8-byte record.
+	actions []stateAction
+	dirs    []grid.Direction // grid direction, 0 for non-movement states
+}
+
+// aliasCell is one column of a state's alias table: the fixed-point
+// acceptance threshold and the alias column taken on rejection.
+type aliasCell struct {
+	thresh uint64
+	alias  int64
+}
+
+// stateAction is the precomputed grid effect of landing in a state: the
+// movement delta, the origin-teleport flag, the move-counter increment, and
+// the label, packed into 8 bytes so the stepping loop touches one record
+// per transition instead of one table per attribute.
+type stateAction struct {
+	dx, dy  int8
+	origin  bool
+	moveInc uint8
+	label   int32
+}
+
+// maxThresh marks an always-accept column (probability within 2⁻⁶⁴ of 1);
+// such columns also alias to themselves so either branch is correct.
+const maxThresh = ^uint64(0)
+
+// Compile flattens m into its compiled execution form. Use Machine.Compiled
+// to get the cached instance instead of compiling repeatedly.
+func Compile(m *Machine) *CompiledMachine {
+	n := m.NumStates()
+	c := &CompiledMachine{
+		m:       m,
+		n:       n,
+		start:   m.Start(),
+		cells:   make([]aliasCell, n*n),
+		actions: make([]stateAction, n),
+		dirs:    make([]grid.Direction, n),
+	}
+	for s := 0; s < n; s++ {
+		l := m.Label(s)
+		a := stateAction{label: int32(l), origin: l == LabelOrigin}
+		if d, ok := l.Direction(); ok {
+			delta := d.Delta()
+			a.dx = int8(delta.X)
+			a.dy = int8(delta.Y)
+			a.moveInc = 1
+			c.dirs[s] = d
+		}
+		c.actions[s] = a
+		buildAliasRow(m, s, c.cells[s*n:(s+1)*n])
+	}
+	return c
+}
+
+// buildAliasRow runs Vose's O(n) alias-table construction on row i of m.
+func buildAliasRow(m *Machine, i int, row []aliasCell) {
+	n := len(row)
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for j := 0; j < n; j++ {
+		scaled[j] = m.Prob(i, j) * float64(n)
+		if scaled[j] < 1 {
+			small = append(small, int32(j))
+		} else {
+			large = append(large, int32(j))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		row[s] = aliasCell{thresh: fixedPoint(scaled[s]), alias: int64(l)}
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers have probability 1 up to float rounding: accept always and
+	// self-alias so the (never-taken) rejection branch is still correct.
+	for _, j := range large {
+		row[j] = aliasCell{thresh: maxThresh, alias: int64(j)}
+	}
+	for _, j := range small {
+		row[j] = aliasCell{thresh: maxThresh, alias: int64(j)}
+	}
+}
+
+// fixedPoint converts an acceptance probability in [0, 1] to a 64-bit
+// fixed-point threshold.
+func fixedPoint(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	v := math.Round(p * 0x1p64)
+	if v >= 0x1p64 {
+		return maxThresh
+	}
+	return uint64(v)
+}
+
+// Machine returns the machine this compiled form was built from.
+func (c *CompiledMachine) Machine() *Machine { return c.m }
+
+// NumStates returns |S|.
+func (c *CompiledMachine) NumStates() int { return c.n }
+
+// Start returns the index of the start state s0.
+func (c *CompiledMachine) Start() int { return c.start }
+
+// Label returns the label of state s.
+func (c *CompiledMachine) Label(s int) Label { return Label(c.actions[s].label) }
+
+// Next draws the successor of state s from one uniform 64-bit value u.
+// The accept/alias select is computed arithmetically from the borrow of
+// lo − thresh instead of with an if: the comparison outcome is data-random,
+// and a conditional branch here mispredicts on a large fraction of steps.
+func (c *CompiledMachine) Next(s int, u uint64) int {
+	hi, lo := bits.Mul64(u, uint64(c.n))
+	cell := c.cells[s*c.n+int(hi)]
+	_, borrow := bits.Sub64(lo, cell.thresh, 0) // 1 when lo < thresh: accept column hi
+	mask := -int64(borrow)
+	return int(int64(hi)&mask | cell.alias&^mask)
+}
+
+// Delta returns the grid displacement of state s ((0,0) for none/origin).
+func (c *CompiledMachine) Delta(s int) (dx, dy int64) {
+	a := c.actions[s]
+	return int64(a.dx), int64(a.dy)
+}
+
+// IsOrigin reports whether state s teleports the agent to the origin.
+func (c *CompiledMachine) IsOrigin(s int) bool { return c.actions[s].origin }
+
+// MoveInc returns 1 when state s is a movement state and 0 otherwise, for
+// branch-free move counting.
+func (c *CompiledMachine) MoveInc(s int) uint64 { return uint64(c.actions[s].moveInc) }
+
+// Apply advances an agent by one transition: it draws the successor of
+// state s from u and applies the state's grid action to (x, y). It returns
+// the new state, position, and the move-counter increment. This is the
+// engines' flat stepping primitive.
+func (c *CompiledMachine) Apply(s int, x, y int64, u uint64) (ns int, nx, ny int64, moveInc uint64) {
+	ns = c.Next(s, u)
+	a := c.actions[ns]
+	if a.origin {
+		return ns, 0, 0, 0
+	}
+	return ns, x + int64(a.dx), y + int64(a.dy), uint64(a.moveInc)
+}
+
+// Dir returns the grid direction of state s; ok is false for none/origin
+// states.
+func (c *CompiledMachine) Dir(s int) (d grid.Direction, ok bool) {
+	d = c.dirs[s]
+	return d, d != 0
+}

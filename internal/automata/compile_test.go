@@ -1,0 +1,249 @@
+package automata
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// testMachines returns the machine library used by the compiled-sampler
+// equivalence tests: every reference machine plus the paper's algorithm
+// shapes that stress the alias construction (deterministic rows, two-way
+// splits, lazy rows with a dominant self-loop, non-dyadic probabilities).
+func testMachines(t *testing.T) map[string]*Machine {
+	t.Helper()
+	ms := map[string]*Machine{
+		"random-walk": RandomWalk(),
+		"zigzag":      ZigZag(),
+		"two-class":   TwoClassMachine(),
+	}
+	var err error
+	if ms["biased"], err = BiasedWalk(0.1, 0.2, 0.3, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if ms["lazy"], err = LazyBiasedWalk(0.125, 0.25, 0.25, 0.25, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if ms["drift-3bit"], err = DriftLineMachine(3); err != nil {
+		t.Fatal(err)
+	}
+	if ms["transient"], err = TransientThenLoop(3); err != nil {
+		t.Fatal(err)
+	}
+	// A 7-state machine with awkward (non-dyadic, non-uniform) rows.
+	b := NewBuilder()
+	for i := 0; i < 7; i++ {
+		b.State(fmt.Sprintf("s%d", i), Label(i%6))
+	}
+	b.Start("s0")
+	for i := 0; i < 7; i++ {
+		from := fmt.Sprintf("s%d", i)
+		b.Edge(from, fmt.Sprintf("s%d", (i+1)%7), 1.0/3)
+		b.Edge(from, fmt.Sprintf("s%d", (i+3)%7), 1.0/7)
+		b.Edge(from, fmt.Sprintf("s%d", (i+5)%7), 1-1.0/3-1.0/7)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms["awkward"] = m
+	return ms
+}
+
+// chiSquareCritical999 approximates the 0.999 quantile of the chi-square
+// distribution with k degrees of freedom (Wilson–Hilferty).
+func chiSquareCritical999(k float64) float64 {
+	const z = 3.0902 // Φ⁻¹(0.999)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}
+
+// TestCompiledSamplerMatchesRows is the statistical-equivalence proof of the
+// compiled path: for every state of every library machine, the empirical
+// successor frequencies of the alias sampler must pass a chi-square
+// goodness-of-fit test against the machine's dense transition row. With the
+// 0.999 quantile and a fixed seed this is deterministic and tight: a wrong
+// alias table fails it by orders of magnitude.
+func TestCompiledSamplerMatchesRows(t *testing.T) {
+	const samples = 100000
+	src := rng.New(1234)
+	for name, m := range testMachines(t) {
+		c := m.Compiled()
+		n := m.NumStates()
+		for i := 0; i < n; i++ {
+			counts := make([]int, n)
+			for s := 0; s < samples; s++ {
+				counts[c.Next(i, src.Uint64())]++
+			}
+			// Bin by successor, folding impossible states into a check
+			// that they were never sampled.
+			var chi2, dof float64
+			for j := 0; j < n; j++ {
+				p := m.Prob(i, j)
+				if p == 0 {
+					if counts[j] != 0 {
+						t.Errorf("%s: state %d sampled zero-probability successor %d %d times",
+							name, i, j, counts[j])
+					}
+					continue
+				}
+				e := p * samples
+				d := float64(counts[j]) - e
+				chi2 += d * d / e
+				dof++
+			}
+			if dof <= 1 {
+				continue // deterministic row: the zero-successor check above is exact
+			}
+			if crit := chiSquareCritical999(dof - 1); chi2 > crit {
+				t.Errorf("%s: state %d chi2 = %.2f > %.2f (dof %.0f): compiled sampler deviates from row",
+					name, i, chi2, crit, dof-1)
+			}
+		}
+	}
+}
+
+// TestCompiledWalkerMatchesDenseDistribution cross-checks the two samplers
+// end to end: the distribution of positions after a fixed number of steps
+// must agree between compiled and dense walkers (coarse moment check).
+func TestCompiledWalkerMatchesDenseDistribution(t *testing.T) {
+	m, err := BiasedWalk(0.1, 0.2, 0.3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials, steps = 4000, 64
+	meanOf := func(mk func(*Machine, *rng.Source) *Walker) (mx, my float64) {
+		src := rng.New(99)
+		for i := 0; i < trials; i++ {
+			w := mk(m, src.Derive(uint64(i)))
+			w.StepN(steps)
+			mx += float64(w.Pos().X)
+			my += float64(w.Pos().Y)
+		}
+		return mx / trials, my / trials
+	}
+	cx, cy := meanOf(NewWalker)
+	dx, dy := meanOf(NewDenseWalker)
+	// E[pos after k steps] ≈ k·drift = 64·(0.1, −0.1); per-trial stddev is
+	// ≈ √64 ≈ 8, so the mean over 4000 trials has σ ≈ 0.13. Allow 5σ.
+	const tol = 0.7
+	if math.Abs(cx-dx) > tol || math.Abs(cy-dy) > tol {
+		t.Errorf("mean positions diverge: compiled (%.3f, %.3f) vs dense (%.3f, %.3f)",
+			cx, cy, dx, dy)
+	}
+}
+
+// TestCompiledDeterministicMachines: machines with all-deterministic rows
+// must produce identical trajectories under both samplers.
+func TestCompiledDeterministicMachines(t *testing.T) {
+	for name, m := range map[string]*Machine{"zigzag": ZigZag()} {
+		cw := NewWalker(m, rng.New(7))
+		dw := NewDenseWalker(m, rng.New(7))
+		for i := 0; i < 200; i++ {
+			cl, dl := cw.Step(), dw.Step()
+			if cl != dl || cw.Pos() != dw.Pos() || cw.State() != dw.State() {
+				t.Fatalf("%s: step %d diverged: compiled (%v, %v, %d) vs dense (%v, %v, %d)",
+					name, i, cl, cw.Pos(), cw.State(), dl, dw.Pos(), dw.State())
+			}
+		}
+	}
+}
+
+// TestStepNMatchesStep: the batched API must replay exactly the same
+// trajectory as repeated Step calls from the same seed (both consume one
+// draw per transition).
+func TestStepNMatchesStep(t *testing.T) {
+	for name, m := range testMachines(t) {
+		a := NewWalker(m, rng.New(42))
+		b := NewWalker(m, rng.New(42))
+		a.StepN(137)
+		for i := 0; i < 137; i++ {
+			b.Step()
+		}
+		if a.State() != b.State() || a.Pos() != b.Pos() || a.Steps() != b.Steps() || a.Moves() != b.Moves() {
+			t.Errorf("%s: StepN(137) = (state %d, pos %v, steps %d, moves %d), 137×Step = (state %d, pos %v, steps %d, moves %d)",
+				name, a.State(), a.Pos(), a.Steps(), a.Moves(),
+				b.State(), b.Pos(), b.Steps(), b.Moves())
+		}
+	}
+}
+
+// TestCompiledFixedSeedReproducible: the compiled path's determinism
+// contract — fixed seed ⇒ identical trajectory.
+func TestCompiledFixedSeedReproducible(t *testing.T) {
+	m := RandomWalk()
+	a := NewWalker(m, rng.New(5))
+	b := NewWalker(m, rng.New(5))
+	for i := 0; i < 1000; i++ {
+		if a.Step() != b.Step() || a.Pos() != b.Pos() {
+			t.Fatalf("step %d: same seed diverged", i)
+		}
+	}
+}
+
+// TestCompiledActionTables verifies the precomputed per-state grid actions
+// against the Label-derived ground truth.
+func TestCompiledActionTables(t *testing.T) {
+	for name, m := range testMachines(t) {
+		c := m.Compiled()
+		if c.Machine() != m || c.NumStates() != m.NumStates() || c.Start() != m.Start() {
+			t.Errorf("%s: compiled metadata mismatch", name)
+		}
+		for s := 0; s < m.NumStates(); s++ {
+			l := m.Label(s)
+			if c.Label(s) != l {
+				t.Errorf("%s: state %d label %v, want %v", name, s, c.Label(s), l)
+			}
+			wantDir, wantMove := l.Direction()
+			gotDir, gotMove := c.Dir(s)
+			if gotMove != wantMove || (wantMove && gotDir != wantDir) {
+				t.Errorf("%s: state %d dir (%v, %v), want (%v, %v)", name, s, gotDir, gotMove, wantDir, wantMove)
+			}
+			dx, dy := c.Delta(s)
+			wantDelta := grid.Point{}
+			if wantMove {
+				wantDelta = wantDir.Delta()
+			}
+			if dx != wantDelta.X || dy != wantDelta.Y {
+				t.Errorf("%s: state %d delta (%d, %d), want %v", name, s, dx, dy, wantDelta)
+			}
+			if c.IsOrigin(s) != (l == LabelOrigin) {
+				t.Errorf("%s: state %d origin flag %v for label %v", name, s, c.IsOrigin(s), l)
+			}
+			if want := uint64(0); wantMove {
+				want = 1
+				if c.MoveInc(s) != want {
+					t.Errorf("%s: state %d moveInc %d, want %d", name, s, c.MoveInc(s), want)
+				}
+			} else if c.MoveInc(s) != want {
+				t.Errorf("%s: state %d moveInc %d, want %d", name, s, c.MoveInc(s), want)
+			}
+		}
+	}
+}
+
+// TestApplyMatchesWalker: the engines' flat stepping primitive must agree
+// with the Walker over the same draw sequence.
+func TestApplyMatchesWalker(t *testing.T) {
+	for name, m := range testMachines(t) {
+		c := m.Compiled()
+		w := NewWalker(m, rng.New(17))
+		src := rng.New(17)
+		s := c.Start()
+		var x, y int64
+		var moves uint64
+		for i := 0; i < 500; i++ {
+			w.Step()
+			var inc uint64
+			s, x, y, inc = c.Apply(s, x, y, src.Uint64())
+			moves += inc
+			if s != w.State() || x != w.Pos().X || y != w.Pos().Y || moves != w.Moves() {
+				t.Fatalf("%s: step %d: Apply (state %d, pos (%d,%d), moves %d) vs Walker (state %d, pos %v, moves %d)",
+					name, i, s, x, y, moves, w.State(), w.Pos(), w.Moves())
+			}
+		}
+	}
+}

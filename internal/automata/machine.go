@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/grid"
 )
@@ -74,6 +75,9 @@ type Machine struct {
 	labels []Label
 	p      [][]float64 // p[i][j] = probability of moving from state i to j
 	start  int
+
+	compileOnce sync.Once
+	compiled    *CompiledMachine
 }
 
 // Validation tolerance for row sums.
@@ -138,6 +142,14 @@ func (m *Machine) Label(i int) Label { return m.labels[i] }
 
 // Prob returns the transition probability P[i][j].
 func (m *Machine) Prob(i, j int) float64 { return m.p[i][j] }
+
+// Compiled returns the machine's compiled execution form (alias tables and
+// precomputed grid actions), building it on first use. The result is cached:
+// every walker and engine stepping the same machine shares one instance.
+func (m *Machine) Compiled() *CompiledMachine {
+	m.compileOnce.Do(func() { m.compiled = Compile(m) })
+	return m.compiled
+}
 
 // MemoryBits returns b = ⌈log₂|S|⌉, the number of bits needed to encode the
 // state set (with b = 1 as a floor: even a one-state machine is "one bit" of

@@ -11,8 +11,17 @@ import (
 // move the agent, none does nothing, and origin teleports the agent to the
 // origin (the oracle return, whose path length the paper's accounting
 // excludes).
+//
+// NewWalker steps through the machine's compiled form (O(1) alias sampling,
+// see CompiledMachine); NewDenseWalker retains the reference O(|S|)
+// inverse-CDF sampler over the dense transition rows. Both consume exactly
+// one 64-bit draw per step, so they stay aligned on the random stream, but
+// they map draws to successors differently: a fixed seed yields identical
+// results within one sampler, and statistically equivalent chains across
+// the two (see TestCompiledSamplerMatchesRows).
 type Walker struct {
 	m   *Machine
+	c   *CompiledMachine // nil for the dense reference sampler
 	src *rng.Source
 
 	state int
@@ -22,8 +31,16 @@ type Walker struct {
 	moves uint64
 }
 
-// NewWalker returns a walker at the machine's start state and the origin.
+// NewWalker returns a compiled-path walker at the machine's start state and
+// the origin.
 func NewWalker(m *Machine, src *rng.Source) *Walker {
+	return &Walker{m: m, c: m.Compiled(), src: src, state: m.Start()}
+}
+
+// NewDenseWalker returns a walker using the reference inverse-CDF sampler
+// over the machine's dense rows. It is the baseline the compiled path is
+// validated (and benchmarked) against.
+func NewDenseWalker(m *Machine, src *rng.Source) *Walker {
 	return &Walker{m: m, src: src, state: m.Start()}
 }
 
@@ -46,6 +63,25 @@ func (w *Walker) Moves() uint64 { return w.moves }
 // Step performs one Markov-chain transition and applies the destination
 // state's grid action. It returns the label of the new state.
 func (w *Walker) Step() Label {
+	if c := w.c; c != nil {
+		s := c.Next(w.state, w.src.Uint64())
+		w.state = s
+		w.steps++
+		a := c.actions[s]
+		if a.origin {
+			w.pos = grid.Origin
+		} else {
+			w.pos.X += int64(a.dx)
+			w.pos.Y += int64(a.dy)
+			w.moves += uint64(a.moveInc)
+		}
+		return Label(a.label)
+	}
+	return w.stepDense()
+}
+
+// stepDense is Step over the dense reference sampler.
+func (w *Walker) stepDense() Label {
 	w.state = w.sample(w.state)
 	w.steps++
 	label := w.m.Label(w.state)
@@ -60,8 +96,40 @@ func (w *Walker) Step() Label {
 	return label
 }
 
+// StepN performs k transitions as one batch, equivalent to calling Step k
+// times but with the per-step bookkeeping hoisted out of the loop. It is
+// the kernel warm-up and bulk-simulation entry point.
+func (w *Walker) StepN(k uint64) {
+	c := w.c
+	if c == nil {
+		for i := uint64(0); i < k; i++ {
+			w.Step()
+		}
+		return
+	}
+	src := w.src
+	state := w.state
+	pos := w.pos
+	var moves uint64
+	for i := uint64(0); i < k; i++ {
+		state = c.Next(state, src.Uint64())
+		a := c.actions[state]
+		if a.origin {
+			pos = grid.Origin
+		} else {
+			pos.X += int64(a.dx)
+			pos.Y += int64(a.dy)
+			moves += uint64(a.moveInc)
+		}
+	}
+	w.state = state
+	w.pos = pos
+	w.steps += k
+	w.moves += moves
+}
+
 // sample draws the successor of state i from row i of the transition
-// matrix by inverse-CDF sampling.
+// matrix by inverse-CDF sampling (the dense reference path).
 func (w *Walker) sample(i int) int {
 	u := w.src.Float64()
 	var acc float64

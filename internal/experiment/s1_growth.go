@@ -38,7 +38,12 @@ func runS1(cfg Config) ([]*Table, error) {
 	}
 	ball := float64(2*d+1) * float64(2*d+1)
 	for _, name := range order {
-		counts, err := sim.CoverageCurve(machines[name], agents, d, checkpoints, cfg.Seed+31)
+		counts, err := sim.CoverageCurveWith(sim.RoundsConfig{
+			Machine:     machines[name],
+			NumAgents:   agents,
+			TrackRadius: d,
+			Workers:     cfg.Workers,
+		}, checkpoints, cfg.Seed+31)
 		if err != nil {
 			return nil, fmt.Errorf("S1 %s: %w", name, err)
 		}

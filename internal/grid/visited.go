@@ -116,14 +116,16 @@ func (v *VisitSet) Merge(other *VisitSet) {
 	}
 }
 
-// EachDense calls fn for every visited point inside other's dense window.
+// EachDense calls fn for every visited point inside v's dense window. It
+// iterates set bits word-by-word (bits.TrailingZeros64), so the cost is
+// O(words + visited), not O((2r+1)²) Contains probes.
 func (v *VisitSet) EachDense(fn func(Point)) {
-	for y := -v.r; y <= v.r; y++ {
-		for x := -v.r; x <= v.r; x++ {
-			p := Point{X: x, Y: y}
-			if v.Contains(p) {
-				fn(p)
-			}
+	for wi, w := range v.dense {
+		base := int64(wi) * 64
+		for w != 0 {
+			idx := base + int64(bits.TrailingZeros64(w))
+			w &= w - 1 // clear lowest set bit
+			fn(Point{X: idx%v.side - v.r, Y: idx/v.side - v.r})
 		}
 	}
 }

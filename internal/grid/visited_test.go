@@ -1,0 +1,147 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestEachDenseEnumeratesExactly: the word-level iteration must report each
+// visited in-window point exactly once and nothing else, including points on
+// word boundaries and window corners.
+func TestEachDenseEnumeratesExactly(t *testing.T) {
+	v := NewVisitSet(9) // side 19: rows straddle 64-bit word boundaries
+	want := map[Point]bool{
+		{X: -9, Y: -9}: true, // first bit of word 0
+		{X: 9, Y: 9}:   true, // last bit of the last word
+		{X: 0, Y: 0}:   true,
+		{X: -3, Y: 4}:  true,
+		{X: 7, Y: -2}:  true,
+		{X: 8, Y: -9}:  true,
+	}
+	for p := range want {
+		v.Visit(p)
+	}
+	v.Visit(Point{X: 50, Y: 50}) // sparse: must not appear
+	got := map[Point]int{}
+	v.EachDense(func(p Point) { got[p]++ })
+	if len(got) != len(want) {
+		t.Errorf("EachDense visited %d points, want %d: %v", len(got), len(want), got)
+	}
+	for p, n := range got {
+		if !want[p] {
+			t.Errorf("EachDense reported unvisited point %v", p)
+		}
+		if n != 1 {
+			t.Errorf("EachDense reported %v %d times", p, n)
+		}
+	}
+}
+
+// TestEachDenseMatchesContains cross-checks the bit iteration against the
+// Contains probe over a random fill.
+func TestEachDenseMatchesContains(t *testing.T) {
+	v := NewVisitSet(13)
+	src := rng.New(7)
+	for i := 0; i < 300; i++ {
+		v.Visit(Point{X: src.Intn(27) - 13, Y: src.Intn(27) - 13})
+	}
+	var n int64
+	v.EachDense(func(p Point) {
+		n++
+		if !v.Contains(p) {
+			t.Errorf("EachDense reported %v but Contains disagrees", p)
+		}
+	})
+	if n != v.CountInBall() {
+		t.Errorf("EachDense enumerated %d points, CountInBall = %d", n, v.CountInBall())
+	}
+}
+
+// TestMergeSmallerIntoLarger: merging a small-radius set into a larger one
+// must re-classify every dense point into the target window and keep the
+// counters exact.
+func TestMergeSmallerIntoLarger(t *testing.T) {
+	a := NewVisitSet(8)
+	b := NewVisitSet(2)
+	pts := []Point{{X: 0, Y: 0}, {X: 2, Y: -2}, {X: -1, Y: 1}}
+	for _, p := range pts {
+		b.Visit(p)
+	}
+	b.Visit(Point{X: 5, Y: 5})  // sparse in b, dense in a
+	b.Visit(Point{X: 20, Y: 0}) // sparse in both
+	a.Visit(Point{X: 2, Y: -2}) // overlap: must not double count
+	a.Merge(b)
+	if got, want := a.CountInBall(), int64(4); got != want { // 3 pts + (5,5)
+		t.Errorf("CountInBall = %d, want %d", got, want)
+	}
+	if got, want := a.Count(), int64(5); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	for _, p := range append(pts, Point{X: 5, Y: 5}, Point{X: 20, Y: 0}) {
+		if !a.Contains(p) {
+			t.Errorf("merged set missing %v", p)
+		}
+	}
+}
+
+// TestMergeLargerIntoSmaller: dense points of the source that fall outside
+// the target's window must land in the sparse overflow, still counted once.
+func TestMergeLargerIntoSmaller(t *testing.T) {
+	a := NewVisitSet(2)
+	b := NewVisitSet(8)
+	b.Visit(Point{X: 1, Y: 1})  // dense in both
+	b.Visit(Point{X: 6, Y: -6}) // dense in b, sparse in a
+	b.Visit(Point{X: 6, Y: -6}) // revisit: no double count at the source
+	a.Merge(b)
+	if got, want := a.Count(), int64(2); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	if got, want := a.CountInBall(), int64(1); got != want {
+		t.Errorf("CountInBall = %d, want %d", got, want)
+	}
+	if !a.Contains(Point{X: 6, Y: -6}) {
+		t.Error("merged set missing re-classified point")
+	}
+}
+
+// TestMergeCrossRadiusMatchesUnion is a randomized union check across
+// differing dense radii in both directions.
+func TestMergeCrossRadiusMatchesUnion(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 20; trial++ {
+		ra := src.Intn(12) + 1
+		rb := src.Intn(12) + 1
+		a := NewVisitSet(ra)
+		b := NewVisitSet(rb)
+		union := map[Point]bool{}
+		fill := func(v *VisitSet, n int64) {
+			for i := int64(0); i < n; i++ {
+				p := Point{X: src.Intn(31) - 15, Y: src.Intn(31) - 15}
+				v.Visit(p)
+				union[p] = true
+			}
+		}
+		fillA := src.Intn(60)
+		fillB := src.Intn(60)
+		fill(a, fillA)
+		fill(b, fillB)
+		a.Merge(b)
+		if a.Count() != int64(len(union)) {
+			t.Fatalf("trial %d (ra=%d rb=%d): Count = %d, want %d",
+				trial, ra, rb, a.Count(), len(union))
+		}
+		var inBall int64
+		for p := range union {
+			if !a.Contains(p) {
+				t.Fatalf("trial %d: merged set missing %v", trial, p)
+			}
+			if p.Norm() <= ra {
+				inBall++
+			}
+		}
+		if a.CountInBall() != inBall {
+			t.Fatalf("trial %d: CountInBall = %d, want %d", trial, a.CountInBall(), inBall)
+		}
+	}
+}

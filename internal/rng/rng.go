@@ -14,7 +14,11 @@ import "math/bits"
 // mirrors the subset of math/rand/v2 the simulations need so that agent code
 // depends only on this package.
 type Source struct {
-	s [4]uint64
+	// The xoshiro256** state, as four named scalars rather than a [4]uint64:
+	// field access keeps Uint64 within the compiler's inlining budget (an
+	// indexed array body does not fit), which matters because the engines
+	// draw once per Markov step.
+	s0, s1, s2, s3 uint64
 }
 
 // New returns a Source seeded from seed via SplitMix64, so that any seed —
@@ -28,13 +32,14 @@ func New(seed uint64) *Source {
 // Reseed resets the source to the stream identified by seed.
 func (r *Source) Reseed(seed uint64) {
 	sm := seed
-	for i := range r.s {
-		sm, r.s[i] = splitMix64(sm)
-	}
+	sm, r.s0 = splitMix64(sm)
+	sm, r.s1 = splitMix64(sm)
+	sm, r.s2 = splitMix64(sm)
+	_, r.s3 = splitMix64(sm)
 	// xoshiro's all-zero state is absorbing; splitmix cannot produce four
 	// zero outputs from any input, but guard anyway for robustness.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 0x9e3779b97f4a7c15
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
 	}
 }
 
@@ -48,17 +53,21 @@ func splitMix64(state uint64) (uint64, uint64) {
 	return state, z
 }
 
-// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**). The body
+// is written over scalar locals (not the state array) to stay within the
+// compiler's inlining budget: the simulation engines call it once per
+// Markov step, and the call overhead would otherwise dominate the kernel.
 func (r *Source) Uint64() uint64 {
-	s := &r.s
-	result := bits.RotateLeft64(s[1]*5, 7) * 9
-	t := s[1] << 17
-	s[2] ^= s[0]
-	s[3] ^= s[1]
-	s[1] ^= s[2]
-	s[0] ^= s[3]
-	s[2] ^= t
-	s[3] = bits.RotateLeft64(s[3], 45)
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	result := bits.RotateLeft64(s1*5, 7) * 9
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	r.s0, r.s1, r.s2 = s0, s1, s2
+	r.s3 = bits.RotateLeft64(s3, 45)
 	return result
 }
 
@@ -67,9 +76,18 @@ func (r *Source) Uint64() uint64 {
 // function of (r's current state, i), hashed through SplitMix64. Use it to
 // hand each agent of each trial its own generator.
 func (r *Source) Derive(i uint64) *Source {
-	seed := r.s[0] ^ bits.RotateLeft64(r.s[1], 13) ^ bits.RotateLeft64(r.s[2], 29) ^ r.s[3]
+	var dst Source
+	r.DeriveInto(i, &dst)
+	return &dst
+}
+
+// DeriveInto is Derive without the allocation: it reseeds dst to substream i
+// of this source's stream. Engines use it to reuse one Source value per
+// agent slot across a whole run.
+func (r *Source) DeriveInto(i uint64, dst *Source) {
+	seed := r.s0 ^ bits.RotateLeft64(r.s1, 13) ^ bits.RotateLeft64(r.s2, 29) ^ r.s3
 	_, h := splitMix64(seed ^ (i+1)*0xd1342543de82ef95)
-	return New(h)
+	dst.Reseed(h)
 }
 
 // Intn returns a uniformly random integer in [0, n). It panics if n <= 0.
@@ -117,13 +135,13 @@ func (r *Source) Jump() {
 	for _, jp := range jumpPoly {
 		for b := 0; b < 64; b++ {
 			if jp&(uint64(1)<<uint(b)) != 0 {
-				s0 ^= r.s[0]
-				s1 ^= r.s[1]
-				s2 ^= r.s[2]
-				s3 ^= r.s[3]
+				s0 ^= r.s0
+				s1 ^= r.s1
+				s2 ^= r.s2
+				s3 ^= r.s3
 			}
 			r.Uint64()
 		}
 	}
-	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
 }

@@ -80,7 +80,18 @@ type EnvHook interface {
 // NewEnv creates an environment. The agent starts at the origin; if the
 // target is the origin it is found immediately at zero moves.
 func NewEnv(cfg EnvConfig) *Env {
-	e := &Env{
+	e := &Env{}
+	e.Reset(cfg)
+	return e
+}
+
+// Reset re-initializes e for a fresh agent with the given configuration,
+// reusing e's allocations (notably the recorded-path backing array). The
+// worker pool calls it once per agent so the engine's steady state is
+// allocation-free.
+func (e *Env) Reset(cfg EnvConfig) {
+	path := e.path
+	*e = Env{
 		target:    cfg.Target,
 		hasTarget: cfg.HasTarget,
 		budget:    cfg.MoveBudget,
@@ -92,12 +103,11 @@ func NewEnv(cfg EnvConfig) *Env {
 		e.visited.Visit(grid.Origin)
 	}
 	if cfg.RecordPath {
-		e.path = []grid.Point{grid.Origin}
+		e.path = append(path[:0], grid.Origin)
 	}
 	if e.hasTarget && e.target == grid.Origin {
 		e.found = true
 	}
-	return e
 }
 
 // Path returns the recorded trajectory (nil unless RecordPath was set).

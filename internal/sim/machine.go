@@ -37,27 +37,31 @@ func MachineFactory(m *automata.Machine, stepBudget uint64) (Factory, error) {
 	return func() Program { return prog }, nil
 }
 
-// Run implements Program: it walks the machine until the environment is
-// done or the step budget runs out.
+// Run implements Program: it steps the compiled machine until the
+// environment is done or the step budget runs out. Successor states are
+// drawn in O(1) from the alias tables and the grid action is a precomputed
+// per-state lookup, so the per-step cost is independent of |S|.
 func (p *MachineProgram) Run(env *Env) error {
-	w := automata.NewWalker(p.machine, env.Src())
+	c := p.machine.Compiled()
+	src := env.Src()
+	state := c.Start()
+	var steps uint64
 	for !env.Done() {
-		if p.stepBudget > 0 && w.Steps() >= p.stepBudget {
+		if p.stepBudget > 0 && steps >= p.stepBudget {
 			return nil
 		}
-		label := w.Step()
-		switch label {
-		case automata.LabelUp, automata.LabelDown, automata.LabelLeft, automata.LabelRight:
-			d, _ := label.Direction()
+		state = c.Next(state, src.Uint64())
+		steps++
+		if d, ok := c.Dir(state); ok {
 			if err := env.Move(d); err != nil {
 				if errors.Is(err, ErrBudget) {
 					return nil
 				}
 				return err
 			}
-		case automata.LabelOrigin:
+		} else if c.IsOrigin(state) {
 			env.ReturnToOrigin()
-		default:
+		} else {
 			env.CountStep()
 		}
 	}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/automata"
 	"repro/internal/grid"
@@ -18,6 +17,13 @@ import (
 // round-based engine additionally exposes the swarm's joint state over
 // time to observers — the view the Section 4 arguments (and the coverage-
 // growth experiment) are about.
+//
+// The engine runs on the machine's compiled form (see automata.Compile):
+// agent state lives in flat parallel arrays, each worker owns a contiguous
+// stripe of agents plus its own VisitSet, and the worker pool is persistent
+// — goroutines are created once per run and synchronized with a channel
+// round barrier, not spawned per round. Visit stripes are merged into the
+// master set by word-OR only at checkpoints and at the end of the run.
 
 // AgentState is one agent's snapshot at the end of a round.
 type AgentState struct {
@@ -55,8 +61,19 @@ type RoundsConfig struct {
 	StopOnFound bool
 	// TrackRadius, when positive, maintains the union visit set.
 	TrackRadius int64
-	// Workers bounds per-round stepping concurrency (0 = GOMAXPROCS).
+	// Workers bounds per-round stepping concurrency. 0 auto-sizes: up to
+	// GOMAXPROCS workers, but never so many that a worker owns fewer than
+	// minAgentsPerWorker agents (small swarms run without synchronization).
 	Workers int
+	// Checkpoints lists rounds (strictly increasing, within [1, Rounds])
+	// at which the engine merges the per-worker visit stripes and calls
+	// CheckpointFn with the merged set. Requires TrackRadius > 0 and a
+	// non-nil CheckpointFn, and is incompatible with StopOnFound (an early
+	// stop would silently skip the remaining checkpoints).
+	Checkpoints []uint64
+	// CheckpointFn receives the merged visit set at each checkpoint round.
+	// It runs on the caller's goroutine and must not retain the set.
+	CheckpointFn func(round uint64, visited *grid.VisitSet)
 }
 
 // RoundsResult is the outcome of a synchronous run.
@@ -72,6 +89,88 @@ type RoundsResult struct {
 	Visited *grid.VisitSet
 }
 
+// minAgentsPerWorker is the auto-sizing floor: below this many agents per
+// worker, the per-round barrier costs more than the parallelism buys.
+const minAgentsPerWorker = 512
+
+// roundWorkers picks the worker count for a swarm of n agents. An explicit
+// request is honored (capped at n); 0 auto-sizes.
+func roundWorkers(requested, n int) int {
+	if requested > 0 {
+		if requested > n {
+			return n
+		}
+		return requested
+	}
+	w := runtime.GOMAXPROCS(0)
+	if byLoad := n / minAgentsPerWorker; w > byLoad {
+		w = byLoad
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// swarm is the flat compiled-execution state of a synchronous run: one slot
+// per agent in parallel arrays, stepped stripe-wise by the worker pool.
+type swarm struct {
+	c      *automata.CompiledMachine
+	srcs   []rng.Source
+	states []int32
+	posX   []int64
+	posY   []int64
+	agents []AgentState
+
+	hasTarget bool
+	target    grid.Point
+}
+
+func newSwarm(m *automata.Machine, n int, hasTarget bool, target grid.Point, seed uint64) *swarm {
+	s := &swarm{
+		c:         m.Compiled(),
+		srcs:      make([]rng.Source, n),
+		states:    make([]int32, n),
+		posX:      make([]int64, n),
+		posY:      make([]int64, n),
+		agents:    make([]AgentState, n),
+		hasTarget: hasTarget,
+		target:    target,
+	}
+	root := rng.New(seed)
+	start := int32(m.Start())
+	for i := 0; i < n; i++ {
+		root.DeriveInto(uint64(i), &s.srcs[i])
+		s.states[i] = start
+		s.agents[i] = AgentState{Pos: grid.Origin, State: int(start)}
+	}
+	return s
+}
+
+// stepRange advances agents [lo, hi) by one transition each, recording
+// visits into stripe (may be nil) and reporting whether any agent in the
+// range newly reached the target this round.
+func (s *swarm) stepRange(lo, hi int, stripe *grid.VisitSet) bool {
+	c := s.c
+	found := false
+	for i := lo; i < hi; i++ {
+		st, x, y, _ := c.Apply(int(s.states[i]), s.posX[i], s.posY[i], s.srcs[i].Uint64())
+		s.states[i] = int32(st)
+		s.posX[i], s.posY[i] = x, y
+		p := grid.Point{X: x, Y: y}
+		if stripe != nil {
+			stripe.Visit(p)
+		}
+		s.agents[i].Pos = p
+		s.agents[i].State = st
+		if s.hasTarget && p == s.target && !s.agents[i].Found {
+			s.agents[i].Found = true
+			found = true
+		}
+	}
+	return found
+}
+
 // RunRounds executes the swarm in lockstep. Observers (optional, may be
 // nil) see the exact synchronous trajectory the paper's model defines.
 func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult, error) {
@@ -84,28 +183,39 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 	if cfg.Rounds < 1 {
 		return nil, fmt.Errorf("sim: need at least one round, got %d", cfg.Rounds)
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if len(cfg.Checkpoints) > 0 {
+		if cfg.TrackRadius <= 0 || cfg.CheckpointFn == nil {
+			return nil, errors.New("sim: checkpoints require TrackRadius > 0 and a CheckpointFn")
+		}
+		if cfg.StopOnFound {
+			return nil, errors.New("sim: StopOnFound would skip checkpoints; run without it to sample the full horizon")
+		}
+		if cfg.Checkpoints[0] < 1 {
+			return nil, fmt.Errorf("sim: checkpoint %d can never fire (rounds are 1-based)", cfg.Checkpoints[0])
+		}
+		for i := 1; i < len(cfg.Checkpoints); i++ {
+			if cfg.Checkpoints[i] <= cfg.Checkpoints[i-1] {
+				return nil, fmt.Errorf("sim: checkpoints must increase (%d after %d)",
+					cfg.Checkpoints[i], cfg.Checkpoints[i-1])
+			}
+		}
+		if last := cfg.Checkpoints[len(cfg.Checkpoints)-1]; last > cfg.Rounds {
+			return nil, fmt.Errorf("sim: checkpoint %d is beyond the run's %d rounds", last, cfg.Rounds)
+		}
 	}
-	if workers > cfg.NumAgents {
-		workers = cfg.NumAgents
-	}
+	n := cfg.NumAgents
+	workers := roundWorkers(cfg.Workers, n)
+	sw := newSwarm(cfg.Machine, n, cfg.HasTarget, cfg.Target, seed)
 
-	root := rng.New(seed)
-	walkers := make([]*automata.Walker, cfg.NumAgents)
-	for i := range walkers {
-		walkers[i] = automata.NewWalker(cfg.Machine, root.Derive(uint64(i)))
-	}
-	agents := make([]AgentState, cfg.NumAgents)
-	for i := range agents {
-		agents[i] = AgentState{Pos: grid.Origin, State: cfg.Machine.Start()}
-	}
-
-	var visited *grid.VisitSet
-	if cfg.TrackRadius > 0 {
-		visited = grid.NewVisitSet(cfg.TrackRadius)
-		visited.Visit(grid.Origin)
+	track := cfg.TrackRadius > 0
+	var master *grid.VisitSet
+	stripes := make([]*grid.VisitSet, workers)
+	if track {
+		master = grid.NewVisitSet(cfg.TrackRadius)
+		master.Visit(grid.Origin)
+		for w := range stripes {
+			stripes[w] = grid.NewVisitSet(cfg.TrackRadius)
+		}
 	}
 
 	res := &RoundsResult{}
@@ -114,50 +224,77 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 		res.Found = true
 	}
 
-	chunk := (cfg.NumAgents + workers - 1) / workers
-	var wg sync.WaitGroup
-	for round := uint64(1); round <= cfg.Rounds; round++ {
+	// Persistent worker pool: workers are started once and synchronized
+	// with a channel round barrier. Worker w owns agents [lo[w], hi[w])
+	// and visit stripe w, so stepping needs no locks; the barrier gives
+	// the main goroutine exclusive access between rounds.
+	chunk := (n + workers - 1) / workers
+	var starts []chan struct{}
+	var done chan bool
+	if workers > 1 {
+		starts = make([]chan struct{}, workers)
+		done = make(chan bool, workers)
 		for w := 0; w < workers; w++ {
 			lo := w * chunk
 			hi := lo + chunk
-			if hi > cfg.NumAgents {
-				hi = cfg.NumAgents
+			if hi > n {
+				hi = n
 			}
-			if lo >= hi {
-				continue
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					walkers[i].Step()
-					agents[i].Pos = walkers[i].Pos()
-					agents[i].State = walkers[i].State()
-					if cfg.HasTarget && agents[i].Pos == cfg.Target {
-						agents[i].Found = true
-					}
+			starts[w] = make(chan struct{})
+			go func(lo, hi int, start chan struct{}, stripe *grid.VisitSet) {
+				for range start {
+					done <- sw.stepRange(lo, hi, stripe)
 				}
-			}(lo, hi)
+			}(lo, hi, starts[w], stripes[w])
 		}
-		wg.Wait()
+		defer func() {
+			for _, ch := range starts {
+				close(ch)
+			}
+		}()
+	}
+
+	nextCk := 0
+	mergeStripes := func() {
+		for _, st := range stripes {
+			master.Merge(st)
+		}
+	}
+	for round := uint64(1); round <= cfg.Rounds; round++ {
+		var anyFound bool
+		if workers == 1 {
+			anyFound = sw.stepRange(0, n, stripes[0])
+		} else {
+			for _, ch := range starts {
+				ch <- struct{}{}
+			}
+			for w := 0; w < workers; w++ {
+				if <-done {
+					anyFound = true
+				}
+			}
+		}
 		res.RoundsRun = round
-		for i := range agents {
-			if visited != nil {
-				visited.Visit(agents[i].Pos)
-			}
-			if agents[i].Found && !res.Found {
-				res.Found = true
-				res.FoundRound = round
-			}
+		if anyFound && !res.Found {
+			res.Found = true
+			res.FoundRound = round
+		}
+		if nextCk < len(cfg.Checkpoints) && round == cfg.Checkpoints[nextCk] {
+			mergeStripes()
+			cfg.CheckpointFn(round, master)
+			nextCk++
 		}
 		if obs != nil {
-			obs.Observe(round, agents)
+			obs.Observe(round, sw.agents)
 		}
 		if res.Found && cfg.StopOnFound {
 			break
 		}
 	}
-	res.Visited = visited
+	if track {
+		mergeStripes()
+		res.Visited = master
+	}
 	return res, nil
 }
 
@@ -166,34 +303,35 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 // round. Checkpoints must be strictly increasing; the last one bounds the
 // run length.
 func CoverageCurve(machine *automata.Machine, numAgents int, radius int64, checkpoints []uint64, seed uint64) ([]int64, error) {
+	return CoverageCurveWith(RoundsConfig{
+		Machine:     machine,
+		NumAgents:   numAgents,
+		TrackRadius: radius,
+	}, checkpoints, seed)
+}
+
+// CoverageCurveWith is CoverageCurve with an explicit engine configuration
+// (worker bound, target, ...). cfg.Rounds, Checkpoints and CheckpointFn are
+// set by this function; cfg.TrackRadius must be positive. StopOnFound is
+// forced off: the curve's contract is that every checkpoint fires, so the
+// run always executes the full horizon even when a target is being tracked.
+func CoverageCurveWith(cfg RoundsConfig, checkpoints []uint64, seed uint64) ([]int64, error) {
 	if len(checkpoints) == 0 {
 		return nil, errors.New("sim: no checkpoints")
 	}
-	for i := 1; i < len(checkpoints); i++ {
-		if checkpoints[i] <= checkpoints[i-1] {
-			return nil, fmt.Errorf("sim: checkpoints must increase (%d after %d)",
-				checkpoints[i], checkpoints[i-1])
-		}
+	if cfg.TrackRadius <= 0 {
+		return nil, fmt.Errorf("sim: coverage curve needs a positive radius, got %d", cfg.TrackRadius)
 	}
 	counts := make([]int64, len(checkpoints))
-	visited := grid.NewVisitSet(radius)
-	visited.Visit(grid.Origin)
 	next := 0
-	obs := RoundObserverFunc(func(round uint64, agents []AgentState) {
-		for i := range agents {
-			visited.Visit(agents[i].Pos)
-		}
-		for next < len(checkpoints) && round == checkpoints[next] {
-			counts[next] = visited.CountInBall()
-			next++
-		}
-	})
-	_, err := RunRounds(RoundsConfig{
-		Machine:   machine,
-		NumAgents: numAgents,
-		Rounds:    checkpoints[len(checkpoints)-1],
-	}, obs, seed)
-	if err != nil {
+	cfg.StopOnFound = false
+	cfg.Rounds = checkpoints[len(checkpoints)-1]
+	cfg.Checkpoints = checkpoints
+	cfg.CheckpointFn = func(round uint64, visited *grid.VisitSet) {
+		counts[next] = visited.CountInBall()
+		next++
+	}
+	if _, err := RunRounds(cfg, nil, seed); err != nil {
 		return nil, err
 	}
 	return counts, nil

@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/grid"
 	"repro/internal/rng"
@@ -68,6 +69,11 @@ type Result struct {
 // program race to find the target. The root source seeds per-agent
 // substreams, so results are reproducible. Agent errors other than budget
 // exhaustion abort the run.
+//
+// The work queue is a single atomic counter and each agent id owns its slot
+// of the result slice, so the steady state takes no locks; workers reuse
+// their Env and Source values across agents, so it allocates only what the
+// programs themselves allocate.
 func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 	if cfg.NumAgents < 1 {
 		return nil, fmt.Errorf("sim: need at least one agent, got %d", cfg.NumAgents)
@@ -90,10 +96,11 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 	visits := make([]*grid.VisitSet, 0, workers)
 
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
+		wg      sync.WaitGroup
+		next    atomic.Int64 // next agent id to claim
+		stop    atomic.Bool  // set on first non-budget error
+		errOnce sync.Once
+		runErr  error
 	)
 	for w := 0; w < workers; w++ {
 		var track *grid.VisitSet
@@ -104,47 +111,44 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 		wg.Add(1)
 		go func(track *grid.VisitSet) {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= cfg.NumAgents {
-					mu.Unlock()
+			var env Env
+			var src rng.Source
+			for !stop.Load() {
+				id := int(next.Add(1)) - 1
+				if id >= cfg.NumAgents {
 					return
 				}
-				id := next
-				next++
-				mu.Unlock()
-
 				var hook EnvHook
 				if cfg.HookFactory != nil {
 					hook = cfg.HookFactory(id)
 				}
-				env := NewEnv(EnvConfig{
+				root.DeriveInto(uint64(id), &src)
+				env.Reset(EnvConfig{
 					Target:      cfg.Target,
 					HasTarget:   cfg.HasTarget,
 					MoveBudget:  cfg.MoveBudget,
-					Src:         root.Derive(uint64(id)),
+					Src:         &src,
 					TrackVisits: track,
 					Hook:        hook,
 				})
-				err := factory().Run(env)
-				mu.Lock()
-				if err != nil && !errors.Is(err, ErrBudget) && firstErr == nil {
-					firstErr = fmt.Errorf("sim: agent %d: %w", id, err)
-					mu.Unlock()
+				if err := factory().Run(&env); err != nil && !errors.Is(err, ErrBudget) {
+					errOnce.Do(func() { runErr = fmt.Errorf("sim: agent %d: %w", id, err) })
+					stop.Store(true)
 					return
 				}
+				// The slot is owned by this worker: no other goroutine
+				// writes index id, and wg.Wait orders it before the reads.
 				res.Agents[id] = AgentResult{
 					Found: env.Found(),
-					Moves: movesOf(env),
+					Moves: movesOf(&env),
 					Steps: env.Steps(),
 				}
-				mu.Unlock()
 			}
 		}(track)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if runErr != nil {
+		return nil, runErr
 	}
 
 	res.MinMoves = math.MaxUint64
