@@ -4,8 +4,9 @@
 //
 // It re-exports the library's stable surface: the grid substrate, the agent
 // automaton model, the simulation engine, the paper's search algorithms and
-// the baselines. See the examples/ directory for runnable programs and
-// DESIGN.md for the architecture.
+// the baselines, and the sweep orchestration layer for declarative, cached,
+// resumable experiment grids. See the examples/ directory for runnable
+// programs and DESIGN.md for the architecture.
 //
 // # Quick start
 //
@@ -23,6 +24,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/search"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Grid substrate.
@@ -217,4 +219,62 @@ func CoverageCurve(m *Machine, numAgents int, radius int64, checkpoints []uint64
 // (worker bound, target, ...).
 func CoverageCurveWith(cfg RoundsConfig, checkpoints []uint64, seed uint64) ([]int64, error) {
 	return sim.CoverageCurveWith(cfg, checkpoints, seed)
+}
+
+// Sweep orchestration (declarative experiment grids; see internal/sweep).
+type (
+	// SweepGrid declares a cartesian experiment space: named axes, a
+	// per-point trial count, and a kernel-semantics version.
+	SweepGrid = sweep.Grid
+	// SweepAxis is one dimension of a grid (a fixed parameter is an axis
+	// with a single value).
+	SweepAxis = sweep.Axis
+	// SweepPoint is one expanded cell of a grid; kernels read its
+	// parameters through SweepPoint.Bind.
+	SweepPoint = sweep.Point
+	// SweepCtx is the kernel execution context (root seed, trials, engine
+	// worker bound).
+	SweepCtx = sweep.Ctx
+	// SweepResult is what a kernel computes for one point: samples, named
+	// scalars, and series.
+	SweepResult = sweep.Result
+	// SweepPointFunc computes one grid point; it must be concurrency-safe
+	// and deterministic in (point, seed, trials).
+	SweepPointFunc = sweep.PointFunc
+	// SweepOptions parameterize a run: seed, shard count, cache, resume,
+	// progress callback.
+	SweepOptions = sweep.Options
+	// SweepProgress is one progress event (SweepOptions.Progress receives
+	// them from worker goroutines).
+	SweepProgress = sweep.Progress
+	// SweepReport is a run's outcome: every point in expansion order plus
+	// cache accounting.
+	SweepReport = sweep.Report
+	// SweepSummary is the aggregate table (mean, 95% CI, quantiles per
+	// point), emitted as JSON and CSV artifacts via WriteArtifacts.
+	SweepSummary = sweep.Summary
+	// SweepCache is the content-addressed on-disk store of point results
+	// that makes sweeps resumable.
+	SweepCache = sweep.Cache
+)
+
+// Axis constructors for declaring sweep grids.
+var (
+	SweepInt64Axis  = sweep.Int64Axis
+	SweepIntAxis    = sweep.IntAxis
+	SweepUintAxis   = sweep.UintAxis
+	SweepStringAxis = sweep.StringAxis
+)
+
+// RunSweep expands the grid and evaluates fn at every point, sharding
+// points across workers; with a cache and Resume set, previously computed
+// points are served from disk instead of recomputed.
+func RunSweep(g SweepGrid, fn SweepPointFunc, opts SweepOptions) (*SweepReport, error) {
+	return sweep.Run(g, fn, opts)
+}
+
+// NewSweepCache opens (creating if needed) a content-addressed sweep cache
+// rooted at dir.
+func NewSweepCache(dir string) (*SweepCache, error) {
+	return sweep.NewCache(dir)
 }

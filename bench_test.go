@@ -1,7 +1,7 @@
-// Benchmarks: one per reproduction experiment (see DESIGN.md §4 and
-// EXPERIMENTS.md). Each benchmark measures the simulation kernel of its
-// experiment at a fixed, representative configuration; the full sweeps that
-// regenerate the tables live in cmd/antbench.
+// Benchmarks: one per reproduction experiment (see DESIGN.md §4). Each
+// benchmark measures the simulation kernel of its experiment at a fixed,
+// representative configuration; the full sweeps that regenerate the tables
+// live in cmd/antbench and cmd/antsim -sweep.
 package ants_test
 
 import (

@@ -14,14 +14,19 @@ import (
 	"repro/internal/sim"
 )
 
+// baselineSchemaVersion versions the snapshot layout (DESIGN.md §5
+// documents the schema and its migration policy).
+const baselineSchemaVersion = 1
+
 // Baseline is a machine-readable snapshot of the simulation kernels'
 // throughput, written by `antbench -baseline <path>` so successive PRs can
 // track the perf trajectory (see BENCH_baseline.json at the repo root).
 type Baseline struct {
-	GoVersion  string             `json:"go_version"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Timestamp  string             `json:"timestamp"`
-	Kernels    map[string]float64 `json:"kernels_ns_per_op"`
+	SchemaVersion int                `json:"schema_version"`
+	GoVersion     string             `json:"go_version"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Timestamp     string             `json:"timestamp"`
+	Kernels       map[string]float64 `json:"kernels_ns_per_op"`
 }
 
 // measure times fn until it has consumed at least minDur (and at least two
@@ -91,10 +96,11 @@ func writeBaseline(path string, out io.Writer) error {
 	})
 
 	b := Baseline{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		Kernels:    kernels,
+		SchemaVersion: baselineSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		Kernels:       kernels,
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

@@ -36,6 +36,9 @@ func TestRunBaseline(t *testing.T) {
 	if b.GoVersion == "" || b.Timestamp == "" {
 		t.Errorf("metadata incomplete: %+v", b)
 	}
+	if b.SchemaVersion != baselineSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", b.SchemaVersion, baselineSchemaVersion)
+	}
 	if !strings.Contains(out.String(), "wrote") {
 		t.Errorf("no confirmation output: %q", out.String())
 	}

@@ -1,5 +1,5 @@
-// Command antbench regenerates the reproduction experiment tables E1–E8
-// (see DESIGN.md §4 and EXPERIMENTS.md).
+// Command antbench regenerates the reproduction experiment tables E1–E8,
+// AB1–AB4 and S1 (see DESIGN.md §4).
 //
 // Usage:
 //

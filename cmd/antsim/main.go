@@ -7,6 +7,14 @@
 //	antsim -algo non-uniform -d 64 -n 16 -trials 20
 //	antsim -algo uniform -d 128 -n 4 -ell 2
 //	antsim -algo random-walk -d 32 -n 8 -budget 1000000
+//
+// Sweep mode runs a whole experiment grid (E1, E5 or S1) through the
+// orchestration layer of internal/sweep, with per-point progress, an
+// on-disk result cache, and incremental resume:
+//
+//	antsim -sweep e1 -cache .sweepcache -out e1_results
+//	antsim -sweep e1 -cache .sweepcache -resume -out e1_results  # recomputes only missing points
+//	antsim -sweep s1 -quick
 package main
 
 import (
@@ -14,12 +22,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/baseline"
+	"repro/internal/experiment"
 	"repro/internal/rng"
 	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -43,9 +54,27 @@ func run(args []string, out io.Writer) error {
 		place   = fs.String("place", "uniform-ball", "target placement: corner, axis, uniform-ball, uniform-sphere")
 		workers = fs.Int("workers", 0, "simulation worker bound (0 = GOMAXPROCS)")
 		traceTo = fs.String("trace", "", "write a JSONL event trace of one extra run to this file")
+
+		sweepID  = fs.String("sweep", "", "run an experiment grid instead of a single configuration: e1, e5 or s1")
+		quick    = fs.Bool("quick", false, "sweep mode: smaller grid and trial counts")
+		cacheDir = fs.String("cache", "", "sweep mode: content-addressed result cache directory")
+		resume   = fs.Bool("resume", false, "sweep mode: serve cached grid points instead of recomputing (requires -cache)")
+		outPfx   = fs.String("out", "", "sweep mode: write summary artifacts to <prefix>.json and <prefix>.csv")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sweepID != "" {
+		return runSweep(*sweepID, experiment.Config{
+			Seed:     *seed,
+			Quick:    *quick,
+			Workers:  *workers,
+			CacheDir: *cacheDir,
+			Resume:   *resume,
+		}, *outPfx, out)
+	}
+	if *resume || *cacheDir != "" || *outPfx != "" || *quick {
+		return fmt.Errorf("-cache/-resume/-out/-quick apply to sweep mode only (set -sweep)")
 	}
 
 	placement, err := parsePlacement(*place)
@@ -92,6 +121,62 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "M_moves:     mean=%.0f ±%.0f (95%% CI), median=%.0f, min=%.0f, max=%.0f\n",
 			s.Mean, s.CI95, s.Median, s.Min, s.Max)
 		fmt.Fprintf(out, "bound:       D²/n + D = %.0f (ratio %.2f)\n", bound, s.Mean/bound)
+	}
+	return nil
+}
+
+// runSweep executes one experiment grid through internal/sweep: per-point
+// progress lines, the rendered tables, run accounting (throughput, cache
+// hits), and optional JSON/CSV summary artifacts.
+func runSweep(id string, cfg experiment.Config, outPrefix string, out io.Writer) error {
+	if cfg.Resume && cfg.CacheDir == "" {
+		return fmt.Errorf("-resume needs -cache")
+	}
+	sp, err := experiment.LookupSweep(id)
+	if err != nil {
+		return err
+	}
+	g := sp.Grid(cfg)
+	fmt.Fprintf(out, "sweep:       %s — %s\n", sp.Name, sp.Title)
+	fmt.Fprintf(out, "grid:        %s v%d, %d points, %d trials/point, seed %d\n",
+		g.Name, g.Version, g.Size(), g.Trials, cfg.Seed)
+	if cfg.CacheDir != "" {
+		mode := "recompute (cache write-only)"
+		if cfg.Resume {
+			mode = "resume"
+		}
+		fmt.Fprintf(out, "cache:       %s (%s)\n", cfg.CacheDir, mode)
+	}
+
+	// Progress events arrive from worker goroutines; serialize the writes.
+	var mu sync.Mutex
+	progress := func(p sweep.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		status := "computed"
+		if p.Cached {
+			status = "cached"
+		}
+		fmt.Fprintf(out, "  [%*d/%d] %s — %s\n", len(fmt.Sprint(p.Total)), p.Done, p.Total, p.Point, status)
+	}
+	tables, rep, err := experiment.RunSweep(sp, cfg, progress)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out)
+	for _, tb := range tables {
+		fmt.Fprintln(out, tb.Render())
+	}
+	s := rep.Summary()
+	fmt.Fprintf(out, "points:      %d computed, %d cached\n", rep.Computed, rep.CacheHits)
+	fmt.Fprintf(out, "throughput:  %.1f points/s (%.2fs total)\n", s.PointsPerSec, s.ElapsedSec)
+	if outPrefix != "" {
+		jsonPath, csvPath, err := s.WriteArtifacts(outPrefix)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "artifacts:   %s, %s\n", jsonPath, csvPath)
 	}
 	return nil
 }

@@ -41,12 +41,79 @@ func TestRunEveryPlacement(t *testing.T) {
 	}
 }
 
+func TestRunSweepMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	prefix := filepath.Join(t.TempDir(), "s1")
+	var out strings.Builder
+	err := run([]string{"-sweep", "s1", "-quick", "-seed", "7",
+		"-cache", dir, "-out", prefix}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"sweep:", "grid:", "s1-growth", "computed", "S1: cells",
+		"throughput:", "artifacts:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("sweep output missing %q in:\n%s", want, got)
+		}
+	}
+	for _, ext := range []string{".json", ".csv"} {
+		if _, err := os.Stat(prefix + ext); err != nil {
+			t.Errorf("artifact %s%s not written: %v", prefix, ext, err)
+		}
+	}
+
+	// Resuming serves every point from the cache and renders the same table.
+	var out2 strings.Builder
+	err = run([]string{"-sweep", "s1", "-quick", "-seed", "7",
+		"-cache", dir, "-resume"}, &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point of the resumed run comes from the cache (the exact point
+	// count belongs to the grid, not this test).
+	if !strings.Contains(out2.String(), "\npoints:      0 computed,") {
+		t.Errorf("resumed sweep recomputed points:\n%s", out2.String())
+	}
+	if strings.Contains(out2.String(), "— computed") {
+		t.Errorf("resumed sweep has computed progress lines:\n%s", out2.String())
+	}
+	table := func(s string) string {
+		i := strings.Index(s, "== S1")
+		j := strings.Index(s, "points:")
+		if i < 0 || j < 0 {
+			t.Fatalf("output has no table section:\n%s", s)
+		}
+		return s[i:j]
+	}
+	if table(out.String()) != table(out2.String()) {
+		t.Error("resumed sweep rendered a different table")
+	}
+}
+
+func TestRunSweepEveryGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every quick grid; skipped in -short")
+	}
+	for _, id := range []string{"e1", "e5", "s1"} {
+		var out strings.Builder
+		if err := run([]string{"-sweep", id, "-quick"}, &out); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-algo", "nope"},
 		{"-place", "nowhere"},
 		{"-algo", "non-uniform", "-d", "1"},
 		{"-bad-flag"},
+		{"-sweep", "e99"},
+		{"-sweep", "e1", "-resume"},        // resume needs a cache
+		{"-resume"},                        // sweep-only flag without -sweep
+		{"-cache", "somewhere"},            // sweep-only flag without -sweep
+		{"-algo", "non-uniform", "-quick"}, // sweep-only flag without -sweep
 	}
 	for _, args := range cases {
 		var out strings.Builder

@@ -1,0 +1,71 @@
+package ants_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageComments enforces the documentation floor CI's docs job
+// gates on: every Go package in the repository — the root facade, every
+// internal/ package, every cmd/ command and every examples/ program — has
+// a package (doc) comment on at least one of its files.
+func TestPackageComments(t *testing.T) {
+	pkgFiles := map[string][]string{} // package dir -> .go files (tests excluded)
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgFiles[dir] = append(pkgFiles[dir], path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgFiles) < 10 {
+		t.Fatalf("found only %d packages — is the test running from the repo root?", len(pkgFiles))
+	}
+
+	fset := token.NewFileSet()
+	for dir, files := range pkgFiles {
+		documented := false
+		for _, file := range files {
+			f, err := parser.ParseFile(fset, file, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Errorf("parse %s: %v", file, err)
+				continue
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %s has no package comment on any of its files", dir)
+		}
+	}
+}
+
+// TestNoMisplacedArtifacts keeps stray sweep caches and result artifacts
+// out of the tree: they belong under ignored paths, not in version
+// control.
+func TestNoMisplacedArtifacts(t *testing.T) {
+	if _, err := os.Stat(".sweepcache"); err == nil {
+		t.Error(".sweepcache committed to the repo root; it is scratch state")
+	}
+}

@@ -2,16 +2,20 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // e1 reproduces Theorems 3.5/3.7: Non-Uniform-Search finds a target within
 // distance D in O(D²/n + D) expected moves. The table sweeps (D, n),
 // reports the mean M_moves over trials against the bound D²/n + D, and fits
-// the scaling exponent in D at fixed n.
+// the scaling exponent in D at fixed n. The sweep runs as a grid on
+// internal/sweep (see e1Sweep), so points shard across workers and cache
+// between runs.
 func e1() Experiment {
 	return Experiment{
 		ID:    "E1",
@@ -22,6 +26,22 @@ func e1() Experiment {
 }
 
 func runE1(cfg Config) ([]*Table, error) {
+	tables, _, err := RunSweep(e1Sweep(), cfg, nil)
+	return tables, err
+}
+
+// e1Sweep declares E1 as an experiment grid over (D, n).
+func e1Sweep() SweepSpec {
+	return SweepSpec{
+		Name:   "e1",
+		Title:  "Non-Uniform-Search expected moves vs O(D²/n + D)",
+		Grid:   e1Grid,
+		Point:  e1Point,
+		Tables: e1Tables,
+	}
+}
+
+func e1Grid(cfg Config) sweep.Grid {
 	ds := []int64{8, 16, 32, 64, 128}
 	ns := []int{1, 4, 16, 64}
 	trials := 40
@@ -30,36 +50,72 @@ func runE1(cfg Config) ([]*Table, error) {
 		ns = []int{1, 4, 16}
 		trials = 12
 	}
+	return sweep.Grid{
+		Name:    "e1-nonuniform",
+		Version: 1,
+		Axes: []sweep.Axis{
+			sweep.Int64Axis("D", ds...),
+			sweep.IntAxis("n", ns...),
+		},
+		Trials: trials,
+	}
+}
+
+// e1Point runs one (D, n) cell: trials of Non-Uniform-Search against a
+// uniform random target in the D-ball. The per-point seed mixes D and n
+// exactly as the pre-sweep harness did, so the numbers are unchanged.
+func e1Point(p sweep.Point, ctx sweep.Ctx) (*sweep.Result, error) {
+	b := p.Bind()
+	d := b.Int64("D")
+	n := b.Int("n")
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	factory, err := search.NonUniformFactory(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.RunPlacedTrials(sim.Config{
+		NumAgents:  n,
+		MoveBudget: uint64(d*d) * 512,
+		Workers:    ctx.Workers,
+	}, sim.PlaceUniformBall, d, factory, ctx.Trials, ctx.Seed+uint64(d)*1000+uint64(n))
+	if err != nil {
+		return nil, err
+	}
+	if !st.FoundAll {
+		return nil, fmt.Errorf("found fraction %v < 1", st.FoundFrac)
+	}
+	return &sweep.Result{
+		Samples: st.Moves,
+		Values:  map[string]float64{"found_frac": st.FoundFrac},
+	}, nil
+}
+
+func e1Tables(rep *sweep.Report) ([]*Table, error) {
 	table := &Table{
 		Title:   "E1: Non-Uniform-Search, uniform random target in the D-ball",
 		Columns: []string{"D", "n", "trials", "mean_moves", "bound(D²/n+D)", "ratio"},
 	}
+	ns, err := axisValues(rep, "n")
+	if err != nil {
+		return nil, err
+	}
 	// Track mean vs D at the smallest n for the exponent fit.
 	var fitD, fitMoves []float64
-	for _, d := range ds {
-		for _, n := range ns {
-			factory, err := search.NonUniformFactory(d, 1)
-			if err != nil {
-				return nil, err
-			}
-			st, err := sim.RunPlacedTrials(sim.Config{
-				NumAgents:  n,
-				MoveBudget: uint64(d*d) * 512,
-				Workers:    cfg.Workers,
-			}, sim.PlaceUniformBall, d, factory, trials, cfg.Seed+uint64(d)*1000+uint64(n))
-			if err != nil {
-				return nil, fmt.Errorf("E1 D=%d n=%d: %w", d, n, err)
-			}
-			if !st.FoundAll {
-				return nil, fmt.Errorf("E1 D=%d n=%d: found fraction %v < 1", d, n, st.FoundFrac)
-			}
-			mean := meanOf(st.Moves)
-			bound := float64(d*d)/float64(n) + float64(d)
-			table.AddRow(d, n, trials, mean, bound, mean/bound)
-			if n == ns[0] {
-				fitD = append(fitD, float64(d))
-				fitMoves = append(fitMoves, mean)
-			}
+	for _, pr := range rep.Points {
+		b := pr.Point.Bind()
+		d := b.Int64("D")
+		n := b.Int("n")
+		if err := b.Err(); err != nil {
+			return nil, err
+		}
+		mean := meanOf(pr.Result.Samples)
+		bound := float64(d*d)/float64(n) + float64(d)
+		table.AddRow(d, n, rep.Grid.Trials, mean, bound, mean/bound)
+		if strconv.Itoa(n) == ns[0] {
+			fitD = append(fitD, float64(d))
+			fitMoves = append(fitMoves, mean)
 		}
 	}
 	if _, p, r2, err := stats.FitPowerLaw(fitD, fitMoves); err == nil {

@@ -2,16 +2,19 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/search"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // e5 reproduces Theorem 3.14: the uniform algorithm finds a target within
 // distance D in (D²/n + D)·2^{O(ℓ)} expected moves. The sweep varies D, n
 // and ℓ; the ratio column shows the 2^{O(ℓ)} overshoot growing with ℓ
 // (the price of the coarser doubling of the distance estimate), while for
-// fixed ℓ the ratio stays bounded across (D, n).
+// fixed ℓ the ratio stays bounded across (D, n). The sweep runs as a grid
+// on internal/sweep (see e5Sweep).
 func e5() Experiment {
 	return Experiment{
 		ID:    "E5",
@@ -22,6 +25,22 @@ func e5() Experiment {
 }
 
 func runE5(cfg Config) ([]*Table, error) {
+	tables, _, err := RunSweep(e5Sweep(), cfg, nil)
+	return tables, err
+}
+
+// e5Sweep declares E5 as an experiment grid over (D, n, ℓ).
+func e5Sweep() SweepSpec {
+	return SweepSpec{
+		Name:   "e5",
+		Title:  "Uniform-Search expected moves vs (D²/n + D)·2^{O(ℓ)}",
+		Grid:   e5Grid,
+		Point:  e5Point,
+		Tables: e5Tables,
+	}
+}
+
+func e5Grid(cfg Config) sweep.Grid {
 	ds := []int64{8, 16, 32, 64}
 	ns := []int{1, 4, 16}
 	ells := []uint{1, 2, 3}
@@ -32,43 +51,84 @@ func runE5(cfg Config) ([]*Table, error) {
 		ells = []uint{1, 2}
 		trials = 10
 	}
+	return sweep.Grid{
+		Name:    "e5-uniform",
+		Version: 1,
+		Axes: []sweep.Axis{
+			sweep.Int64Axis("D", ds...),
+			sweep.IntAxis("n", ns...),
+			sweep.UintAxis("ell", ells...),
+		},
+		Trials: trials,
+	}
+}
+
+// e5Point runs one (D, n, ℓ) cell: trials of Uniform-Search against a
+// uniform random target in the D-ball. The per-point seed mixes D, n and ℓ
+// exactly as the pre-sweep harness did, so the numbers are unchanged.
+func e5Point(p sweep.Point, ctx sweep.Ctx) (*sweep.Result, error) {
+	b := p.Bind()
+	d := b.Int64("D")
+	n := b.Int("n")
+	ell := b.Uint("ell")
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	factory, err := search.UniformFactory(ell, n)
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.RunPlacedTrials(sim.Config{
+		NumAgents:  n,
+		MoveBudget: uint64(d*d) * 4096,
+		Workers:    ctx.Workers,
+	}, sim.PlaceUniformBall, d, factory, ctx.Trials, ctx.Seed+uint64(d)*100+uint64(n)*10+uint64(ell))
+	if err != nil {
+		return nil, err
+	}
+	if st.FoundFrac < 0.9 {
+		return nil, fmt.Errorf("found fraction %v < 0.9", st.FoundFrac)
+	}
+	return &sweep.Result{
+		Samples: st.Moves,
+		Values:  map[string]float64{"found_frac": st.FoundFrac},
+	}, nil
+}
+
+func e5Tables(rep *sweep.Report) ([]*Table, error) {
 	table := &Table{
 		Title:   "E5: Uniform-Search, uniform random target in the D-ball",
 		Columns: []string{"D", "n", "ℓ", "trials", "found_frac", "mean_moves", "bound(D²/n+D)", "ratio"},
 	}
+	ellVals, err := axisValues(rep, "ell")
+	if err != nil {
+		return nil, err
+	}
 	// Per-ℓ mean ratios, to surface the 2^{O(ℓ)} trend.
 	ratioSum := make(map[uint]float64)
 	ratioCount := make(map[uint]int)
-	for _, d := range ds {
-		for _, n := range ns {
-			for _, ell := range ells {
-				factory, err := search.UniformFactory(ell, n)
-				if err != nil {
-					return nil, err
-				}
-				st, err := sim.RunPlacedTrials(sim.Config{
-					NumAgents:  n,
-					MoveBudget: uint64(d*d) * 4096,
-					Workers:    cfg.Workers,
-				}, sim.PlaceUniformBall, d, factory, trials, cfg.Seed+uint64(d)*100+uint64(n)*10+uint64(ell))
-				if err != nil {
-					return nil, fmt.Errorf("E5 D=%d n=%d ℓ=%d: %w", d, n, ell, err)
-				}
-				if st.FoundFrac < 0.9 {
-					return nil, fmt.Errorf("E5 D=%d n=%d ℓ=%d: found fraction %v < 0.9", d, n, ell, st.FoundFrac)
-				}
-				mean := meanOf(st.Moves)
-				bound := float64(d*d)/float64(n) + float64(d)
-				ratio := mean / bound
-				table.AddRow(d, n, ell, trials, st.FoundFrac, mean, bound, ratio)
-				ratioSum[ell] += ratio
-				ratioCount[ell]++
-			}
+	for _, pr := range rep.Points {
+		b := pr.Point.Bind()
+		d := b.Int64("D")
+		n := b.Int("n")
+		ell := b.Uint("ell")
+		if err := b.Err(); err != nil {
+			return nil, err
 		}
+		mean := meanOf(pr.Result.Samples)
+		bound := float64(d*d)/float64(n) + float64(d)
+		ratio := mean / bound
+		table.AddRow(d, n, ell, rep.Grid.Trials, pr.Result.Values["found_frac"], mean, bound, ratio)
+		ratioSum[ell] += ratio
+		ratioCount[ell]++
 	}
-	for _, ell := range ells {
+	for _, v := range ellVals {
+		ell, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: bad ℓ axis value %q: %w", v, err)
+		}
 		table.Notes = append(table.Notes, fmt.Sprintf(
-			"ℓ=%d: mean ratio %.2f", ell, ratioSum[ell]/float64(ratioCount[ell])))
+			"ℓ=%d: mean ratio %.2f", ell, ratioSum[uint(ell)]/float64(ratioCount[uint(ell)])))
 	}
 	table.Notes = append(table.Notes,
 		"the mean ratio grows with ℓ (the 2^{O(ℓ)} overshoot) but, for fixed ℓ, stays bounded across (D, n)")

@@ -21,6 +21,11 @@ func e6() Experiment {
 	}
 }
 
+// e6Order is the display order of the lower-bound machine family; it is
+// also the machine axis of the S1 sweep grid.
+var e6Order = []string{"random-walk", "lazy-walk", "biased-walk", "zigzag",
+	"drift-2bit", "drift-4bit", "two-class"}
+
 // e6Machines builds the machine family the lower bound is evaluated on.
 func e6Machines() (map[string]*automata.Machine, []string, error) {
 	biased, err := automata.BiasedWalk(0.5, 0.125, 0.125, 0.25)
@@ -48,9 +53,7 @@ func e6Machines() (map[string]*automata.Machine, []string, error) {
 		"lazy-walk":   lazy,
 		"two-class":   automata.TwoClassMachine(),
 	}
-	order := []string{"random-walk", "lazy-walk", "biased-walk", "zigzag",
-		"drift-2bit", "drift-4bit", "two-class"}
-	return machines, order, nil
+	return machines, e6Order, nil
 }
 
 func runE6(cfg Config) ([]*Table, error) {

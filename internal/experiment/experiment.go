@@ -1,7 +1,8 @@
 // Package experiment is the reproduction harness: it defines the registry
-// of experiments E1–E8 (one per quantitative claim of the paper, see
-// DESIGN.md §4 and EXPERIMENTS.md), parameter sweeps, and plain-text/CSV
-// table rendering.
+// of experiments E1–E8, the ablations AB1–AB4 and the supplementary S1
+// (one per quantitative claim of the paper, see DESIGN.md §4), declares
+// E1/E5/S1 as sweep grids on the internal/sweep orchestration layer, and
+// renders plain-text/CSV tables.
 package experiment
 
 import (
@@ -18,6 +19,13 @@ type Config struct {
 	Quick bool
 	// Workers bounds simulation concurrency (0 = GOMAXPROCS).
 	Workers int
+	// CacheDir, when non-empty, memoizes every sweep grid point in a
+	// content-addressed on-disk cache rooted there (see internal/sweep).
+	CacheDir string
+	// Resume serves cached grid points instead of recomputing them. Only
+	// meaningful with CacheDir; without it every point is recomputed and
+	// the cache entries are overwritten.
+	Resume bool
 }
 
 // Table is a rendered experiment result.

@@ -4,13 +4,15 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // s1 is a supplementary figure: coverage growth over synchronous rounds.
 // It renders the mechanism behind both bounds as a time series — a drift
 // machine's coverage grows ≈ linearly until it exits the D-ball and then
 // stops dead; the diffusive random walk keeps growing but only ≈ t/log t;
-// neither approaches the (2D+1)² cells a searcher needs.
+// neither approaches the (2D+1)² cells a searcher needs. The sweep runs as
+// a grid over the machine family on internal/sweep (see s1Sweep).
 func s1() Experiment {
 	return Experiment{
 		ID:    "S1",
@@ -21,6 +23,24 @@ func s1() Experiment {
 }
 
 func runS1(cfg Config) ([]*Table, error) {
+	tables, _, err := RunSweep(s1Sweep(), cfg, nil)
+	return tables, err
+}
+
+// s1Sweep declares S1 as a grid over the lower-bound machine family, with
+// the ball radius, swarm size and checkpoint schedule as fixed
+// (single-valued) axes so they participate in the cache key.
+func s1Sweep() SweepSpec {
+	return SweepSpec{
+		Name:   "s1",
+		Title:  "Supplementary: coverage growth over synchronous rounds",
+		Grid:   s1Grid,
+		Point:  s1Point,
+		Tables: s1Tables,
+	}
+}
+
+func s1Grid(cfg Config) sweep.Grid {
 	d := int64(64)
 	agents := 4
 	checkpoints := []uint64{64, 256, 1024, 4096, 16384}
@@ -28,8 +48,62 @@ func runS1(cfg Config) ([]*Table, error) {
 		d = 32
 		checkpoints = []uint64{64, 256, 1024}
 	}
-	machines, order, err := e6Machines()
+	return sweep.Grid{
+		Name:    "s1-growth",
+		Version: 1,
+		Axes: []sweep.Axis{
+			sweep.StringAxis("machine", e6Order...),
+			sweep.Int64Axis("D", d),
+			sweep.IntAxis("agents", agents),
+			sweep.StringAxis("checkpoints", sweep.Uint64ListParam(checkpoints)),
+		},
+	}
+}
+
+// s1Point runs one machine's synchronous coverage curve. The seed offset
+// matches the pre-sweep harness, so the counts are unchanged.
+func s1Point(p sweep.Point, ctx sweep.Ctx) (*sweep.Result, error) {
+	b := p.Bind()
+	name := b.Str("machine")
+	d := b.Int64("D")
+	agents := b.Int("agents")
+	checkpoints := b.Uint64List("checkpoints")
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	machines, _, err := e6Machines()
 	if err != nil {
+		return nil, err
+	}
+	m, ok := machines[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown machine %q", name)
+	}
+	counts, err := sim.CoverageCurveWith(sim.RoundsConfig{
+		Machine:     m,
+		NumAgents:   agents,
+		TrackRadius: d,
+		Workers:     ctx.Workers,
+	}, checkpoints, ctx.Seed+31)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]float64, len(counts))
+	for i, c := range counts {
+		cells[i] = float64(c)
+	}
+	return &sweep.Result{Series: map[string][]float64{"cells": cells}}, nil
+}
+
+func s1Tables(rep *sweep.Report) ([]*Table, error) {
+	if len(rep.Points) == 0 {
+		return nil, fmt.Errorf("experiment: S1 report has no points")
+	}
+	b := rep.Points[0].Point.Bind()
+	d := b.Int64("D")
+	agents := b.Int("agents")
+	checkpoints := b.Uint64List("checkpoints")
+	if err := b.Err(); err != nil {
 		return nil, err
 	}
 	table := &Table{
@@ -37,19 +111,16 @@ func runS1(cfg Config) ([]*Table, error) {
 		Columns: []string{"machine", "round_t", "cells", "cells/t", "ball_fraction"},
 	}
 	ball := float64(2*d+1) * float64(2*d+1)
-	for _, name := range order {
-		counts, err := sim.CoverageCurveWith(sim.RoundsConfig{
-			Machine:     machines[name],
-			NumAgents:   agents,
-			TrackRadius: d,
-			Workers:     cfg.Workers,
-		}, checkpoints, cfg.Seed+31)
-		if err != nil {
-			return nil, fmt.Errorf("S1 %s: %w", name, err)
+	for _, pr := range rep.Points {
+		name, _ := pr.Point.Value("machine")
+		cells := pr.Result.Series["cells"]
+		if len(cells) != len(checkpoints) {
+			return nil, fmt.Errorf("experiment: S1 %s has %d series values, want %d",
+				name, len(cells), len(checkpoints))
 		}
 		for i, t := range checkpoints {
-			table.AddRow(name, t, counts[i],
-				float64(counts[i])/float64(t), float64(counts[i])/ball)
+			table.AddRow(name, t, int64(cells[i]),
+				cells[i]/float64(t), cells[i]/ball)
 		}
 	}
 	table.Notes = append(table.Notes,

@@ -1,0 +1,211 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// SummarySchemaVersion versions the summary artifact layout (the JSON and
+// CSV files a sweep emits). Bump it on any incompatible change and record
+// the migration in DESIGN.md §5.
+const SummarySchemaVersion = 1
+
+// SummaryRow is the aggregate of one grid point.
+type SummaryRow struct {
+	// Params are the point's parameter bindings, in axis order.
+	Params []Param `json:"params"`
+	// Cached reports whether the point was served from the cache.
+	Cached bool `json:"cached"`
+	// N is the number of samples aggregated (0 when the kernel produced
+	// only Values/Series).
+	N int `json:"n"`
+	// Mean, CI95 (half-width of the normal 95% interval), Median, Min and
+	// Max summarize the samples; all zero when N is 0.
+	Mean   float64 `json:"mean"`
+	CI95   float64 `json:"ci95"`
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// Values carries the kernel's named scalars plus its series flattened
+	// as "name[i]".
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Summary is the aggregate table of a sweep: one row per grid point, in
+// expansion order, plus run accounting. Everything except the timing
+// fields (ElapsedSec, PointsPerSec) is a deterministic function of
+// (grid, seed).
+type Summary struct {
+	SchemaVersion int    `json:"schema_version"`
+	Code          string `json:"code_version"`
+	Grid          string `json:"grid"`
+	GridVersion   int    `json:"grid_version"`
+	Seed          uint64 `json:"seed"`
+	Trials        int    `json:"trials"`
+	Axes          []Axis `json:"axes"`
+	// Computed and CacheHits partition the points by provenance.
+	Computed  int `json:"computed"`
+	CacheHits int `json:"cache_hits"`
+	// ElapsedSec is the run's wall-clock time; PointsPerSec the resulting
+	// throughput. Informational only — excluded from CSV rows.
+	ElapsedSec   float64      `json:"elapsed_sec"`
+	PointsPerSec float64      `json:"points_per_sec"`
+	Rows         []SummaryRow `json:"rows"`
+}
+
+// Summary aggregates the report's per-point samples into mean/CI/quantile
+// rows via internal/stats.
+func (r *Report) Summary() *Summary {
+	s := &Summary{
+		SchemaVersion: SummarySchemaVersion,
+		Code:          CodeVersion,
+		Grid:          r.Grid.Name,
+		GridVersion:   r.Grid.Version,
+		Seed:          r.Seed,
+		Trials:        r.Grid.Trials,
+		Axes:          r.Grid.Axes,
+		Computed:      r.Computed,
+		CacheHits:     r.CacheHits,
+		ElapsedSec:    r.ElapsedSec,
+		Rows:          make([]SummaryRow, 0, len(r.Points)),
+	}
+	if r.ElapsedSec > 0 {
+		s.PointsPerSec = float64(len(r.Points)) / r.ElapsedSec
+	}
+	for _, pr := range r.Points {
+		row := SummaryRow{Params: pr.Point.Params, Cached: pr.Cached}
+		if pr.Result == nil {
+			s.Rows = append(s.Rows, row)
+			continue
+		}
+		if len(pr.Result.Samples) > 0 {
+			sum, err := stats.Summarize(pr.Result.Samples)
+			if err == nil {
+				row.N = sum.N
+				row.Mean = sum.Mean
+				row.CI95 = sum.CI95
+				row.Median = sum.Median
+				row.Min = sum.Min
+				row.Max = sum.Max
+			}
+		}
+		if len(pr.Result.Values) > 0 || len(pr.Result.Series) > 0 {
+			row.Values = make(map[string]float64, len(pr.Result.Values))
+			for k, v := range pr.Result.Values {
+				row.Values[k] = v
+			}
+			for name, series := range pr.Result.Series {
+				for i, v := range series {
+					row.Values[fmt.Sprintf("%s[%d]", name, i)] = v
+				}
+			}
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s
+}
+
+// valueColumns returns the sorted union of the rows' value keys.
+func (s *Summary) valueColumns() []string {
+	set := map[string]bool{}
+	for _, row := range s.Rows {
+		for k := range row.Values {
+			set[k] = true
+		}
+	}
+	cols := make([]string, 0, len(set))
+	for k := range set {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// CSV renders the summary as comma-separated values: one column per axis,
+// the sample aggregates, then one column per named value (sorted). Fields
+// that contain commas, quotes or newlines (e.g. a checkpoint-list axis
+// value) are quoted per RFC 4180. Timing fields are deliberately absent,
+// so two runs of the same (grid, seed) yield byte-identical CSV
+// regardless of sharding or cache state.
+func (s *Summary) CSV() string {
+	var b strings.Builder
+	cols := s.valueColumns()
+	for i, a := range s.Axes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvField(a.Name))
+	}
+	b.WriteString(",samples,mean,ci95,median,min,max")
+	for _, c := range cols {
+		b.WriteByte(',')
+		b.WriteString(csvField(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range s.Rows {
+		for i, p := range row.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvField(p.Value))
+		}
+		fmt.Fprintf(&b, ",%d,%s,%s,%s,%s,%s",
+			row.N, csvFloat(row.Mean), csvFloat(row.CI95), csvFloat(row.Median),
+			csvFloat(row.Min), csvFloat(row.Max))
+		for _, c := range cols {
+			b.WriteByte(',')
+			if v, ok := row.Values[c]; ok {
+				b.WriteString(csvFloat(v))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// csvField quotes a field per RFC 4180 when it contains a comma, quote or
+// newline.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// csvFloat renders a float compactly and losslessly ('g', shortest
+// round-trip form).
+func csvFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// JSON renders the summary as indented JSON.
+func (s *Summary) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal summary: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteArtifacts writes the summary to <prefix>.json and <prefix>.csv and
+// returns the two paths.
+func (s *Summary) WriteArtifacts(prefix string) (jsonPath, csvPath string, err error) {
+	data, err := s.JSON()
+	if err != nil {
+		return "", "", err
+	}
+	jsonPath, csvPath = prefix+".json", prefix+".csv"
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return "", "", fmt.Errorf("sweep: write %s: %w", jsonPath, err)
+	}
+	if err := os.WriteFile(csvPath, []byte(s.CSV()), 0o644); err != nil {
+		return "", "", fmt.Errorf("sweep: write %s: %w", csvPath, err)
+	}
+	return jsonPath, csvPath, nil
+}

@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Key identifies one grid-point computation for caching: everything the
+// result is a deterministic function of. Two runs produce the same Key iff
+// the sweep layer guarantees they produce the same Result (ElapsedSec
+// aside), so a cache hit is always safe to substitute for a recompute.
+type Key struct {
+	// Code is the global code-version tag (CodeVersion).
+	Code string `json:"code"`
+	// Grid and GridVersion identify the owning grid and its kernel
+	// semantics version.
+	Grid        string `json:"grid"`
+	GridVersion int    `json:"grid_version"`
+	// Trials is the per-point trial count.
+	Trials int `json:"trials"`
+	// Seed is the sweep's root seed.
+	Seed uint64 `json:"seed"`
+	// Params are the point's parameter bindings in axis order.
+	Params []Param `json:"params"`
+}
+
+// KeyFor builds the cache key of one point of a grid run.
+func KeyFor(g Grid, p Point, seed uint64) Key {
+	return Key{
+		Code:        CodeVersion,
+		Grid:        g.Name,
+		GridVersion: g.Version,
+		Trials:      g.Trials,
+		Seed:        seed,
+		Params:      p.Params,
+	}
+}
+
+// Hash returns the key's canonical content address: the hex SHA-256 of its
+// canonical JSON form. Struct field order fixes the byte layout, so the
+// hash is stable across processes and runs.
+func (k Key) Hash() string {
+	data, err := json.Marshal(k)
+	if err != nil {
+		// Key contains only strings and integers; Marshal cannot fail.
+		panic(fmt.Sprintf("sweep: marshal key: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// entrySchemaVersion versions the on-disk cache entry layout. A bump
+// invalidates every existing entry (they fail the schema check and read as
+// misses).
+const entrySchemaVersion = 1
+
+// entry is the on-disk form of one cached point: the full key is stored
+// alongside the result so a hash collision or a stale file can never
+// silently return the wrong data.
+type entry struct {
+	Schema int     `json:"schema_version"`
+	Key    Key     `json:"key"`
+	Result *Result `json:"result"`
+}
+
+// Cache is a content-addressed on-disk store of point results. Entries
+// live at <dir>/<grid>/<hash[:2]>/<hash>.json; writes are atomic
+// (temp file + rename), so a crash mid-write leaves at worst a stray temp
+// file, never a truncated entry that parses.
+//
+// A Cache value is safe for concurrent use: distinct keys touch distinct
+// files, and same-key races resolve to one of the (identical) results.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: cache needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: create cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(k Key) string {
+	h := k.Hash()
+	return filepath.Join(c.dir, k.Grid, h[:2], h+".json")
+}
+
+// Get looks the key up. It returns (nil, false) on a miss — including a
+// missing file, unreadable JSON, a schema mismatch, or a stored key that
+// does not match the requested one (hash collision or tampering). A
+// corrupted entry is deleted so the slot heals on the next Put.
+func (c *Cache) Get(k Key) (*Result, bool) {
+	path := c.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Schema != entrySchemaVersion || e.Result == nil || !sameKey(e.Key, k) {
+		os.Remove(path)
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Put stores the result under the key, overwriting any previous entry.
+func (c *Cache) Put(k Key, r *Result) error {
+	path := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("sweep: create cache entry dir: %w", err)
+	}
+	data, err := json.MarshalIndent(entry{Schema: entrySchemaVersion, Key: k, Result: r}, "", " ")
+	if err != nil {
+		return fmt.Errorf("sweep: marshal cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: create cache temp file: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("sweep: write cache entry: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: commit cache entry: %w", err)
+	}
+	return nil
+}
+
+func sameKey(a, b Key) bool {
+	if a.Code != b.Code || a.Grid != b.Grid || a.GridVersion != b.GridVersion ||
+		a.Trials != b.Trials || a.Seed != b.Seed || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return true
+}

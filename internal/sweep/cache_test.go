@@ -1,0 +1,261 @@
+package sweep
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func newTestCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := NewCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := newTestCache(t)
+	g := testGrid()
+	pts := g.Points()
+	key := KeyFor(g, pts[0], 42)
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := &Result{Samples: []float64{1, 2, 3}, Values: map[string]float64{"x": 4}}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mangled the result: %+v != %+v", got, want)
+	}
+	// A different point, seed, trial count or version must miss.
+	for name, k := range map[string]Key{
+		"other point":  KeyFor(g, pts[1], 42),
+		"other seed":   KeyFor(g, pts[0], 43),
+		"other trials": func() Key { g2 := g; g2.Trials++; return KeyFor(g2, pts[0], 42) }(),
+		"other grid version": func() Key {
+			g2 := g
+			g2.Version++
+			return KeyFor(g2, pts[0], 42)
+		}(),
+	} {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("%s hit the cache", name)
+		}
+	}
+}
+
+// TestKeyHashStability pins the canonical hash of a fixed key. If this
+// test breaks, the canonicalization changed and every existing cache is
+// silently invalidated — that is sometimes intended (then update the
+// pinned digest AND bump CodeVersion), never accidental.
+func TestKeyHashStability(t *testing.T) {
+	key := Key{
+		Code:        "sweep-v1",
+		Grid:        "e1-nonuniform",
+		GridVersion: 1,
+		Trials:      40,
+		Seed:        42,
+		Params:      []Param{{Name: "D", Value: "64"}, {Name: "n", Value: "16"}},
+	}
+	const want = "bdfe95ca99f0727ebf3a35193c822c72197f6351125e5d936a2fa0404d80c5b5"
+	if got := key.Hash(); got != want {
+		t.Errorf("Hash = %s, want %s (canonicalization changed?)", got, want)
+	}
+	// Stable across repeated computation, sensitive to every field.
+	if key.Hash() != key.Hash() {
+		t.Error("Hash is not deterministic")
+	}
+	perturbed := []Key{
+		{Code: "sweep-v2", Grid: key.Grid, GridVersion: 1, Trials: 40, Seed: 42, Params: key.Params},
+		{Code: key.Code, Grid: "other", GridVersion: 1, Trials: 40, Seed: 42, Params: key.Params},
+		{Code: key.Code, Grid: key.Grid, GridVersion: 2, Trials: 40, Seed: 42, Params: key.Params},
+		{Code: key.Code, Grid: key.Grid, GridVersion: 1, Trials: 41, Seed: 42, Params: key.Params},
+		{Code: key.Code, Grid: key.Grid, GridVersion: 1, Trials: 40, Seed: 43, Params: key.Params},
+		{Code: key.Code, Grid: key.Grid, GridVersion: 1, Trials: 40, Seed: 42,
+			Params: []Param{{Name: "D", Value: "64"}, {Name: "n", Value: "17"}}},
+	}
+	for i, k := range perturbed {
+		if k.Hash() == want {
+			t.Errorf("perturbed key %d collides with the original", i)
+		}
+	}
+}
+
+// TestResumeRecomputesOnlyMissingPoints is the resumability contract: an
+// interrupted sweep re-run with Resume recomputes exactly the points the
+// interruption lost, verified by counting kernel invocations.
+func TestResumeRecomputesOnlyMissingPoints(t *testing.T) {
+	c := newTestCache(t)
+	g := testGrid() // 6 points
+
+	// First run: the kernel dies at the 5th point (a simulated
+	// interruption). Shards=1 makes the claim order deterministic, so
+	// exactly points 0–3 are computed and cached.
+	var calls atomic.Int64
+	interrupted := errors.New("interrupted")
+	_, err := Run(g, func(p Point, ctx Ctx) (*Result, error) {
+		if calls.Add(1) == 5 {
+			return nil, interrupted
+		}
+		return testKernel(p, ctx)
+	}, Options{Seed: 7, Shards: 1, Cache: c, Resume: true})
+	if !errors.Is(err, interrupted) {
+		t.Fatalf("want simulated interruption, got %v", err)
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("first run made %d kernel calls, want 5", calls.Load())
+	}
+
+	// Resumed run: only the 2 missing points are recomputed.
+	calls.Store(0)
+	rep, err := Run(g, func(p Point, ctx Ctx) (*Result, error) {
+		calls.Add(1)
+		return testKernel(p, ctx)
+	}, Options{Seed: 7, Shards: 1, Cache: c, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("resume made %d kernel calls, want 2", calls.Load())
+	}
+	if rep.Computed != 2 || rep.CacheHits != 4 {
+		t.Errorf("resume computed=%d hits=%d, want 2/4", rep.Computed, rep.CacheHits)
+	}
+
+	// Third run resumes fully from cache: zero kernel calls.
+	calls.Store(0)
+	rep, err = Run(g, func(p Point, ctx Ctx) (*Result, error) {
+		calls.Add(1)
+		return testKernel(p, ctx)
+	}, Options{Seed: 7, Cache: c, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 || rep.CacheHits != 6 {
+		t.Errorf("full resume made %d calls with %d hits, want 0/6", calls.Load(), rep.CacheHits)
+	}
+
+	// Without Resume the same cache is write-only: everything recomputes.
+	calls.Store(0)
+	rep, err = Run(g, func(p Point, ctx Ctx) (*Result, error) {
+		calls.Add(1)
+		return testKernel(p, ctx)
+	}, Options{Seed: 7, Cache: c, Resume: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 6 || rep.CacheHits != 0 {
+		t.Errorf("non-resume run made %d calls with %d hits, want 6/0", calls.Load(), rep.CacheHits)
+	}
+}
+
+// TestResumeMatchesFreshRun checks a resumed sweep's aggregate tables are
+// byte-identical to a single uninterrupted run's.
+func TestResumeMatchesFreshRun(t *testing.T) {
+	fresh, err := Run(testGrid(), testKernel, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCache(t)
+	if _, err := Run(testGrid(), testKernel, Options{Seed: 11, Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(testGrid(), testKernel, Options{Seed: 11, Cache: c, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.CacheHits != 6 {
+		t.Fatalf("resumed run hit %d/6", resumed.CacheHits)
+	}
+	if fresh.Summary().CSV() != resumed.Summary().CSV() {
+		t.Error("resumed summary differs from fresh run")
+	}
+}
+
+// TestCorruptedEntryRecovery: damaged cache files (truncated JSON, wrong
+// schema, key mismatch) read as misses, are recomputed, and heal.
+func TestCorruptedEntryRecovery(t *testing.T) {
+	c := newTestCache(t)
+	g := testGrid()
+
+	if _, err := Run(g, testKernel, Options{Seed: 3, Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	pts := g.Points()
+	corrupt := func(i int, data string) string {
+		path := c.path(KeyFor(g, pts[i], 3))
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	p0 := corrupt(0, "{ not json")
+	p1 := corrupt(1, `{"schema_version": 999, "key": {}, "result": {}}`)
+	// Entry 2 holds a valid entry for a DIFFERENT key (simulated
+	// collision/tamper): the stored-key check must reject it.
+	otherKey := KeyFor(g, pts[3], 999)
+	if err := c.Put(otherKey, &Result{Samples: []float64{-1}}); err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := os.ReadFile(c.path(otherKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := c.path(KeyFor(g, pts[2], 3))
+	if err := os.WriteFile(p2, wrong, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	rep, err := Run(g, func(p Point, ctx Ctx) (*Result, error) {
+		calls.Add(1)
+		return testKernel(p, ctx)
+	}, Options{Seed: 3, Cache: c, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("recovery recomputed %d points, want exactly the 3 corrupted", calls.Load())
+	}
+	if rep.CacheHits != 3 {
+		t.Errorf("recovery hit %d points, want the 3 intact ones", rep.CacheHits)
+	}
+	// The slots healed: a further resume is all hits.
+	rep, err = Run(g, testKernel, Options{Seed: 3, Cache: c, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHits != 6 {
+		t.Errorf("healed cache hit %d/6", rep.CacheHits)
+	}
+	for _, p := range []string{p0, p1, p2} {
+		if data, err := os.ReadFile(p); err != nil || !strings.Contains(string(data), `"schema_version": 1`) {
+			t.Errorf("entry %s did not heal (err=%v)", p, err)
+		}
+	}
+}
+
+func TestNewCacheErrors(t *testing.T) {
+	if _, err := NewCache(""); err == nil {
+		t.Error("empty dir accepted")
+	}
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCache(filepath.Join(file, "sub")); err == nil {
+		t.Error("uncreatable dir accepted")
+	}
+}

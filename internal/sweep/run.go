@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is one progress event: a point just finished (computed or
+// served from the cache).
+type Progress struct {
+	// Done points so far and Total points in the grid.
+	Done, Total int
+	// Point is the point that just finished.
+	Point Point
+	// Cached reports whether the point was served from the cache.
+	Cached bool
+	// ElapsedSec is the point's kernel time (0 for cache hits).
+	ElapsedSec float64
+}
+
+// Options parameterize one sweep run.
+type Options struct {
+	// Seed is the sweep's root seed, handed to every kernel call via Ctx
+	// and mixed into every cache key.
+	Seed uint64
+	// Shards bounds how many points run concurrently (0 = GOMAXPROCS,
+	// capped at the grid size). Results never depend on it.
+	Shards int
+	// Workers bounds engine concurrency inside one point (Ctx.Workers).
+	Workers int
+	// Cache, when non-nil, stores every computed point. With Resume,
+	// existing entries are served instead of recomputed; without it, the
+	// run recomputes everything and overwrites.
+	Cache *Cache
+	// Resume serves cache hits instead of recomputing them.
+	Resume bool
+	// Progress, when non-nil, receives one event per finished point. It is
+	// called from worker goroutines and must be safe for concurrent use.
+	Progress func(Progress)
+}
+
+// PointResult pairs a point with its computed (or cached) result.
+type PointResult struct {
+	Point Point `json:"point"`
+	// Cached reports whether the result came from the cache.
+	Cached bool    `json:"cached"`
+	Result *Result `json:"result"`
+}
+
+// Report is the outcome of one sweep run: every point of the grid, in
+// expansion order, plus run accounting.
+type Report struct {
+	Grid Grid   `json:"grid"`
+	Seed uint64 `json:"seed"`
+	// Points holds one entry per grid point, in expansion order
+	// regardless of sharding.
+	Points []PointResult `json:"points"`
+	// Computed and CacheHits partition the points by provenance.
+	Computed  int `json:"computed"`
+	CacheHits int `json:"cache_hits"`
+	// ElapsedSec is the whole run's wall-clock time.
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// Run expands the grid and evaluates fn at every point, sharding points
+// across Options.Shards goroutines. Points are claimed off an atomic
+// counter (the same idiom as internal/sim's agent queue) and each index
+// owns its slot of the result slice, so the steady state takes no locks.
+// The first kernel error aborts the run; already-finished points stay in
+// the cache, so a re-run with Resume picks up where the failure struck.
+func Run(g Grid, fn PointFunc, opts Options) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if fn == nil {
+		return nil, errors.New("sweep: nil point function")
+	}
+	points := g.Points()
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(points) {
+		shards = len(points)
+	}
+	ctx := Ctx{Seed: opts.Seed, Trials: g.Trials, Workers: opts.Workers}
+
+	rep := &Report{Grid: g, Seed: opts.Seed, Points: make([]PointResult, len(points))}
+	start := time.Now()
+
+	var (
+		wg      sync.WaitGroup
+		next    atomic.Int64 // next point index to claim
+		done    atomic.Int64 // finished points, for progress events
+		hits    atomic.Int64
+		stop    atomic.Bool // set on first kernel error
+		errOnce sync.Once
+		runErr  error
+	)
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				p := points[i]
+				res, cached, err := runPoint(g, p, fn, ctx, opts)
+				if err != nil {
+					errOnce.Do(func() { runErr = fmt.Errorf("sweep: point %d (%s): %w", i, p, err) })
+					stop.Store(true)
+					return
+				}
+				if cached {
+					hits.Add(1)
+				}
+				rep.Points[i] = PointResult{Point: p, Cached: cached, Result: res}
+				if opts.Progress != nil {
+					elapsed := res.ElapsedSec
+					if cached {
+						// The stored value is the original computation's
+						// time; this run spent none.
+						elapsed = 0
+					}
+					opts.Progress(Progress{
+						Done:       int(done.Add(1)),
+						Total:      len(points),
+						Point:      p,
+						Cached:     cached,
+						ElapsedSec: elapsed,
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	rep.CacheHits = int(hits.Load())
+	rep.Computed = len(points) - rep.CacheHits
+	rep.ElapsedSec = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// runPoint evaluates one point: cache lookup (when resuming), kernel call,
+// cache store.
+func runPoint(g Grid, p Point, fn PointFunc, ctx Ctx, opts Options) (*Result, bool, error) {
+	var key Key
+	if opts.Cache != nil {
+		key = KeyFor(g, p, opts.Seed)
+		if opts.Resume {
+			if res, ok := opts.Cache.Get(key); ok {
+				return res, true, nil
+			}
+		}
+	}
+	start := time.Now()
+	res, err := fn(p, ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	if res == nil {
+		return nil, false, errors.New("kernel returned a nil result")
+	}
+	res.ElapsedSec = time.Since(start).Seconds()
+	if opts.Cache != nil {
+		if err := opts.Cache.Put(key, res); err != nil {
+			return nil, false, err
+		}
+	}
+	return res, false, nil
+}

@@ -1,0 +1,323 @@
+// Package sweep is the experiment-grid orchestration layer: it expands
+// declarative cartesian parameter spaces into grid points, shards the
+// points across a worker pool (each point typically fanning out further
+// into the engines of internal/sim), and memoizes every point's result in
+// a content-addressed on-disk cache so interrupted or repeated sweeps
+// resume incrementally instead of recomputing.
+//
+// The moving parts:
+//
+//   - Grid declares the space: named Axes (cartesian product, row-major,
+//     last axis fastest), a per-point trial count, and a Version bumped
+//     whenever the kernel's semantics change.
+//   - PointFunc is the kernel: it receives one Point plus a Ctx (root
+//     seed, trial count, engine worker bound) and returns a Result of
+//     samples, scalar values, and series.
+//   - Run executes a grid: points are claimed off an atomic counter by a
+//     pool of goroutines; with a Cache and Options.Resume, previously
+//     computed points are served from disk.
+//   - Report.Summary aggregates per-point samples (mean, 95% CI, quantiles
+//     via internal/stats) into a table emitted as JSON and CSV artifacts.
+//
+// Determinism contract: a point's result is a function of (grid identity,
+// point parameters, trials, seed) only — never of worker count, shard
+// order, or whether the value came from the cache. The cache key is the
+// SHA-256 of exactly that tuple plus CodeVersion, so stale entries are
+// impossible to confuse with current ones.
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CodeVersion tags the sweep layer's semantics in every cache key. Bump it
+// when a change invalidates previously cached results globally (per-grid
+// changes should bump Grid.Version instead).
+const CodeVersion = "sweep-v1"
+
+// Param is one named parameter binding of a grid point, in canonical
+// string form (integers in decimal, lists comma-separated).
+type Param struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Axis is one dimension of a grid: a parameter name and its values. A
+// fixed (non-swept) parameter is an axis with a single value.
+type Axis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// Int64Axis builds an axis over int64 values.
+func Int64Axis(name string, vs ...int64) Axis {
+	a := Axis{Name: name, Values: make([]string, len(vs))}
+	for i, v := range vs {
+		a.Values[i] = strconv.FormatInt(v, 10)
+	}
+	return a
+}
+
+// IntAxis builds an axis over int values.
+func IntAxis(name string, vs ...int) Axis {
+	a := Axis{Name: name, Values: make([]string, len(vs))}
+	for i, v := range vs {
+		a.Values[i] = strconv.Itoa(v)
+	}
+	return a
+}
+
+// UintAxis builds an axis over uint values.
+func UintAxis(name string, vs ...uint) Axis {
+	a := Axis{Name: name, Values: make([]string, len(vs))}
+	for i, v := range vs {
+		a.Values[i] = strconv.FormatUint(uint64(v), 10)
+	}
+	return a
+}
+
+// StringAxis builds an axis over string values.
+func StringAxis(name string, vs ...string) Axis {
+	return Axis{Name: name, Values: append([]string(nil), vs...)}
+}
+
+// Uint64ListParam renders a []uint64 (e.g. checkpoint rounds) as one
+// canonical axis value, recovered by Binder.Uint64List.
+func Uint64ListParam(vs []uint64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatUint(v, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Grid declares a cartesian experiment space.
+type Grid struct {
+	// Name identifies the grid (e.g. "e1-nonuniform"); it namespaces the
+	// cache and the artifacts.
+	Name string `json:"name"`
+	// Version is the grid's kernel-semantics version: bump it whenever the
+	// PointFunc's meaning changes so stale cache entries miss.
+	Version int `json:"version"`
+	// Axes span the space; points are expanded row-major (the last axis
+	// varies fastest), which fixes the order of table rows and artifact
+	// rows. A single-valued axis is a fixed parameter.
+	Axes []Axis `json:"axes"`
+	// Trials is the per-point trial count handed to the kernel via Ctx
+	// (0 when the kernel has no trial notion).
+	Trials int `json:"trials"`
+}
+
+// Validate checks the grid is well-formed: a name, at least one axis,
+// no empty or duplicate axes, no duplicate values within an axis.
+func (g Grid) Validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("sweep: grid needs a name")
+	}
+	if len(g.Axes) == 0 {
+		return fmt.Errorf("sweep: grid %q has no axes", g.Name)
+	}
+	seen := make(map[string]bool, len(g.Axes))
+	for _, a := range g.Axes {
+		if a.Name == "" {
+			return fmt.Errorf("sweep: grid %q has an unnamed axis", g.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("sweep: grid %q repeats axis %q", g.Name, a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Values) == 0 {
+			return fmt.Errorf("sweep: grid %q axis %q has no values", g.Name, a.Name)
+		}
+		vals := make(map[string]bool, len(a.Values))
+		for _, v := range a.Values {
+			if vals[v] {
+				return fmt.Errorf("sweep: grid %q axis %q repeats value %q", g.Name, a.Name, v)
+			}
+			vals[v] = true
+		}
+	}
+	return nil
+}
+
+// Size returns the number of points the grid expands to.
+func (g Grid) Size() int {
+	n := 1
+	for _, a := range g.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Points expands the grid into its cartesian product, row-major (the last
+// axis varies fastest).
+func (g Grid) Points() []Point {
+	pts := make([]Point, 0, g.Size())
+	idx := make([]int, len(g.Axes))
+	for {
+		params := make([]Param, len(g.Axes))
+		for i, a := range g.Axes {
+			params[i] = Param{Name: a.Name, Value: a.Values[idx[i]]}
+		}
+		pts = append(pts, Point{Grid: g.Name, Index: len(pts), Params: params})
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(g.Axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return pts
+		}
+	}
+}
+
+// Point is one expanded cell of a grid.
+type Point struct {
+	// Grid is the owning grid's name.
+	Grid string `json:"grid"`
+	// Index is the point's position in expansion order.
+	Index int `json:"index"`
+	// Params bind every axis name to one value, in axis order.
+	Params []Param `json:"params"`
+}
+
+// Value returns the point's binding for the named axis.
+func (p Point) Value(name string) (string, bool) {
+	for _, pr := range p.Params {
+		if pr.Name == name {
+			return pr.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the point as "name=value name=value".
+func (p Point) String() string {
+	parts := make([]string, len(p.Params))
+	for i, pr := range p.Params {
+		parts[i] = pr.Name + "=" + pr.Value
+	}
+	return strings.Join(parts, " ")
+}
+
+// Bind returns a Binder for typed access to the point's parameters.
+func (p Point) Bind() *Binder { return &Binder{p: p} }
+
+// Binder gives typed access to a point's parameters, accumulating the
+// first error (missing axis, parse failure) flag-set style so kernels can
+// read several parameters and check once.
+type Binder struct {
+	p   Point
+	err error
+}
+
+// Err returns the first error encountered by the typed accessors.
+func (b *Binder) Err() error { return b.err }
+
+func (b *Binder) raw(name string) (string, bool) {
+	v, ok := b.p.Value(name)
+	if !ok && b.err == nil {
+		b.err = fmt.Errorf("sweep: point of grid %q has no parameter %q", b.p.Grid, name)
+	}
+	return v, ok
+}
+
+// Str returns the named parameter as a string.
+func (b *Binder) Str(name string) string {
+	v, _ := b.raw(name)
+	return v
+}
+
+// Int64 returns the named parameter as an int64.
+func (b *Binder) Int64(name string) int64 {
+	v, ok := b.raw(name)
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil && b.err == nil {
+		b.err = fmt.Errorf("sweep: parameter %s=%q is not an int64", name, v)
+	}
+	return n
+}
+
+// Int returns the named parameter as an int.
+func (b *Binder) Int(name string) int {
+	return int(b.Int64(name))
+}
+
+// Uint returns the named parameter as a uint.
+func (b *Binder) Uint(name string) uint {
+	v, ok := b.raw(name)
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil && b.err == nil {
+		b.err = fmt.Errorf("sweep: parameter %s=%q is not a uint", name, v)
+	}
+	return uint(n)
+}
+
+// Uint64List returns the named parameter as a []uint64 (the inverse of
+// Uint64ListParam).
+func (b *Binder) Uint64List(name string) []uint64 {
+	v, ok := b.raw(name)
+	if !ok {
+		return nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]uint64, 0, len(parts))
+	for _, s := range parts {
+		n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			if b.err == nil {
+				b.err = fmt.Errorf("sweep: parameter %s=%q is not a uint64 list", name, v)
+			}
+			return nil
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Result is what a kernel computes for one grid point. All fields are
+// deterministic functions of (point, trials, seed) except ElapsedSec,
+// which is informational and excluded from cache keys, summaries' CSV
+// rows, and determinism comparisons.
+type Result struct {
+	// Samples are the point's per-trial observations (e.g. M_moves of each
+	// successful trial); the summary aggregates them.
+	Samples []float64 `json:"samples,omitempty"`
+	// Values are named scalars beside the samples (e.g. found_frac, bound).
+	Values map[string]float64 `json:"values,omitempty"`
+	// Series are named per-checkpoint vectors (e.g. a coverage curve).
+	Series map[string][]float64 `json:"series,omitempty"`
+	// ElapsedSec is the kernel's wall-clock time for this point.
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+}
+
+// Ctx is the kernel's execution context, identical for every point of a
+// sweep.
+type Ctx struct {
+	// Seed is the sweep's root seed. Kernels derive per-point seeds from
+	// it (by convention mixing in the point's parameters) so that a
+	// point's result never depends on expansion order.
+	Seed uint64
+	// Trials is Grid.Trials.
+	Trials int
+	// Workers bounds the simulation engines' concurrency inside one point
+	// (0 = GOMAXPROCS); the sweep's own point-level sharding is set
+	// separately by Options.Shards.
+	Workers int
+}
+
+// PointFunc computes one grid point. It must be safe for concurrent calls
+// (points are sharded across goroutines) and deterministic in
+// (p, ctx.Seed, ctx.Trials).
+type PointFunc func(p Point, ctx Ctx) (*Result, error)

@@ -1,0 +1,320 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func testGrid() Grid {
+	return Grid{
+		Name:    "test-grid",
+		Version: 1,
+		Axes: []Axis{
+			Int64Axis("D", 8, 16, 32),
+			IntAxis("n", 1, 4),
+		},
+		Trials: 5,
+	}
+}
+
+// testKernel is a deterministic fake kernel: a cheap pure function of the
+// point's parameters, the trial count and the seed.
+func testKernel(p Point, ctx Ctx) (*Result, error) {
+	b := p.Bind()
+	d := b.Int64("D")
+	n := b.Int("n")
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	samples := make([]float64, ctx.Trials)
+	for i := range samples {
+		samples[i] = float64(d*d)/float64(n) + float64(d) + float64(i) + float64(ctx.Seed%7)
+	}
+	return &Result{
+		Samples: samples,
+		Values:  map[string]float64{"bound": float64(d*d)/float64(n) + float64(d)},
+		Series:  map[string][]float64{"curve": {float64(d), float64(d * 2)}},
+	}, nil
+}
+
+func TestGridExpansion(t *testing.T) {
+	g := testGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", g.Size())
+	}
+	pts := g.Points()
+	if len(pts) != 6 {
+		t.Fatalf("expanded %d points, want 6", len(pts))
+	}
+	// Row-major: last axis (n) varies fastest.
+	want := []string{
+		"D=8 n=1", "D=8 n=4",
+		"D=16 n=1", "D=16 n=4",
+		"D=32 n=1", "D=32 n=4",
+	}
+	for i, p := range pts {
+		if p.String() != want[i] {
+			t.Errorf("point %d = %q, want %q", i, p, want[i])
+		}
+		if p.Index != i {
+			t.Errorf("point %d has Index %d", i, p.Index)
+		}
+		if p.Grid != "test-grid" {
+			t.Errorf("point %d has Grid %q", i, p.Grid)
+		}
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	cases := []Grid{
+		{},                                     // no name
+		{Name: "g"},                            // no axes
+		{Name: "g", Axes: []Axis{{}}},          // unnamed axis
+		{Name: "g", Axes: []Axis{{Name: "a"}}}, // empty axis
+		{Name: "g", Axes: []Axis{IntAxis("a", 1), IntAxis("a", 2)}},        // duplicate axis
+		{Name: "g", Axes: []Axis{{Name: "a", Values: []string{"1", "1"}}}}, // duplicate value
+	}
+	for i, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid grid %+v", i, g)
+		}
+	}
+}
+
+func TestBinder(t *testing.T) {
+	p := Point{Grid: "g", Params: []Param{
+		{Name: "D", Value: "64"},
+		{Name: "name", Value: "zigzag"},
+		{Name: "cks", Value: "1,2,3"},
+	}}
+	b := p.Bind()
+	if got := b.Int64("D"); got != 64 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := b.Str("name"); got != "zigzag" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := b.Uint64List("cks"); !reflect.DeepEqual(got, []uint64{1, 2, 3}) {
+		t.Errorf("Uint64List = %v", got)
+	}
+	if err := b.Err(); err != nil {
+		t.Errorf("unexpected binder error: %v", err)
+	}
+	// Missing and malformed parameters surface through Err.
+	if b.Int("missing"); b.Err() == nil {
+		t.Error("missing parameter not reported")
+	}
+	b2 := p.Bind()
+	if b2.Int64("name"); b2.Err() == nil {
+		t.Error("parse failure not reported")
+	}
+}
+
+func TestRunComputesEveryPoint(t *testing.T) {
+	var calls atomic.Int64
+	rep, err := Run(testGrid(), func(p Point, ctx Ctx) (*Result, error) {
+		calls.Add(1)
+		return testKernel(p, ctx)
+	}, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 6 {
+		t.Errorf("kernel ran %d times, want 6", calls.Load())
+	}
+	if rep.Computed != 6 || rep.CacheHits != 0 {
+		t.Errorf("computed=%d hits=%d, want 6/0", rep.Computed, rep.CacheHits)
+	}
+	for i, pr := range rep.Points {
+		if pr.Result == nil {
+			t.Fatalf("point %d has no result", i)
+		}
+		if pr.Point.Index != i {
+			t.Errorf("point %d out of order: %v", i, pr.Point)
+		}
+		if len(pr.Result.Samples) != 5 {
+			t.Errorf("point %d has %d samples", i, len(pr.Result.Samples))
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Grid{}, testKernel, Options{}); err == nil {
+		t.Error("invalid grid accepted")
+	}
+	if _, err := Run(testGrid(), nil, Options{}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	boom := fmt.Errorf("boom")
+	if _, err := Run(testGrid(), func(Point, Ctx) (*Result, error) {
+		return nil, boom
+	}, Options{}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("kernel error not surfaced: %v", err)
+	}
+	if _, err := Run(testGrid(), func(Point, Ctx) (*Result, error) {
+		return nil, nil
+	}, Options{}); err == nil {
+		t.Error("nil result accepted")
+	}
+}
+
+// TestRunDeterministicAcrossShardCounts is the sweep layer's determinism
+// contract: same grid + seed ⇒ identical aggregate tables (JSON rows and
+// CSV bytes) regardless of how many shards or engine workers ran.
+func TestRunDeterministicAcrossShardCounts(t *testing.T) {
+	var base *Summary
+	for _, shards := range []int{1, 2, 3, 8, 16} {
+		rep, err := Run(testGrid(), testKernel, Options{Seed: 99, Shards: shards, Workers: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		s := rep.Summary()
+		// Timing is the one non-deterministic part; blank it before the
+		// full structural comparison.
+		s.ElapsedSec, s.PointsPerSec = 0, 0
+		if base == nil {
+			base = s
+			continue
+		}
+		if !reflect.DeepEqual(base, s) {
+			t.Errorf("shards=%d: summary differs from shards=1", shards)
+		}
+		if base.CSV() != s.CSV() {
+			t.Errorf("shards=%d: CSV differs from shards=1", shards)
+		}
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	rep, err := Run(testGrid(), testKernel, Options{Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary()
+	if s.SchemaVersion != SummarySchemaVersion || s.Grid != "test-grid" || s.Trials != 5 {
+		t.Errorf("summary header wrong: %+v", s)
+	}
+	if len(s.Rows) != 6 {
+		t.Fatalf("summary has %d rows, want 6", len(s.Rows))
+	}
+	// First point: D=8 n=1, samples bound+0..4 with bound = 72.
+	row := s.Rows[0]
+	if row.N != 5 || row.Mean != 74 || row.Median != 74 || row.Min != 72 || row.Max != 76 {
+		t.Errorf("row 0 aggregates wrong: %+v", row)
+	}
+	if row.CI95 <= 0 {
+		t.Errorf("row 0 CI95 = %v, want > 0", row.CI95)
+	}
+	if row.Values["bound"] != 72 {
+		t.Errorf("row 0 bound = %v", row.Values["bound"])
+	}
+	// Series flatten as name[i].
+	if row.Values["curve[0]"] != 8 || row.Values["curve[1]"] != 16 {
+		t.Errorf("row 0 series flattening wrong: %v", row.Values)
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "D,n,samples,mean,ci95,median,min,max,bound,curve[0],curve[1]\n") {
+		t.Errorf("CSV header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if !strings.Contains(csv, "8,1,5,74,") {
+		t.Errorf("CSV missing first row: %q", csv)
+	}
+	if js, err := s.JSON(); err != nil || !strings.Contains(string(js), `"schema_version": 1`) {
+		t.Errorf("JSON artifact wrong (err=%v): %.120s", err, js)
+	}
+}
+
+// TestCSVQuotesListValues: axis values holding lists (e.g. a checkpoint
+// schedule) contain commas and must be RFC 4180-quoted, or every column
+// after them shifts.
+func TestCSVQuotesListValues(t *testing.T) {
+	g := Grid{
+		Name:    "quoting",
+		Version: 1,
+		Axes: []Axis{
+			StringAxis("machine", "zigzag"),
+			StringAxis("checkpoints", Uint64ListParam([]uint64{64, 256, 1024})),
+		},
+	}
+	rep, err := Run(g, func(p Point, ctx Ctx) (*Result, error) {
+		return &Result{Values: map[string]float64{"cells": 65}}, nil
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := rep.Summary().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines: %q", len(lines), csv)
+	}
+	if !strings.Contains(lines[1], `"64,256,1024"`) {
+		t.Errorf("list value not quoted: %q", lines[1])
+	}
+	// Header and row must agree on column count once quotes are honored.
+	if got, want := len(splitCSV(lines[1])), len(splitCSV(lines[0])); got != want {
+		t.Errorf("row has %d fields, header has %d", got, want)
+	}
+}
+
+// splitCSV is a minimal RFC 4180 field splitter for the test above.
+func splitCSV(line string) []string {
+	var fields []string
+	var cur strings.Builder
+	inQuotes := false
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case c == '"':
+			inQuotes = !inQuotes
+		case c == ',' && !inQuotes:
+			fields = append(fields, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	return append(fields, cur.String())
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	rep, err := Run(testGrid(), testKernel, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := t.TempDir() + "/sweep-test"
+	jsonPath, csvPath, err := rep.Summary().WriteArtifacts(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonPath != prefix+".json" || csvPath != prefix+".csv" {
+		t.Errorf("paths = %q, %q", jsonPath, csvPath)
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	var events atomic.Int64
+	var lastDone atomic.Int64
+	_, err := Run(testGrid(), testKernel, Options{
+		Seed: 5,
+		Progress: func(p Progress) {
+			events.Add(1)
+			if p.Total != 6 {
+				t.Errorf("progress Total = %d", p.Total)
+			}
+			if p.Done > int(lastDone.Load()) {
+				lastDone.Store(int64(p.Done))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events.Load() != 6 || lastDone.Load() != 6 {
+		t.Errorf("got %d events, max done %d; want 6/6", events.Load(), lastDone.Load())
+	}
+}
