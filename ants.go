@@ -22,6 +22,7 @@ import (
 	"repro/internal/automata"
 	"repro/internal/baseline"
 	"repro/internal/grid"
+	"repro/internal/scenario"
 	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -35,6 +36,9 @@ type (
 	Direction = grid.Direction
 	// VisitSet records visited grid cells.
 	VisitSet = grid.VisitSet
+	// Rect is an axis-aligned rectangle of lattice points (obstacle worlds
+	// are built from these).
+	Rect = grid.Rect
 )
 
 // The four grid directions.
@@ -220,6 +224,46 @@ func CoverageCurve(m *Machine, numAgents int, radius int64, checkpoints []uint64
 func CoverageCurveWith(cfg RoundsConfig, checkpoints []uint64, seed uint64) ([]int64, error) {
 	return sim.CoverageCurveWith(cfg, checkpoints, seed)
 }
+
+// Scenario engine: pluggable world topologies, target placements and agent
+// fault models (see internal/scenario and DESIGN.md §6).
+type (
+	// World is the topology agents move on: it decides which moves are
+	// legal, applies wraparound, and reports position membership. A nil
+	// World in a Config means the open plane (the engines' fast path).
+	World = sim.World
+	// OpenPlane is the paper's unbounded lattice Z².
+	OpenPlane = sim.OpenPlane
+	// HalfPlane restricts the world to y ≥ 0.
+	HalfPlane = sim.HalfPlane
+	// Quadrant restricts the world to x, y ≥ 0.
+	Quadrant = sim.Quadrant
+	// Torus is the L×L torus with wraparound moves.
+	Torus = sim.Torus
+	// Obstacles is the open plane minus a set of blocked rectangles.
+	Obstacles = sim.Obstacles
+	// FaultModel injects agent failures (per-opportunity crashes, delayed
+	// starts) into a run; the zero value disables all faults.
+	FaultModel = sim.FaultModel
+	// Scenario is a built world/target/fault configuration from the
+	// scenario registry.
+	Scenario = scenario.Scenario
+	// ScenarioPreset is one registered scenario family.
+	ScenarioPreset = scenario.Preset
+)
+
+// BuildScenario instantiates a scenario spec ("torus", "ring:k=4",
+// "crash:crash=0.001") for nominal target distance d. Apply the result to
+// a Config or RoundsConfig to run any algorithm on that world.
+func BuildScenario(spec string, d int64) (Scenario, error) {
+	return scenario.Build(spec, d)
+}
+
+// ScenarioPresets returns the registered scenario presets.
+func ScenarioPresets() []ScenarioPreset { return scenario.Presets() }
+
+// ScenarioNames returns the registered scenario preset names.
+func ScenarioNames() []string { return scenario.Names() }
 
 // Sweep orchestration (declarative experiment grids; see internal/sweep).
 type (

@@ -8,13 +8,23 @@
 //	antsim -algo uniform -d 128 -n 4 -ell 2
 //	antsim -algo random-walk -d 32 -n 8 -budget 1000000
 //
-// Sweep mode runs a whole experiment grid (E1, E5 or S1) through the
-// orchestration layer of internal/sweep, with per-point progress, an
-// on-disk result cache, and incremental resume:
+// Scenario mode runs the same single configuration on a named world/fault
+// preset from the scenario registry (internal/scenario) instead of a
+// placed open-plane target — restricted sectors, tori, obstacle fields,
+// multi-target placements, and agent fault models:
+//
+//	antsim -scenario list
+//	antsim -scenario torus -d 32 -n 8
+//	antsim -scenario torus:l=48 -algo random-walk
+//	antsim -scenario crash:crash=0.001 -trials 50
+//
+// Sweep mode runs a whole experiment grid (E1, E5, S1 or the scenario
+// sweep S2) through the orchestration layer of internal/sweep, with
+// per-point progress, an on-disk result cache, and incremental resume:
 //
 //	antsim -sweep e1 -cache .sweepcache -out e1_results
 //	antsim -sweep e1 -cache .sweepcache -resume -out e1_results  # recomputes only missing points
-//	antsim -sweep s1 -quick
+//	antsim -sweep s2 -quick
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/experiment"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -55,7 +66,9 @@ func run(args []string, out io.Writer) error {
 		workers = fs.Int("workers", 0, "simulation worker bound (0 = GOMAXPROCS)")
 		traceTo = fs.String("trace", "", "write a JSONL event trace of one extra run to this file")
 
-		sweepID  = fs.String("sweep", "", "run an experiment grid instead of a single configuration: e1, e5 or s1")
+		scnSpec = fs.String("scenario", "", "run on a scenario preset (name[:key=val,...]) instead of a placed target; \"list\" prints the registry")
+
+		sweepID  = fs.String("sweep", "", "run an experiment grid instead of a single configuration: e1, e5, s1 or s2")
 		quick    = fs.Bool("quick", false, "sweep mode: smaller grid and trial counts")
 		cacheDir = fs.String("cache", "", "sweep mode: content-addressed result cache directory")
 		resume   = fs.Bool("resume", false, "sweep mode: serve cached grid points instead of recomputing (requires -cache)")
@@ -65,6 +78,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *sweepID != "" {
+		if *scnSpec != "" {
+			return fmt.Errorf("-scenario applies to single-configuration mode only; the scenario grid is -sweep s2")
+		}
 		return runSweep(*sweepID, experiment.Config{
 			Seed:     *seed,
 			Quick:    *quick,
@@ -75,6 +91,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *resume || *cacheDir != "" || *outPfx != "" || *quick {
 		return fmt.Errorf("-cache/-resume/-out/-quick apply to sweep mode only (set -sweep)")
+	}
+	if *scnSpec == "list" {
+		return listScenarios(out)
+	}
+	if *scnSpec != "" && *traceTo != "" {
+		return fmt.Errorf("-trace is not supported in scenario mode")
 	}
 
 	placement, err := parsePlacement(*place)
@@ -90,11 +112,22 @@ func run(args []string, out io.Writer) error {
 		moveBudget = uint64(*d) * uint64(*d) * 512
 	}
 
-	st, err := sim.RunPlacedTrials(sim.Config{
+	cfg := sim.Config{
 		NumAgents:  *n,
 		MoveBudget: moveBudget,
 		Workers:    *workers,
-	}, placement, *d, factory, *trials, *seed)
+	}
+	var st *sim.TrialStats
+	var scn scenario.Scenario
+	if *scnSpec != "" {
+		scn, err = scenario.Build(*scnSpec, *d)
+		if err != nil {
+			return err
+		}
+		st, err = sim.RunTrials(scn.Apply(cfg), factory, *trials, *seed)
+	} else {
+		st, err = sim.RunPlacedTrials(cfg, placement, *d, factory, *trials, *seed)
+	}
 	if err != nil {
 		return err
 	}
@@ -108,7 +141,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "algorithm:   %s\n", *algo)
 	fmt.Fprintf(out, "D:           %d\n", *d)
 	fmt.Fprintf(out, "agents:      %d\n", *n)
-	fmt.Fprintf(out, "placement:   %s\n", placement)
+	if *scnSpec != "" {
+		fmt.Fprintf(out, "scenario:    %s — %s\n", scn.Spec, scn.Summary)
+		fmt.Fprintf(out, "world:       %s, %d target(s)\n", scn.WorldName(), len(scn.Targets))
+		if scn.Faults.Enabled() {
+			fmt.Fprintf(out, "faults:      crash=%g delay=%d\n", scn.Faults.CrashProb, scn.Faults.MaxStartDelay)
+		}
+	} else {
+		fmt.Fprintf(out, "placement:   %s\n", placement)
+	}
 	fmt.Fprintf(out, "trials:      %d\n", *trials)
 	fmt.Fprintf(out, "found:       %.0f%%\n", st.FoundFrac*100)
 	fmt.Fprintf(out, "chi audit:   %s\n", audit)
@@ -178,6 +219,25 @@ func runSweep(id string, cfg experiment.Config, outPrefix string, out io.Writer)
 		}
 		fmt.Fprintf(out, "artifacts:   %s, %s\n", jsonPath, csvPath)
 	}
+	return nil
+}
+
+// listScenarios prints the scenario registry as an aligned table.
+func listScenarios(out io.Writer) error {
+	presets := scenario.Presets()
+	width := 0
+	for _, p := range presets {
+		if len(p.Name) > width {
+			width = len(p.Name)
+		}
+	}
+	for _, p := range presets {
+		fmt.Fprintf(out, "%-*s  %s\n", width, p.Name, p.Summary)
+		if p.Params != "" {
+			fmt.Fprintf(out, "%-*s  params: %s\n", width, "", p.Params)
+		}
+	}
+	fmt.Fprintf(out, "\nevery preset also accepts crash=<prob> and delay=<rounds>\n")
 	return nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/scenario"
 )
 
 func TestRunNonUniform(t *testing.T) {
@@ -38,6 +40,56 @@ func TestRunEveryPlacement(t *testing.T) {
 		if err != nil {
 			t.Errorf("%s: %v", place, err)
 		}
+	}
+}
+
+func TestRunScenarioMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-scenario", "torus:l=40", "-d", "16", "-n", "4", "-trials", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"scenario:    torus:l=40", "world:       torus-40", "found", "M_moves"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunEveryScenarioPreset(t *testing.T) {
+	for _, spec := range scenario.Names() {
+		var out strings.Builder
+		err := run([]string{"-scenario", spec, "-algo", "random-walk", "-d", "8", "-n", "2", "-trials", "2"}, &out)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+}
+
+func TestRunScenarioList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, name := range scenario.Names() {
+		if !strings.Contains(got, name) {
+			t.Errorf("-scenario list missing preset %q in:\n%s", name, got)
+		}
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "nope"}, &out); err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Errorf("unknown scenario error = %v", err)
+	}
+	if err := run([]string{"-scenario", "open", "-trace", "t.jsonl"}, &out); err == nil || !strings.Contains(err.Error(), "-trace") {
+		t.Errorf("scenario+trace error = %v", err)
+	}
+	if err := run([]string{"-sweep", "e1", "-scenario", "torus"}, &out); err == nil || !strings.Contains(err.Error(), "-scenario") {
+		t.Errorf("sweep+scenario error = %v", err)
 	}
 }
 

@@ -47,6 +47,20 @@ func ExampleRun() {
 	// Output: found: true
 }
 
+// ExampleBuildScenario runs the same algorithm on a torus world from the
+// scenario registry: the spec string selects the world, the target set and
+// the fault model, and Apply overlays them on an engine config.
+func ExampleBuildScenario() {
+	scn, _ := ants.BuildScenario("torus:l=40", 16)
+	factory, _ := ants.NonUniformSearch(16, 1)
+	res, _ := ants.Run(scn.Apply(ants.Config{
+		NumAgents:  4,
+		MoveBudget: 1 << 20,
+	}), factory, 42)
+	fmt.Println(scn.Spec, "on", scn.WorldName(), "found:", res.Found)
+	// Output: torus:l=40 on torus-40 found: true
+}
+
 // ExampleRunSweep declares a small experiment grid over (D, n) and runs it
 // through the sweep layer: the kernel is called once per point, points are
 // sharded across workers, and the summary aggregates each point's samples.

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Example forages with a reduced budget and trial count (the full budget
+// lets the random-walk contrast burn tens of millions of moves per food
+// item; the shrunken run keeps `go test ./...` fast while exercising the
+// same code path).
+func Example() {
+	var buf strings.Builder
+	if err := run(&buf, 64*64*64, 3); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out := buf.String()
+	for _, want := range []string{"Foraging colony", "seed pile (close)", "fallen fruit (far)", "random-walk"} {
+		if !strings.Contains(out, want) {
+			fmt.Println("missing:", want)
+			return
+		}
+	}
+	fmt.Println("foraging: ok")
+	// Output: foraging: ok
+}

@@ -9,7 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	ants "repro"
 )
@@ -20,17 +22,17 @@ type foodItem struct {
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 64*64*4096, 10); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+// run forages with the given per-scout move budget and trial count
+// (main uses a generous budget; the example test a small one).
+func run(w io.Writer, budget uint64, trials int) error {
 	const (
 		scouts = 8
 		ell    = 1
-		trials = 10
-		budget = 64 * 64 * 4096 // generous cap per scout
 	)
 	food := []foodItem{
 		{"seed pile (close)", ants.Point{X: 3, Y: -2}},
@@ -44,8 +46,8 @@ func run() error {
 	}
 	walk := ants.RandomWalkSearch()
 
-	fmt.Printf("Foraging colony: %d scouts, no knowledge of distances, no communication\n\n", scouts)
-	fmt.Printf("%-20s %-10s %16s %18s\n", "food item", "distance", "uniform-search", "random-walk")
+	fmt.Fprintf(w, "Foraging colony: %d scouts, no knowledge of distances, no communication\n\n", scouts)
+	fmt.Fprintf(w, "%-20s %-10s %16s %18s\n", "food item", "distance", "uniform-search", "random-walk")
 	for _, f := range food {
 		d := f.target.Norm()
 		uniMean, uniFound, err := forage(uniform, f.target, scouts, budget, trials)
@@ -56,12 +58,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-20s %-10d %16s %18s\n", f.name, d,
+		fmt.Fprintf(w, "%-20s %-10d %16s %18s\n", f.name, d,
 			describe(uniMean, uniFound), describe(walkMean, walkFound))
 	}
-	fmt.Println("\nUniform-Search finds close food in few moves and scales gracefully with")
-	fmt.Println("distance (Theorem 3.14); the random walk's cost explodes quadratically and")
-	fmt.Println("extra scouts barely help it (speed-up ≤ min{log n, D}).")
+	fmt.Fprintln(w, "\nUniform-Search finds close food in few moves and scales gracefully with")
+	fmt.Fprintln(w, "distance (Theorem 3.14); the random walk's cost explodes quadratically and")
+	fmt.Fprintln(w, "extra scouts barely help it (speed-up ≤ min{log n, D}).")
 	return nil
 }
 

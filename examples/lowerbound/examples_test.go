@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Example runs the lower-bound demonstration and prints a stable digest.
+func Example() {
+	var buf strings.Builder
+	if err := run(&buf); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out := buf.String()
+	for _, want := range []string{"Theorem 4.1", "adversarial target", "non-uniform-search"} {
+		if !strings.Contains(out, want) {
+			fmt.Println("missing:", want)
+			return
+		}
+	}
+	fmt.Println("lowerbound: ok")
+	// Output: lowerbound: ok
+}

@@ -8,8 +8,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	ants "repro"
 	"repro/internal/automata"
@@ -17,17 +19,17 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(w io.Writer) error {
 	const (
 		d = 64
 		n = 8
 	)
-	fmt.Printf("Theorem 4.1 at D=%d (log log D = %.2f), n=%d agents, D² steps each\n\n",
+	fmt.Fprintf(w, "Theorem 4.1 at D=%d (log log D = %.2f), n=%d agents, D² steps each\n\n",
 		d, math.Log2(math.Log2(d)), n)
 
 	machines := []struct {
@@ -44,7 +46,7 @@ func run() error {
 		}{"drift-3bit", m})
 	}
 
-	fmt.Printf("%-14s %6s %22s %10s %8s\n", "machine", "χ", "adversarial target", "coverage", "found?")
+	fmt.Fprintf(w, "%-14s %6s %22s %10s %8s\n", "machine", "χ", "adversarial target", "coverage", "found?")
 	var adversary ants.Point
 	for _, entry := range machines {
 		pred, err := lowerbound.Predict(entry.m)
@@ -62,7 +64,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-14s %6.2f %22s %9.2f%% %8v\n",
+		fmt.Fprintf(w, "%-14s %6.2f %22s %9.2f%% %8v\n",
 			entry.name, entry.m.Chi(), target.String(), res.Fraction*100, res.FoundAdversarial)
 		adversary = target
 	}
@@ -93,10 +95,10 @@ func run() error {
 	if len(st.Moves) > 0 {
 		mean /= float64(len(st.Moves))
 	}
-	fmt.Printf("\nnon-uniform-search (χ=%.2f) vs the same target %v:\n", audit.Chi(), adversary)
-	fmt.Printf("  found in %.0f%% of trials, mean %.0f moves (bound D²/n+D = %.0f)\n",
+	fmt.Fprintf(w, "\nnon-uniform-search (χ=%.2f) vs the same target %v:\n", audit.Chi(), adversary)
+	fmt.Fprintf(w, "  found in %.0f%% of trials, mean %.0f moves (bound D²/n+D = %.0f)\n",
 		st.FoundFrac*100, mean, float64(d*d)/n+d)
-	fmt.Println("\nBelow the log log D threshold agents are trapped near straight drift")
-	fmt.Println("lines (or diffuse uselessly); just above it, the plane opens up.")
+	fmt.Fprintln(w, "\nBelow the log log D threshold agents are trapped near straight drift")
+	fmt.Fprintln(w, "lines (or diffuse uselessly); just above it, the plane opens up.")
 	return nil
 }

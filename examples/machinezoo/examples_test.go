@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Example tours the machine zoo and prints a stable digest.
+func Example() {
+	var buf strings.Builder
+	if err := run(&buf); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out := buf.String()
+	for _, want := range []string{"== random-walk ==", "== zigzag ==", "== drift-3bit ==", "class 0"} {
+		if !strings.Contains(out, want) {
+			fmt.Println("missing:", want)
+			return
+		}
+	}
+	fmt.Println("machinezoo: ok")
+	// Output: machinezoo: ok
+}

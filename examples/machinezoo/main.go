@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/automata"
 	"repro/internal/lowerbound"
@@ -17,12 +19,12 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(w io.Writer) error {
 	type entry struct {
 		name string
 		m    *automata.Machine
@@ -43,17 +45,17 @@ func run() error {
 
 	const d = 12
 	for _, e := range zoo {
-		if err := show(e.name, e.m, d); err != nil {
+		if err := show(w, e.name, e.m, d); err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
 	}
-	fmt.Println("Each thumbnail is the union of 4 agents' positions over 4·D² steps.")
-	fmt.Println("Drift machines paint rays; diffusive machines smudge around the origin;")
-	fmt.Println("none of them fills the ball — that takes χ ≥ log log D (see examples/lowerbound).")
+	fmt.Fprintln(w, "Each thumbnail is the union of 4 agents' positions over 4·D² steps.")
+	fmt.Fprintln(w, "Drift machines paint rays; diffusive machines smudge around the origin;")
+	fmt.Fprintln(w, "none of them fills the ball — that takes χ ≥ log log D (see examples/lowerbound).")
 	return nil
 }
 
-func show(name string, m *automata.Machine, d int64) error {
+func show(w io.Writer, name string, m *automata.Machine, d int64) error {
 	a, err := automata.Analyze(m)
 	if err != nil {
 		return err
@@ -62,11 +64,11 @@ func show(name string, m *automata.Machine, d int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("== %s ==\n", name)
-	fmt.Printf("states %d, b=%d bits, ℓ=%d, χ=%.2f\n",
+	fmt.Fprintf(w, "== %s ==\n", name)
+	fmt.Fprintf(w, "states %d, b=%d bits, ℓ=%d, χ=%.2f\n",
 		m.NumStates(), m.MemoryBits(), m.Ell(), m.Chi())
 	for c := range a.Recurrent {
-		fmt.Printf("class %d: period %d, drift (%+.3f, %+.3f), speed %.3f\n",
+		fmt.Fprintf(w, "class %d: period %d, drift (%+.3f, %+.3f), speed %.3f\n",
 			c, a.Period[c], a.Drift[c][0], a.Drift[c][1], pred.Speeds[c])
 	}
 
@@ -88,8 +90,8 @@ func show(name string, m *automata.Machine, d int64) error {
 		canvas.MarkRay(drift)
 	}
 	canvas.MarkOrigin()
-	fmt.Print(canvas.Render())
-	fmt.Println(viz.CoverageCaption(res.Visited, d))
-	fmt.Println()
+	fmt.Fprint(w, canvas.Render())
+	fmt.Fprintln(w, viz.CoverageCaption(res.Visited, d))
+	fmt.Fprintln(w)
 	return nil
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Example runs the quickstart end to end and prints a stable digest, so
+// `go test ./...` exercises the example program without pinning its full
+// (format-sensitive) report.
+func Example() {
+	var buf strings.Builder
+	if err := run(&buf); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out := buf.String()
+	for _, want := range []string{"Non-Uniform-Search", "found:", "mean M_moves", "bound D²/n+D"} {
+		if !strings.Contains(out, want) {
+			fmt.Println("missing:", want)
+			return
+		}
+	}
+	fmt.Println("quickstart: ok")
+	// Output: quickstart: ok
+}

@@ -7,19 +7,21 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	ants "repro"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(w io.Writer) error {
 	const (
 		d      = 64 // target distance (known to the agents)
 		n      = 16 // number of agents
@@ -51,12 +53,12 @@ func run() error {
 	mean /= float64(len(st.Moves))
 	bound := float64(d*d)/n + d
 
-	fmt.Printf("Non-Uniform-Search, D=%d, n=%d agents, %d trials\n", d, n, trials)
-	fmt.Printf("  found:        %.0f%% of trials\n", st.FoundFrac*100)
-	fmt.Printf("  mean M_moves: %.0f\n", mean)
-	fmt.Printf("  bound D²/n+D: %.0f  (ratio %.2f — Theorem 3.5 says this stays O(1))\n",
+	fmt.Fprintf(w, "Non-Uniform-Search, D=%d, n=%d agents, %d trials\n", d, n, trials)
+	fmt.Fprintf(w, "  found:        %.0f%% of trials\n", st.FoundFrac*100)
+	fmt.Fprintf(w, "  mean M_moves: %.0f\n", mean)
+	fmt.Fprintf(w, "  bound D²/n+D: %.0f  (ratio %.2f — Theorem 3.5 says this stays O(1))\n",
 		bound, mean/bound)
-	fmt.Printf("  %s  (Theorem 3.7: χ = log log D + O(1); log log %d = %.2f)\n",
+	fmt.Fprintf(w, "  %s  (Theorem 3.7: χ = log log D + O(1); log log %d = %.2f)\n",
 		audit, d, math.Log2(math.Log2(d)))
 	return nil
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Example runs the trade-off table and prints a stable digest.
+func Example() {
+	var buf strings.Builder
+	if err := run(&buf); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out := buf.String()
+	for _, want := range []string{"χ vs performance", "non-uniform (ℓ=1)", "feinerman", "random walk"} {
+		if !strings.Contains(out, want) {
+			fmt.Println("missing:", want)
+			return
+		}
+	}
+	fmt.Println("tradeoff: ok")
+	// Output: tradeoff: ok
+}

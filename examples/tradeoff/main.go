@@ -8,25 +8,27 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	ants "repro"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(w io.Writer) error {
 	const (
 		d      = 64
 		n      = 8
 		trials = 15
 	)
-	fmt.Printf("χ vs performance at D=%d, n=%d (uniform random targets, %d trials)\n\n", d, n, trials)
-	fmt.Printf("%-24s %8s %6s %8s %12s %12s\n", "algorithm", "b", "ℓ", "χ", "mean moves", "vs D²/n+D")
+	fmt.Fprintf(w, "χ vs performance at D=%d, n=%d (uniform random targets, %d trials)\n\n", d, n, trials)
+	fmt.Fprintf(w, "%-24s %8s %6s %8s %12s %12s\n", "algorithm", "b", "ℓ", "χ", "mean moves", "vs D²/n+D")
 
 	// The b↔ℓ trade inside Non-Uniform-Search: χ stays put, performance
 	// stays put — only the hardware mix changes.
@@ -39,7 +41,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := report(fmt.Sprintf("non-uniform (ℓ=%d)", ell), audit, factory, d, n, trials); err != nil {
+		if err := report(w, fmt.Sprintf("non-uniform (ℓ=%d)", ell), audit, factory, d, n, trials); err != nil {
 			return err
 		}
 	}
@@ -53,7 +55,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := report("uniform (unknown D)", uniAudit, uniFactory, d, n, trials); err != nil {
+	if err := report(w, "uniform (unknown D)", uniAudit, uniFactory, d, n, trials); err != nil {
 		return err
 	}
 
@@ -63,52 +65,52 @@ func run() error {
 		return err
 	}
 	// Audit via the facade is per-distance; print through the baseline row.
-	if err := reportFeinerman(feinFactory, d, n, trials); err != nil {
+	if err := reportFeinerman(w, feinFactory, d, n, trials); err != nil {
 		return err
 	}
 
 	// Random walk: χ ≈ 3, performance collapses (capped budget).
-	if err := reportWalk(d, n, trials); err != nil {
+	if err := reportWalk(w, d, n, trials); err != nil {
 		return err
 	}
 
-	fmt.Println("\nReading the table bottom-up: below χ ≈ log log D nothing searches well")
-	fmt.Println("(Theorem 4.1); at χ = log log D + O(1) the paper's algorithms are already")
-	fmt.Println("near-optimal (Theorems 3.7/3.14); spending Θ(log D) memory (Feinerman)")
-	fmt.Println("buys no further asymptotic speed-up.")
+	fmt.Fprintln(w, "\nReading the table bottom-up: below χ ≈ log log D nothing searches well")
+	fmt.Fprintln(w, "(Theorem 4.1); at χ = log log D + O(1) the paper's algorithms are already")
+	fmt.Fprintln(w, "near-optimal (Theorems 3.7/3.14); spending Θ(log D) memory (Feinerman)")
+	fmt.Fprintln(w, "buys no further asymptotic speed-up.")
 	return nil
 }
 
-func report(name string, audit ants.Audit, factory ants.Factory, d int64, n, trials int) error {
+func report(w io.Writer, name string, audit ants.Audit, factory ants.Factory, d int64, n, trials int) error {
 	mean, frac, err := measure(factory, d, n, trials, d*d*4096)
 	if err != nil {
 		return err
 	}
 	bound := float64(d*d)/float64(n) + float64(d)
-	fmt.Printf("%-24s %8d %6d %8.2f %12s %12.2f\n",
+	fmt.Fprintf(w, "%-24s %8d %6d %8.2f %12s %12.2f\n",
 		name, audit.B, audit.Ell, audit.Chi(), moves(mean, frac), mean/bound)
 	return nil
 }
 
-func reportFeinerman(factory ants.Factory, d int64, n, trials int) error {
+func reportFeinerman(w io.Writer, factory ants.Factory, d int64, n, trials int) error {
 	mean, frac, err := measure(factory, d, n, trials, d*d*512)
 	if err != nil {
 		return err
 	}
 	bound := float64(d*d)/float64(n) + float64(d)
 	// b ≈ 3·log D registers (coordinates + spiral counter).
-	fmt.Printf("%-24s %8s %6s %8s %12s %12.2f\n",
+	fmt.Fprintf(w, "%-24s %8s %6s %8s %12s %12.2f\n",
 		"feinerman (knows n)", "Θ(logD)", "~logD", "Θ(logD)", moves(mean, frac), mean/bound)
 	return nil
 }
 
-func reportWalk(d int64, n, trials int) error {
+func reportWalk(w io.Writer, d int64, n, trials int) error {
 	mean, frac, err := measure(ants.RandomWalkSearch(), d, n, trials, d*d*64)
 	if err != nil {
 		return err
 	}
 	bound := float64(d*d)/float64(n) + float64(d)
-	fmt.Printf("%-24s %8d %6d %8.2f %12s %12.2f\n",
+	fmt.Fprintf(w, "%-24s %8d %6d %8.2f %12s %12.2f\n",
 		"random walk", 2, 2, 3.0, moves(mean, frac), mean/bound)
 	return nil
 }

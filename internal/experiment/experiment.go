@@ -1,8 +1,8 @@
 // Package experiment is the reproduction harness: it defines the registry
-// of experiments E1–E8, the ablations AB1–AB4 and the supplementary S1
-// (one per quantitative claim of the paper, see DESIGN.md §4), declares
-// E1/E5/S1 as sweep grids on the internal/sweep orchestration layer, and
-// renders plain-text/CSV tables.
+// of experiments E1–E8, the ablations AB1–AB4 and the supplementaries
+// S1/S2 (one per quantitative claim of the paper, see DESIGN.md §4),
+// declares E1/E5/S1/S2 as sweep grids on the internal/sweep orchestration
+// layer, and renders plain-text/CSV tables.
 package experiment
 
 import (
@@ -128,7 +128,7 @@ type Experiment struct {
 func Registry() []Experiment {
 	exps := []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
-		ab1(), ab2(), ab3(), ab4(), s1(),
+		ab1(), ab2(), ab3(), ab4(), s1(), s2(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

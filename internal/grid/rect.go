@@ -1,0 +1,64 @@
+package grid
+
+import "fmt"
+
+// Rect is an axis-aligned rectangle of lattice points with inclusive
+// corners: it contains every point p with Min.X ≤ p.X ≤ Max.X and
+// Min.Y ≤ p.Y ≤ Max.Y. The obstacle worlds of the scenario engine are
+// built from rectangles.
+type Rect struct {
+	Min Point
+	Max Point
+}
+
+// NewRect returns the rectangle spanned by the two corner points, in
+// either order.
+func NewRect(a, b Point) Rect {
+	if a.X > b.X {
+		a.X, b.X = b.X, a.X
+	}
+	if a.Y > b.Y {
+		a.Y, b.Y = b.Y, a.Y
+	}
+	return Rect{Min: a, Max: b}
+}
+
+// Contains reports whether p lies inside the rectangle (corners included).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Size returns the number of lattice points in the rectangle (0 when it is
+// malformed, i.e. Min exceeds Max on either axis).
+func (r Rect) Size() int64 {
+	if r.Min.X > r.Max.X || r.Min.Y > r.Max.Y {
+		return 0
+	}
+	return (r.Max.X - r.Min.X + 1) * (r.Max.Y - r.Min.Y + 1)
+}
+
+// Validate reports an error when Min exceeds Max on either axis.
+func (r Rect) Validate() error {
+	if r.Min.X > r.Max.X || r.Min.Y > r.Max.Y {
+		return fmt.Errorf("grid: malformed rect %v", r)
+	}
+	return nil
+}
+
+// String renders the rectangle as "[(x0,y0)..(x1,y1)]".
+func (r Rect) String() string {
+	return "[" + r.Min.String() + ".." + r.Max.String() + "]"
+}
+
+// Mod returns v modulo l in [0, l), the wraparound of the torus worlds. It
+// panics if l <= 0.
+func Mod(v, l int64) int64 {
+	if l <= 0 {
+		panic(fmt.Sprintf("grid: Mod with non-positive modulus %d", l))
+	}
+	m := v % l
+	if m < 0 {
+		m += l
+	}
+	return m
+}

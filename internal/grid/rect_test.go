@@ -1,0 +1,70 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRectNormalizesCorners(t *testing.T) {
+	r := NewRect(Point{X: 3, Y: -1}, Point{X: -2, Y: 4})
+	if r.Min != (Point{X: -2, Y: -1}) || r.Max != (Point{X: 3, Y: 4}) {
+		t.Fatalf("NewRect = %v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Point{X: 0, Y: 0}, Point{X: 2, Y: 1})
+	for _, p := range []Point{{0, 0}, {2, 1}, {1, 0}, {2, 0}} {
+		if !r.Contains(p) {
+			t.Errorf("%v should contain %v", r, p)
+		}
+	}
+	for _, p := range []Point{{-1, 0}, {3, 0}, {0, 2}, {0, -1}} {
+		if r.Contains(p) {
+			t.Errorf("%v should not contain %v", r, p)
+		}
+	}
+}
+
+func TestRectSizeAndValidate(t *testing.T) {
+	if got := NewRect(Point{}, Point{X: 2, Y: 3}).Size(); got != 12 {
+		t.Errorf("Size = %d, want 12", got)
+	}
+	if got := (Rect{Min: Point{X: 1}, Max: Point{}}).Size(); got != 0 {
+		t.Errorf("malformed Size = %d, want 0", got)
+	}
+	if err := (Rect{Min: Point{X: 1}, Max: Point{}}).Validate(); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("Validate = %v", err)
+	}
+	if got := NewRect(Point{X: 5, Y: 5}, Point{X: 5, Y: 5}).Size(); got != 1 {
+		t.Errorf("single-cell Size = %d, want 1", got)
+	}
+}
+
+func TestRectString(t *testing.T) {
+	got := NewRect(Point{X: 1, Y: 2}, Point{X: 3, Y: 4}).String()
+	if got != "[(1,2)..(3,4)]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMod(t *testing.T) {
+	cases := []struct{ v, l, want int64 }{
+		{0, 5, 0}, {4, 5, 4}, {5, 5, 0}, {7, 5, 2},
+		{-1, 5, 4}, {-5, 5, 0}, {-7, 5, 3},
+	}
+	for _, tc := range cases {
+		if got := Mod(tc.v, tc.l); got != tc.want {
+			t.Errorf("Mod(%d, %d) = %d, want %d", tc.v, tc.l, got, tc.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Mod with modulus 0 should panic")
+		}
+	}()
+	Mod(1, 0)
+}

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// fuzzSpec turns the fuzzed parameter value into an explicit spec string:
+// the preset-specific key where one exists (torus side, ring/cluster
+// size), a common delay= override otherwise, and the bare name for a zero
+// value — so spec parsing and parameter validation see fuzzed input too.
+func fuzzSpec(name string, param int64) string {
+	if param == 0 {
+		return name
+	}
+	switch name {
+	case "torus":
+		return fmt.Sprintf("torus:l=%d", param)
+	case "ring", "cluster":
+		return fmt.Sprintf("%s:k=%d", name, param)
+	default:
+		return fmt.Sprintf("%s:delay=%d", name, param)
+	}
+}
+
+// FuzzWorldMoveLegality drives random move sequences through the world of
+// every registered preset and checks the World-interface invariants the
+// engines rely on:
+//
+//   - Resolve never panics and never leaves the world (Contains holds for
+//     every position an agent can reach from the origin),
+//   - a blocked move (performed == false) leaves the agent exactly in
+//     place,
+//   - torus positions stay inside [0, L)² (implied by Contains, asserted
+//     explicitly so a torus bug fails with coordinates in the message),
+//   - Resolve is a pure function: replaying the same move from the same
+//     position gives the same answer.
+//
+// The spec parameters (torus side, ring/cluster size, crash/delay
+// overrides) are fuzzed alongside the move bytes so parameter parsing and
+// validation are exercised too: Build either rejects the spec or yields a
+// world that honors the invariants.
+func FuzzWorldMoveLegality(f *testing.F) {
+	// Seed corpus: each registered preset with default and explicit
+	// parameters plus a few move patterns (axis sweeps, spirals,
+	// wall-hugging repeats).
+	for i := range presets {
+		f.Add(uint8(i), int64(8), int64(0), []byte{0, 1, 2, 3})
+		f.Add(uint8(i), int64(3), int64(5), []byte{3, 3, 3, 3, 3, 3, 3, 3, 0, 0, 0, 0})
+		f.Add(uint8(i), int64(20), int64(-7), []byte{0, 3, 1, 2, 0, 3, 1, 2, 0, 3, 1, 2})
+	}
+	f.Add(uint8(4), int64(1), int64(2), []byte{2, 2, 2, 2, 1, 1, 1, 1})  // tight torus
+	f.Add(uint8(5), int64(2), int64(99), []byte{3, 0, 3, 1, 3, 0, 3, 1}) // hugging the obstacle wall
+
+	f.Fuzz(func(t *testing.T, presetSel uint8, d, param int64, moves []byte) {
+		names := Names()
+		name := names[int(presetSel)%len(names)]
+		if d < 0 {
+			d = -d
+		}
+		d = d%1024 + 1 // keep instances small enough to build in microseconds
+		spec := fuzzSpec(name, param)
+		s, err := Build(spec, d)
+		if err != nil {
+			// Parameter validation rejected the instance; that is a legal
+			// outcome, not an invariant violation.
+			t.Skipf("Build(%q, %d): %v", spec, d, err)
+		}
+		w := s.World
+		if w == nil {
+			w = sim.OpenPlane{}
+		}
+		if !w.Contains(grid.Origin) {
+			t.Fatalf("%s: world does not contain the origin", s.Spec)
+		}
+		pos := grid.Origin
+		for i, b := range moves {
+			dir := grid.Directions[int(b)%len(grid.Directions)]
+			next, performed := w.Resolve(pos, dir)
+			if !performed && next != pos {
+				t.Fatalf("%s: blocked move %d (%v from %v) relocated the agent to %v",
+					s.Spec, i, dir, pos, next)
+			}
+			if !w.Contains(next) {
+				t.Fatalf("%s: move %d (%v from %v) escaped the world to %v",
+					s.Spec, i, dir, pos, next)
+			}
+			if tor, ok := w.(sim.Torus); ok {
+				if next.X < 0 || next.X >= tor.L || next.Y < 0 || next.Y >= tor.L {
+					t.Fatalf("%s: torus position %v outside [0, %d)²", s.Spec, next, tor.L)
+				}
+			}
+			again, performedAgain := w.Resolve(pos, dir)
+			if again != next || performedAgain != performed {
+				t.Fatalf("%s: Resolve(%v, %v) is not deterministic: (%v, %v) then (%v, %v)",
+					s.Spec, pos, dir, next, performed, again, performedAgain)
+			}
+			pos = next
+		}
+	})
+}

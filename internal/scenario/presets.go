@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// presets is the registry, in the order presentations (CLI listings, the
+// README table, the S2 sweep) use. Every preset accepts the common crash=
+// and delay= keys on top of what its Params field documents.
+var presets = []Preset{
+	{
+		Name:    "open",
+		Summary: "the paper's open plane, one target on the axis at (D,0)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			return nil, []grid.Point{{X: d, Y: 0}}, sim.FaultModel{}, nil
+		},
+	},
+	{
+		Name:    "adversarial-far",
+		Summary: "open plane, target at the corner (D,D) — the lower bound's adversarial placement",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			return nil, []grid.Point{{X: d, Y: d}}, sim.FaultModel{}, nil
+		},
+	},
+	{
+		Name:    "half-plane",
+		Summary: "sector world y ≥ 0 (moves across the wall are blocked), target at (0,D)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			return sim.HalfPlane{}, []grid.Point{{X: 0, Y: d}}, sim.FaultModel{}, nil
+		},
+	},
+	{
+		Name:    "quadrant",
+		Summary: "sector world x,y ≥ 0, target at the corner (D,D)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			return sim.Quadrant{}, []grid.Point{{X: d, Y: d}}, sim.FaultModel{}, nil
+		},
+	},
+	{
+		Name:    "torus",
+		Summary: "L×L torus (moves wrap around), target at (D,D)",
+		Params:  "l=<side> (default 2D+1)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			l := p.int64v("l", 2*d+1)
+			if l <= d {
+				return nil, nil, sim.FaultModel{}, fmt.Errorf("torus side %d must exceed D=%d for the target to fit", l, d)
+			}
+			return sim.Torus{L: l}, []grid.Point{{X: d, Y: d}}, sim.FaultModel{}, nil
+		},
+	},
+	{
+		Name:    "obstacles",
+		Summary: "open plane with a wall at x=⌈D/2⌉ pierced by a one-cell gap at y=0, target at (D,0)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			w := (d + 1) / 2
+			wall := sim.Obstacles{Blocked: []grid.Rect{
+				grid.NewRect(grid.Point{X: w, Y: 1}, grid.Point{X: w, Y: d}),
+				grid.NewRect(grid.Point{X: w, Y: -d}, grid.Point{X: w, Y: -1}),
+			}}
+			return wall, []grid.Point{{X: d, Y: 0}}, sim.FaultModel{}, nil
+		},
+	},
+	{
+		Name:    "ring",
+		Summary: "k targets equally spaced on the max-norm sphere of radius D",
+		Params:  "k=<targets> (default 8)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			k := p.int64v("k", 8)
+			n := grid.SphereSize(d)
+			if k < 1 || k > n {
+				return nil, nil, sim.FaultModel{}, fmt.Errorf("ring size k=%d out of [1, %d] for D=%d", k, n, d)
+			}
+			targets := make([]grid.Point, k)
+			for i := int64(0); i < k; i++ {
+				targets[i] = grid.SpherePoint(d, i*n/k)
+			}
+			return nil, targets, sim.FaultModel{}, nil
+		},
+	},
+	{
+		Name:    "cluster",
+		Summary: "k targets clustered at the corner (D,D)",
+		Params:  "k=<targets> (default 5, at most 9)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			k := p.intv("k", 5)
+			if k < 1 || k > len(clusterOffsets) {
+				return nil, nil, sim.FaultModel{}, fmt.Errorf("cluster size k=%d out of [1, %d]", k, len(clusterOffsets))
+			}
+			if d < 2 {
+				return nil, nil, sim.FaultModel{}, fmt.Errorf("cluster needs D ≥ 2, got %d", d)
+			}
+			targets := make([]grid.Point, k)
+			for i := 0; i < k; i++ {
+				off := clusterOffsets[i]
+				targets[i] = grid.Point{X: d - off.X, Y: d - off.Y}
+			}
+			return nil, targets, sim.FaultModel{}, nil
+		},
+	},
+	{
+		Name:    "crash",
+		Summary: "open plane with per-opportunity agent crashes (default p=0.0005), target at (D,0)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			return nil, []grid.Point{{X: d, Y: 0}}, sim.FaultModel{CrashProb: 0.0005}, nil
+		},
+	},
+	{
+		Name:    "delayed",
+		Summary: "open plane with staggered agent starts (default delay=2D), target at (D,0)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			return nil, []grid.Point{{X: d, Y: 0}}, sim.FaultModel{MaxStartDelay: uint64(2 * d)}, nil
+		},
+	},
+}
+
+// clusterOffsets spiral outward from the corner; cluster targets are the
+// corner (D,D) minus the first k offsets, all inside the D-ball.
+var clusterOffsets = []grid.Point{
+	{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1},
+	{X: 2, Y: 0}, {X: 0, Y: 2}, {X: 2, Y: 1}, {X: 1, Y: 2}, {X: 2, Y: 2},
+}

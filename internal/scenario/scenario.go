@@ -1,0 +1,315 @@
+// Package scenario is the registry of named, parameterized world/fault
+// presets that the simulation engines run on. A scenario bundles the three
+// ingredients the engines accept independently — a sim.World topology, a
+// target set, and a sim.FaultModel — behind one canonical spec string
+// ("torus", "ring:k=4", "crash:p=0.001"), so CLI flags, sweep-grid axes and
+// tests can all name the same configuration and get bit-identical runs.
+//
+// Specs have the form
+//
+//	name[:key=value[,key=value...]]
+//
+// where name selects a registered preset and the keys override its
+// parameters. Every preset accepts the common keys crash= (per-opportunity
+// crash probability) and delay= (maximum start-delay rounds) in addition to
+// its own; unknown keys are an error, never silently ignored. Building a
+// scenario is deterministic: the same spec and distance always produce the
+// same worlds and target sets, and worlds never consume randomness, so a
+// scenario is a pure label for the engines' extra configuration.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// Scenario is one built world/target/fault configuration at a concrete
+// nominal distance D.
+type Scenario struct {
+	// Spec is the canonical spec string that rebuilds this scenario.
+	Spec string
+	// Preset is the name of the preset the spec selected.
+	Preset string
+	// Summary is the preset's one-line description.
+	Summary string
+	// D is the nominal target distance the scenario was built for.
+	D int64
+	// World is the topology (nil = open plane, the engines' fast path).
+	World sim.World
+	// Targets is the target set (never empty).
+	Targets []grid.Point
+	// Faults is the agent fault model (zero value: no faults).
+	Faults sim.FaultModel
+}
+
+// WorldName returns the world's name ("open-plane" for the nil fast path).
+func (s Scenario) WorldName() string {
+	if s.World == nil {
+		return sim.OpenPlane{}.Name()
+	}
+	return s.World.Name()
+}
+
+// Apply overlays the scenario onto an asynchronous-engine config: world,
+// fault model, and the full target set (replacing any single target already
+// present).
+func (s Scenario) Apply(cfg sim.Config) sim.Config {
+	cfg.World = s.World
+	cfg.Faults = s.Faults
+	cfg.Target, cfg.HasTarget = grid.Point{}, false
+	cfg.Targets = s.Targets
+	return cfg
+}
+
+// ApplyRounds overlays the scenario onto a synchronous-engine config.
+func (s Scenario) ApplyRounds(cfg sim.RoundsConfig) sim.RoundsConfig {
+	cfg.World = s.World
+	cfg.Faults = s.Faults
+	cfg.Target, cfg.HasTarget = grid.Point{}, false
+	cfg.Targets = s.Targets
+	return cfg
+}
+
+// Preset is one registered scenario family: a name plus a builder that
+// instantiates it for a nominal distance D and parameter overrides.
+type Preset struct {
+	// Name is the spec name (lowercase, no colons or commas).
+	Name string
+	// Summary is a one-line description for listings.
+	Summary string
+	// Params documents the preset-specific keys ("" when the preset only
+	// takes the common crash=/delay= keys).
+	Params string
+	// build instantiates the preset: world (nil = open plane), targets, and
+	// the preset's default fault model (before the common overrides).
+	build func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error)
+}
+
+// Presets returns the registered presets in registration order.
+func Presets() []Preset { return append([]Preset(nil), presets...) }
+
+// Names returns the registered preset names in registration order.
+func Names() []string {
+	names := make([]string, len(presets))
+	for i, p := range presets {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Lookup returns the preset with the given name, or an error listing the
+// valid names.
+func Lookup(name string) (Preset, error) {
+	for _, p := range presets {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("scenario: unknown preset %q (valid: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Build parses a spec string and instantiates it for nominal distance d.
+// The returned scenario is fully validated: the world's parameters are
+// legal, it contains the origin and every target, and the fault model is
+// well-formed.
+func Build(spec string, d int64) (Scenario, error) {
+	if d < 1 {
+		return Scenario{}, fmt.Errorf("scenario: distance %d must be positive", d)
+	}
+	name, p, err := parseSpec(spec)
+	if err != nil {
+		return Scenario{}, err
+	}
+	preset, err := Lookup(name)
+	if err != nil {
+		return Scenario{}, err
+	}
+	world, targets, faults, err := preset.build(d, p)
+	// A parse failure makes the typed accessors return zero values, so any
+	// range error the builder derived from them is a symptom; report the
+	// parse error, not the misleading consequence.
+	if p.err != nil {
+		return Scenario{}, fmt.Errorf("scenario %s: %w", preset.Name, p.err)
+	}
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario %s: %w", preset.Name, err)
+	}
+	// Common overrides, read after build so presets can set fault defaults.
+	faults.CrashProb = p.float("crash", faults.CrashProb)
+	faults.MaxStartDelay = p.uint64v("delay", faults.MaxStartDelay)
+	if err := p.finish(); err != nil {
+		return Scenario{}, fmt.Errorf("scenario %s: %w", preset.Name, err)
+	}
+	s := Scenario{
+		Spec:    canonicalSpec(preset.Name, p),
+		Preset:  preset.Name,
+		Summary: preset.Summary,
+		D:       d,
+		World:   world,
+		Targets: targets,
+		Faults:  faults,
+	}
+	if err := validate(s); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// validate checks the built scenario end to end, mirroring the engines'
+// own run-time validation so a bad spec fails at build time.
+func validate(s Scenario) error {
+	if len(s.Targets) == 0 {
+		return fmt.Errorf("scenario %s: no targets", s.Preset)
+	}
+	if s.World != nil {
+		if err := s.World.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Preset, err)
+		}
+		if !s.World.Contains(grid.Origin) {
+			return fmt.Errorf("scenario %s: world %s does not contain the origin", s.Preset, s.World.Name())
+		}
+		for _, t := range s.Targets {
+			if !s.World.Contains(t) {
+				return fmt.Errorf("scenario %s: target %v is not a position of world %s",
+					s.Preset, t, s.World.Name())
+			}
+		}
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Preset, err)
+	}
+	return nil
+}
+
+// parseSpec splits "name[:k=v[,k=v...]]" into the preset name and its
+// parameter map.
+func parseSpec(spec string) (string, *params, error) {
+	spec = strings.TrimSpace(spec)
+	name, rest, hasParams := strings.Cut(spec, ":")
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return "", nil, fmt.Errorf("scenario: empty spec")
+	}
+	p := &params{m: map[string]string{}}
+	if !hasParams {
+		return name, p, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return "", nil, fmt.Errorf("scenario: malformed parameter %q in spec %q (want key=value)", kv, spec)
+		}
+		if _, dup := p.m[k]; dup {
+			return "", nil, fmt.Errorf("scenario: duplicate parameter %q in spec %q", k, spec)
+		}
+		p.m[k] = v
+	}
+	return name, p, nil
+}
+
+// canonicalSpec renders the preset name plus the explicitly given
+// parameters, sorted by key, so equal configurations get equal specs.
+func canonicalSpec(name string, p *params) string {
+	if len(p.m) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(p.m))
+	for k := range p.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + p.m[k]
+	}
+	return name + ":" + strings.Join(parts, ",")
+}
+
+// params gives presets typed access to the spec's key=value overrides,
+// accumulating the first parse error and tracking which keys were read so
+// Build can reject unknown ones.
+type params struct {
+	m    map[string]string
+	used map[string]bool
+	err  error
+}
+
+func (p *params) raw(key string) (string, bool) {
+	if p.used == nil {
+		p.used = map[string]bool{}
+	}
+	p.used[key] = true
+	v, ok := p.m[key]
+	return v, ok
+}
+
+// int64v returns the key's value as an int64, or def when absent.
+func (p *params) int64v(key string, def int64) int64 {
+	v, ok := p.raw(key)
+	if !ok {
+		return def
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("parameter %s=%q is not an integer", key, v)
+	}
+	return n
+}
+
+// intv returns the key's value as an int, or def when absent.
+func (p *params) intv(key string, def int) int {
+	return int(p.int64v(key, int64(def)))
+}
+
+// uint64v returns the key's value as a uint64, or def when absent.
+func (p *params) uint64v(key string, def uint64) uint64 {
+	v, ok := p.raw(key)
+	if !ok {
+		return def
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("parameter %s=%q is not a non-negative integer", key, v)
+	}
+	return n
+}
+
+// float returns the key's value as a float64, or def when absent.
+func (p *params) float(key string, def float64) float64 {
+	v, ok := p.raw(key)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("parameter %s=%q is not a number", key, v)
+	}
+	return f
+}
+
+// finish returns the accumulated parse error, or an error naming any keys
+// that were supplied but never read (unknown to the preset).
+func (p *params) finish() error {
+	if p.err != nil {
+		return p.err
+	}
+	var unknown []string
+	for k := range p.m {
+		if !p.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("unknown parameter(s) %s", strings.Join(unknown, ", "))
+	}
+	return nil
+}

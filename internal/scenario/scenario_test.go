@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/baseline"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+func TestEveryPresetBuildsAndRuns(t *testing.T) {
+	const d = 8
+	for _, name := range Names() {
+		s, err := Build(name, d)
+		if err != nil {
+			t.Fatalf("Build(%q, %d): %v", name, d, err)
+		}
+		if s.Preset != name || s.Spec != name || s.D != d {
+			t.Errorf("%s: identity fields = (%q, %q, %d)", name, s.Preset, s.Spec, s.D)
+		}
+		if len(s.Targets) == 0 {
+			t.Errorf("%s: no targets", name)
+		}
+		// Every preset must be runnable end to end on both engines.
+		cfg := s.Apply(sim.Config{NumAgents: 2, MoveBudget: 2000})
+		if _, err := sim.RunTrials(cfg, baseline.RandomWalkFactory(), 2, 7); err != nil {
+			t.Errorf("%s: async engine: %v", name, err)
+		}
+		rcfg := s.ApplyRounds(sim.RoundsConfig{NumAgents: 2, Rounds: 200})
+		rcfg.Machine = automata.RandomWalk()
+		if _, err := sim.RunRounds(rcfg, nil, 7); err != nil {
+			t.Errorf("%s: rounds engine: %v", name, err)
+		}
+	}
+}
+
+func TestBuildParameterized(t *testing.T) {
+	s, err := Build("torus:l=21", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor, ok := s.World.(sim.Torus); !ok || tor.L != 21 {
+		t.Fatalf("torus world = %#v", s.World)
+	}
+	if s.Spec != "torus:l=21" {
+		t.Errorf("Spec = %q", s.Spec)
+	}
+
+	s, err = Build("ring:k=4", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Targets) != 4 {
+		t.Fatalf("ring:k=4 has %d targets", len(s.Targets))
+	}
+	for _, p := range s.Targets {
+		if p.Norm() != 8 {
+			t.Errorf("ring target %v not on the sphere of radius 8", p)
+		}
+	}
+
+	s, err = Build("cluster:k=9", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Targets) != 9 {
+		t.Fatalf("cluster:k=9 has %d targets", len(s.Targets))
+	}
+	for _, p := range s.Targets {
+		if p.Norm() > 8 {
+			t.Errorf("cluster target %v outside the 8-ball", p)
+		}
+	}
+}
+
+func TestBuildCommonFaultOverrides(t *testing.T) {
+	s, err := Build("half-plane:crash=0.01,delay=5", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults.CrashProb != 0.01 || s.Faults.MaxStartDelay != 5 {
+		t.Fatalf("faults = %+v", s.Faults)
+	}
+	if s.Spec != "half-plane:crash=0.01,delay=5" {
+		t.Errorf("Spec = %q", s.Spec)
+	}
+
+	// Presets with fault defaults keep them unless overridden.
+	s, err = Build("crash", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults.CrashProb != 0.0005 {
+		t.Errorf("crash default CrashProb = %v", s.Faults.CrashProb)
+	}
+	s, err = Build("crash:crash=0.25", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults.CrashProb != 0.25 {
+		t.Errorf("crash override CrashProb = %v", s.Faults.CrashProb)
+	}
+	s, err = Build("delayed", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults.MaxStartDelay != 16 {
+		t.Errorf("delayed default MaxStartDelay = %v", s.Faults.MaxStartDelay)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		d    int64
+		want string
+	}{
+		{"nope", 8, "unknown preset"},
+		{"open", 0, "must be positive"},
+		{"open:bogus=1", 8, "unknown parameter"},
+		{"open:k", 8, "malformed parameter"},
+		{"open:crash=0.1,crash=0.2", 8, "duplicate parameter"},
+		{"open:crash=high", 8, "not a number"},
+		{"open:crash=2", 8, "out of [0, 1]"},
+		{"torus:l=4", 8, "must exceed"},
+		// Parse failures must surface as such, not as range errors derived
+		// from the zero value the broken accessor returned.
+		{"torus:l=4o", 8, "not an integer"},
+		{"ring:k=many", 8, "not an integer"},
+		{"ring:k=0", 8, "out of"},
+		{"ring:k=9999", 8, "out of"},
+		{"cluster:k=10", 8, "out of"},
+		{"", 8, "empty spec"},
+	}
+	for _, tc := range cases {
+		_, err := Build(tc.spec, tc.d)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Build(%q, %d) error = %v, want substring %q", tc.spec, tc.d, err, tc.want)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build("obstacles:crash=0.001", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("obstacles:crash=0.001", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spec != b.Spec || a.WorldName() != b.WorldName() || len(a.Targets) != len(b.Targets) {
+		t.Fatalf("identical specs built different scenarios: %+v vs %+v", a, b)
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatalf("target %d differs: %v vs %v", i, a.Targets[i], b.Targets[i])
+		}
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("only %d presets registered, the scenario engine promises at least 5", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate preset name %q", n)
+		}
+		seen[n] = true
+		if _, err := Lookup(strings.ToUpper(n)); err != nil {
+			t.Errorf("Lookup is not case-insensitive for %q: %v", n, err)
+		}
+	}
+	if _, err := Lookup("missing"); err == nil || !strings.Contains(err.Error(), names[0]) {
+		t.Errorf("Lookup(missing) error %v does not list valid names", err)
+	}
+}
+
+func TestApplyReplacesSingleTarget(t *testing.T) {
+	s, err := Build("ring:k=3", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Apply(sim.Config{Target: grid.Point{X: 1, Y: 1}, HasTarget: true})
+	if cfg.HasTarget {
+		t.Error("Apply kept the legacy single target")
+	}
+	if len(cfg.Targets) != 3 {
+		t.Errorf("Apply set %d targets, want 3", len(cfg.Targets))
+	}
+}

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/grid"
 	"repro/internal/rng"
@@ -23,21 +24,32 @@ import (
 // when they observe it.
 var ErrBudget = errors.New("sim: move budget exhausted")
 
+// ErrCrashed is returned by Env.Move when the fault model crashes the
+// agent. It wraps ErrBudget, so every program that already treats budget
+// exhaustion as a graceful stop (errors.Is(err, ErrBudget)) handles crashes
+// without modification: a crash is the agent's remaining budget going to
+// zero.
+var ErrCrashed = fmt.Errorf("sim: agent crashed (fault injection): %w", ErrBudget)
+
 // Env is the interface between an agent program and the world. It tracks
-// the agent's position, counts moves and steps, detects the target, and
-// enforces the move budget. An Env is used by a single agent; it is not
-// safe for concurrent use.
+// the agent's position, counts moves and steps, detects the targets, and
+// enforces the move budget and fault model. An Env is used by a single
+// agent; it is not safe for concurrent use.
 type Env struct {
-	target    grid.Point
-	hasTarget bool
-	budget    uint64 // max moves (grid actions); 0 = unlimited
-	src       *rng.Source
+	targets TargetSet
+	world   World  // nil = open plane (fast path)
+	budget  uint64 // max moves (grid actions); 0 = unlimited
+	src     *rng.Source
+
+	crashThresh uint64 // fixed-point per-move crash probability; 0 = off
+	faultSrc    *rng.Source
 
 	pos     grid.Point
 	moves   uint64
 	steps   uint64
 	found   bool
 	foundAt uint64 // move count at the moment of discovery
+	crashed bool
 	visited *grid.VisitSet
 	path    []grid.Point // recorded trajectory, nil unless requested
 	hook    EnvHook
@@ -46,13 +58,35 @@ type Env struct {
 // EnvConfig configures an agent environment.
 type EnvConfig struct {
 	// Target is the point to find; HasTarget false means a pure coverage
-	// run (agents never "find" anything).
+	// run (agents never "find" anything). Target and Targets combine into
+	// one target set.
 	Target    grid.Point
 	HasTarget bool
-	// MoveBudget caps the number of grid moves; 0 means unlimited.
+	// Targets lists additional target points (multi-target scenarios). The
+	// agent is done as soon as it steps on any of them.
+	Targets []grid.Point
+	// World is the topology moves resolve against. Nil means the open
+	// plane (the fast path with no legality checks); restricted worlds
+	// block or wrap moves as described on the World interface. The
+	// environment does not validate the world — engines do that once per
+	// run via their configs.
+	World World
+	// MoveBudget caps the number of grid moves; 0 means unlimited. Blocked
+	// moves (World legality) count against it.
 	MoveBudget uint64
 	// Src is the agent's private random source.
 	Src *rng.Source
+	// CrashProb is the per-move crash probability of the fault model; 0
+	// disables crash faults. Requires FaultSrc when positive.
+	CrashProb float64
+	// FaultSrc is the dedicated random source for fault draws. Keeping it
+	// separate from Src guarantees fault injection never perturbs the
+	// agent's walk stream.
+	FaultSrc *rng.Source
+	// StartDelaySteps is the agent's resolved activation delay: it is
+	// charged to the step count up front (the agent spent that many rounds
+	// idle before acting). Engines draw it from the FaultModel.
+	StartDelaySteps uint64
 	// TrackVisits, when non-nil, records every visited cell (including the
 	// origin) into the given set. Used by coverage experiments.
 	TrackVisits *grid.VisitSet
@@ -92,12 +126,15 @@ func NewEnv(cfg EnvConfig) *Env {
 func (e *Env) Reset(cfg EnvConfig) {
 	path := e.path
 	*e = Env{
-		target:    cfg.Target,
-		hasTarget: cfg.HasTarget,
-		budget:    cfg.MoveBudget,
-		src:       cfg.Src,
-		visited:   cfg.TrackVisits,
-		hook:      cfg.Hook,
+		targets:     mergeTargets(cfg.Target, cfg.HasTarget, cfg.Targets),
+		world:       cfg.World,
+		budget:      cfg.MoveBudget,
+		src:         cfg.Src,
+		crashThresh: FaultModel{CrashProb: cfg.CrashProb}.crashThreshold(),
+		faultSrc:    cfg.FaultSrc,
+		steps:       cfg.StartDelaySteps,
+		visited:     cfg.TrackVisits,
+		hook:        cfg.Hook,
 	}
 	if e.visited != nil {
 		e.visited.Visit(grid.Origin)
@@ -105,7 +142,7 @@ func (e *Env) Reset(cfg EnvConfig) {
 	if cfg.RecordPath {
 		e.path = append(path[:0], grid.Origin)
 	}
-	if e.hasTarget && e.target == grid.Origin {
+	if e.targets.Hit(grid.Origin) {
 		e.found = true
 	}
 }
@@ -132,17 +169,20 @@ func (e *Env) Moves() uint64 { return e.moves }
 // plus one per move.
 func (e *Env) Steps() uint64 { return e.steps }
 
-// Found reports whether the agent has stepped on the target.
+// Found reports whether the agent has stepped on a target.
 func (e *Env) Found() bool { return e.found }
 
 // FoundAt returns the move count at which the target was found; it is
 // meaningful only when Found is true.
 func (e *Env) FoundAt() uint64 { return e.foundAt }
 
-// Done reports whether the agent should stop: it found the target or ran
-// out of budget.
+// Crashed reports whether the fault model has crashed the agent.
+func (e *Env) Crashed() bool { return e.crashed }
+
+// Done reports whether the agent should stop: it found a target, crashed,
+// or ran out of budget.
 func (e *Env) Done() bool {
-	return e.found || (e.budget > 0 && e.moves >= e.budget)
+	return e.found || e.crashed || (e.budget > 0 && e.moves >= e.budget)
 }
 
 // CountStep records a non-moving Markov-chain step (a "none" state, or a
@@ -152,14 +192,27 @@ func (e *Env) CountStep() {
 }
 
 // Move moves the agent one cell in direction d. It returns ErrBudget when
-// the move budget was already exhausted (the move is not performed).
-// Discovery of the target is recorded but does not stop the agent; callers
-// check Done.
+// the move budget was already exhausted (the move is not performed) and
+// ErrCrashed when the fault model crashes the agent on this move attempt.
+// A move the world blocks keeps the agent in place but is still charged
+// against the budget (a bumped wall is an action). Discovery of a target
+// is recorded but does not stop the agent; callers check Done.
 func (e *Env) Move(d grid.Direction) error {
 	if e.budget > 0 && e.moves >= e.budget {
 		return ErrBudget
 	}
-	e.pos = e.pos.Move(d)
+	if e.crashed {
+		return ErrCrashed
+	}
+	if e.crashThresh > 0 && e.faultSrc.Uint64() < e.crashThresh {
+		e.crashed = true
+		return ErrCrashed
+	}
+	if e.world == nil {
+		e.pos = e.pos.Move(d)
+	} else {
+		e.pos, _ = e.world.Resolve(e.pos, d)
+	}
 	e.moves++
 	e.steps++
 	if e.visited != nil {
@@ -171,7 +224,7 @@ func (e *Env) Move(d grid.Direction) error {
 	if e.hook != nil {
 		e.hook.OnMove(e.pos, e.moves)
 	}
-	if e.hasTarget && !e.found && e.pos == e.target {
+	if !e.found && e.targets.Hit(e.pos) {
 		e.found = true
 		e.foundAt = e.moves
 		if e.hook != nil {

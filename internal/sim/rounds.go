@@ -30,6 +30,8 @@ type AgentState struct {
 	Pos   grid.Point
 	State int // Markov-chain state index
 	Found bool
+	// Crashed reports that the fault model permanently stopped this agent.
+	Crashed bool
 }
 
 // RoundObserver receives the swarm snapshot after each round. Observe runs
@@ -56,6 +58,19 @@ type RoundsConfig struct {
 	// Target is found when any agent's position equals it.
 	Target    grid.Point
 	HasTarget bool
+	// Targets lists additional target points (multi-target scenarios);
+	// they combine with Target/HasTarget into one target set.
+	Targets []grid.Point
+	// World is the topology agents move on. Nil means the open plane and
+	// selects the engine's fast path; any non-nil world (including an
+	// explicit OpenPlane{}) runs the general world-aware path. Targets
+	// must be positions of the world.
+	World World
+	// Faults is the agent fault model (zero value: no faults). Crash draws
+	// and start delays come from a substream disjoint from the agents'
+	// walk streams, so enabling faults never changes surviving agents'
+	// transition sequences.
+	Faults FaultModel
 	// StopOnFound ends the run at the end of the round in which the
 	// target is first found.
 	StopOnFound bool
@@ -85,6 +100,8 @@ type RoundsResult struct {
 	FoundRound uint64
 	// RoundsRun is the number of rounds actually executed.
 	RoundsRun uint64
+	// Crashed is the number of agents the fault model crashed.
+	Crashed int
 	// Visited is the union visit set when tracking was requested.
 	Visited *grid.VisitSet
 }
@@ -114,6 +131,14 @@ func roundWorkers(requested, n int) int {
 
 // swarm is the flat compiled-execution state of a synchronous run: one slot
 // per agent in parallel arrays, stepped stripe-wise by the worker pool.
+//
+// Two stepping paths exist. The fast path (stepRange) is the open-plane,
+// no-fault, single-target kernel: it applies the compiled machine's packed
+// grid action directly. The general path (stepRangeGeneral) resolves every
+// move against a World, checks a TargetSet, and runs the fault model; it is
+// selected whenever any of those depart from the defaults. Both paths draw
+// exactly one walk-stream value per acting agent per round, so the
+// trajectories of an explicit OpenPlane{} match the fast path bit for bit.
 type swarm struct {
 	c      *automata.CompiledMachine
 	srcs   []rng.Source
@@ -124,9 +149,20 @@ type swarm struct {
 
 	hasTarget bool
 	target    grid.Point
+
+	// General-path state (world / multi-target / fault scenarios).
+	general   bool
+	world     World
+	targets   TargetSet
+	round     uint64 // current 1-based round; written by the main goroutine before the barrier
+	crashProb uint64 // fixed-point per-round crash threshold; 0 = off
+	faultSrcs []rng.Source
+	delays    []uint64 // idle-prefix rounds per agent
+	crashed   []bool
 }
 
-func newSwarm(m *automata.Machine, n int, hasTarget bool, target grid.Point, seed uint64) *swarm {
+func newSwarm(cfg RoundsConfig, seed uint64) *swarm {
+	m, n := cfg.Machine, cfg.NumAgents
 	s := &swarm{
 		c:         m.Compiled(),
 		srcs:      make([]rng.Source, n),
@@ -134,8 +170,8 @@ func newSwarm(m *automata.Machine, n int, hasTarget bool, target grid.Point, see
 		posX:      make([]int64, n),
 		posY:      make([]int64, n),
 		agents:    make([]AgentState, n),
-		hasTarget: hasTarget,
-		target:    target,
+		hasTarget: cfg.HasTarget,
+		target:    cfg.Target,
 	}
 	root := rng.New(seed)
 	start := int32(m.Start())
@@ -144,7 +180,35 @@ func newSwarm(m *automata.Machine, n int, hasTarget bool, target grid.Point, see
 		s.states[i] = start
 		s.agents[i] = AgentState{Pos: grid.Origin, State: int(start)}
 	}
+	if !isOpenPlaneFast(cfg.World) || cfg.Faults.Enabled() || len(cfg.Targets) > 0 {
+		s.general = true
+		s.world = cfg.World
+		if s.world == nil {
+			s.world = OpenPlane{}
+		}
+		s.targets = mergeTargets(cfg.Target, cfg.HasTarget, cfg.Targets)
+		s.crashed = make([]bool, n)
+		s.delays = make([]uint64, n)
+		s.crashProb = cfg.Faults.crashThreshold()
+		if cfg.Faults.Enabled() {
+			faultRoot := root.Derive(faultStreamTag)
+			s.faultSrcs = make([]rng.Source, n)
+			for i := 0; i < n; i++ {
+				faultRoot.DeriveInto(uint64(i), &s.faultSrcs[i])
+				s.delays[i] = cfg.Faults.startDelay(&s.faultSrcs[i])
+			}
+		}
+	}
 	return s
+}
+
+// step advances agents [lo, hi) by one round on whichever path the run
+// selected.
+func (s *swarm) step(lo, hi int, stripe *grid.VisitSet) bool {
+	if s.general {
+		return s.stepRangeGeneral(lo, hi, stripe)
+	}
+	return s.stepRange(lo, hi, stripe)
 }
 
 // stepRange advances agents [lo, hi) by one transition each, recording
@@ -164,6 +228,50 @@ func (s *swarm) stepRange(lo, hi int, stripe *grid.VisitSet) bool {
 		s.agents[i].Pos = p
 		s.agents[i].State = st
 		if s.hasTarget && p == s.target && !s.agents[i].Found {
+			s.agents[i].Found = true
+			found = true
+		}
+	}
+	return found
+}
+
+// stepRangeGeneral is the world-aware stepping kernel: it draws the
+// successor state exactly like the fast path but resolves the state's grid
+// action against the world, tests the full target set, and applies the
+// fault model. A crashed agent never acts again and keeps its position; an
+// agent still inside its start-delay prefix draws nothing at all, so the
+// walk stream it eventually uses is the same one it would have used with no
+// delay.
+func (s *swarm) stepRangeGeneral(lo, hi int, stripe *grid.VisitSet) bool {
+	c := s.c
+	found := false
+	for i := lo; i < hi; i++ {
+		if s.crashed[i] {
+			continue
+		}
+		if s.round <= s.delays[i] {
+			continue
+		}
+		if s.crashProb > 0 && s.faultSrcs[i].Uint64() < s.crashProb {
+			s.crashed[i] = true
+			s.agents[i].Crashed = true
+			continue
+		}
+		st := c.Next(int(s.states[i]), s.srcs[i].Uint64())
+		s.states[i] = int32(st)
+		p := grid.Point{X: s.posX[i], Y: s.posY[i]}
+		if c.IsOrigin(st) {
+			p = grid.Origin
+		} else if d, ok := c.Dir(st); ok {
+			p, _ = s.world.Resolve(p, d)
+		}
+		s.posX[i], s.posY[i] = p.X, p.Y
+		if stripe != nil {
+			stripe.Visit(p)
+		}
+		s.agents[i].Pos = p
+		s.agents[i].State = st
+		if !s.agents[i].Found && s.targets.Hit(p) {
 			s.agents[i].Found = true
 			found = true
 		}
@@ -203,9 +311,15 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 			return nil, fmt.Errorf("sim: checkpoint %d is beyond the run's %d rounds", last, cfg.Rounds)
 		}
 	}
+	if err := validateWorld(cfg.World, mergeTargets(cfg.Target, cfg.HasTarget, cfg.Targets).Points()); err != nil {
+		return nil, err
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	n := cfg.NumAgents
 	workers := roundWorkers(cfg.Workers, n)
-	sw := newSwarm(cfg.Machine, n, cfg.HasTarget, cfg.Target, seed)
+	sw := newSwarm(cfg, seed)
 
 	track := cfg.TrackRadius > 0
 	var master *grid.VisitSet
@@ -219,8 +333,12 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 	}
 
 	res := &RoundsResult{}
-	// Origin target is found before any round.
-	if cfg.HasTarget && cfg.Target == grid.Origin {
+	// An origin target is found before any round.
+	if sw.general {
+		if sw.targets.Hit(grid.Origin) {
+			res.Found = true
+		}
+	} else if cfg.HasTarget && cfg.Target == grid.Origin {
 		res.Found = true
 	}
 
@@ -243,7 +361,7 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 			starts[w] = make(chan struct{})
 			go func(lo, hi int, start chan struct{}, stripe *grid.VisitSet) {
 				for range start {
-					done <- sw.stepRange(lo, hi, stripe)
+					done <- sw.step(lo, hi, stripe)
 				}
 			}(lo, hi, starts[w], stripes[w])
 		}
@@ -261,9 +379,11 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 		}
 	}
 	for round := uint64(1); round <= cfg.Rounds; round++ {
+		// The barrier orders this write before the workers' reads.
+		sw.round = round
 		var anyFound bool
 		if workers == 1 {
-			anyFound = sw.stepRange(0, n, stripes[0])
+			anyFound = sw.step(0, n, stripes[0])
 		} else {
 			for _, ch := range starts {
 				ch <- struct{}{}
@@ -294,6 +414,11 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 	if track {
 		mergeStripes()
 		res.Visited = master
+	}
+	for _, c := range sw.crashed {
+		if c {
+			res.Crashed++
+		}
 	}
 	return res, nil
 }

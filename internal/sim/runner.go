@@ -21,9 +21,21 @@ type Config struct {
 	// NumAgents is the paper's n.
 	NumAgents int
 	// Target is the target position (max-norm distance at most D in the
-	// experiments). HasTarget false runs a pure coverage experiment.
+	// experiments). HasTarget false with an empty Targets list runs a pure
+	// coverage experiment.
 	Target    grid.Point
 	HasTarget bool
+	// Targets lists additional target points (multi-target scenarios);
+	// they combine with Target/HasTarget into one target set.
+	Targets []grid.Point
+	// World is the topology agents move on. Nil means the open plane (the
+	// engine's fast path); restricted worlds block or wrap moves. Targets
+	// must be positions of the world.
+	World World
+	// Faults is the agent fault model (zero value: no faults). Fault
+	// randomness comes from a substream disjoint from the agents' walk
+	// streams, so enabling faults never changes surviving trajectories.
+	Faults FaultModel
 	// MoveBudget caps each agent's moves; 0 means unlimited (only safe for
 	// algorithms guaranteed to find the target).
 	MoveBudget uint64
@@ -42,6 +54,8 @@ type Config struct {
 // AgentResult is the outcome of one agent's run.
 type AgentResult struct {
 	Found bool
+	// Crashed reports whether the fault model crashed the agent.
+	Crashed bool
 	// Moves is the agent's move count when it found the target, or the
 	// total moves consumed when it did not.
 	Moves uint64
@@ -84,6 +98,16 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 	if root == nil {
 		return nil, errors.New("sim: nil random source")
 	}
+	if err := validateWorld(cfg.World, mergeTargets(cfg.Target, cfg.HasTarget, cfg.Targets).Points()); err != nil {
+		return nil, err
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	var faultRoot *rng.Source
+	if cfg.Faults.Enabled() {
+		faultRoot = root.Derive(faultStreamTag)
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -112,7 +136,7 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 		go func(track *grid.VisitSet) {
 			defer wg.Done()
 			var env Env
-			var src rng.Source
+			var src, faultSrc rng.Source
 			for !stop.Load() {
 				id := int(next.Add(1)) - 1
 				if id >= cfg.NumAgents {
@@ -123,14 +147,23 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 					hook = cfg.HookFactory(id)
 				}
 				root.DeriveInto(uint64(id), &src)
-				env.Reset(EnvConfig{
+				ec := EnvConfig{
 					Target:      cfg.Target,
 					HasTarget:   cfg.HasTarget,
+					Targets:     cfg.Targets,
+					World:       cfg.World,
 					MoveBudget:  cfg.MoveBudget,
 					Src:         &src,
 					TrackVisits: track,
 					Hook:        hook,
-				})
+				}
+				if faultRoot != nil {
+					faultRoot.DeriveInto(uint64(id), &faultSrc)
+					ec.CrashProb = cfg.Faults.CrashProb
+					ec.FaultSrc = &faultSrc
+					ec.StartDelaySteps = cfg.Faults.startDelay(&faultSrc)
+				}
+				env.Reset(ec)
 				if err := factory().Run(&env); err != nil && !errors.Is(err, ErrBudget) {
 					errOnce.Do(func() { runErr = fmt.Errorf("sim: agent %d: %w", id, err) })
 					stop.Store(true)
@@ -139,9 +172,10 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 				// The slot is owned by this worker: no other goroutine
 				// writes index id, and wg.Wait orders it before the reads.
 				res.Agents[id] = AgentResult{
-					Found: env.Found(),
-					Moves: movesOf(&env),
-					Steps: env.Steps(),
+					Found:   env.Found(),
+					Crashed: env.Crashed(),
+					Moves:   movesOf(&env),
+					Steps:   env.Steps(),
 				}
 			}
 		}(track)
