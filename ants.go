@@ -24,6 +24,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/scenario"
 	"repro/internal/search"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -322,3 +323,71 @@ func RunSweep(g SweepGrid, fn SweepPointFunc, opts SweepOptions) (*SweepReport, 
 func NewSweepCache(dir string) (*SweepCache, error) {
 	return sweep.NewCache(dir)
 }
+
+// Simulation service (the antsimd daemon core): a job queue, a bounded
+// worker pool reusing the sweep layer and its cache, per-job NDJSON/SSE
+// event streams, and result artifacts byte-identical to CLI runs. See
+// docs/API.md for the HTTP reference and DESIGN.md §7 for the design.
+type (
+	// Service is the daemon core: queue, worker pool, event logs,
+	// artifacts. Create with NewService, expose with Service.Handler,
+	// stop with Service.Close.
+	Service = service.Service
+	// ServiceConfig parameterizes a Service (worker count, queue depth,
+	// sweep cache directory, durable-artifact directory).
+	ServiceConfig = service.Config
+	// ServiceStats is the aggregate state served at /v1/stats (queue
+	// depth, jobs by state, points/sec, cache hit rate).
+	ServiceStats = service.Stats
+	// ServiceRoute is one entry of the service's HTTP route table.
+	ServiceRoute = service.Route
+	// ServiceClient is the Go client of the antsimd HTTP API.
+	ServiceClient = service.Client
+	// Job is the public record of one submitted job: normalized spec,
+	// lifecycle state, progress counters, timestamps.
+	Job = service.Job
+	// JobSpec describes one experiment job: a registered sweep or a
+	// single scenario configuration plus parameters.
+	JobSpec = service.JobSpec
+	// JobState is one station of the job lifecycle (queued → running →
+	// done | failed | cancelled).
+	JobState = service.JobState
+	// JobEvent is one entry of a job's append-only event log (state
+	// transitions and per-point progress).
+	JobEvent = service.Event
+	// JobEventStream is an open NDJSON event stream of one job; read it
+	// with Next until io.EOF.
+	JobEventStream = service.EventStream
+)
+
+// The job lifecycle states (see JobState).
+const (
+	JobQueued    = service.StateQueued
+	JobRunning   = service.StateRunning
+	JobDone      = service.StateDone
+	JobFailed    = service.StateFailed
+	JobCancelled = service.StateCancelled
+)
+
+// The job kinds accepted by JobSpec.Kind.
+const (
+	JobKindSweep    = service.KindSweep
+	JobKindScenario = service.KindScenario
+)
+
+// NewService builds and starts a simulation service: the worker pool is
+// running and Submit is immediately usable. Expose it over HTTP with
+// Service.Handler (the route table is ServiceRoutes).
+func NewService(cfg ServiceConfig) (*Service, error) {
+	return service.New(cfg)
+}
+
+// NewServiceClient returns a client for the antsimd daemon at baseURL
+// (e.g. "http://127.0.0.1:8080").
+func NewServiceClient(baseURL string) *ServiceClient {
+	return service.NewClient(baseURL)
+}
+
+// ServiceRoutes returns the service's HTTP route table — the endpoints
+// documented in docs/API.md.
+func ServiceRoutes() []ServiceRoute { return service.RouteTable() }

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/automata"
+	"repro/internal/cliutil"
 	"repro/internal/lowerbound"
 )
 
@@ -40,8 +41,12 @@ func run(args []string, out io.Writer) error {
 		d       = fs.Int64("d", 128, "distance D for the Theorem 4.1 quantities")
 		dump    = fs.Bool("dump", false, "print the machine's JSON spec and exit")
 	)
-	if err := fs.Parse(args); err != nil {
-		return err
+	cliutil.SetUsage(fs, "Applies the Section 4 machinery to one automaton: χ, recurrent classes, periods, drift lines, the Theorem 4.1 quantities, and the adversarial target placement",
+		"antanalyze -machine random-walk -d 128",
+		"antanalyze -machine drift-4bit -dump > my.json",
+		"antanalyze -spec my.json -d 256")
+	if ok, err := cliutil.Parse(fs, args); !ok {
+		return err // nil after -h: usage already printed, clean exit
 	}
 	if (*machine == "") == (*spec == "") {
 		return fmt.Errorf("specify exactly one of -machine or -spec")

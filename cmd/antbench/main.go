@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiment"
 )
 
@@ -37,8 +38,12 @@ func run(args []string, out io.Writer) error {
 		outDir   = fs.String("out", "", "also write one CSV file per table into this directory")
 		baseline = fs.String("baseline", "", "measure the simulation kernels and write a JSON perf snapshot to this path, then exit")
 	)
-	if err := fs.Parse(args); err != nil {
-		return err
+	cliutil.SetUsage(fs, "Regenerates the reproduction tables E1–E8, AB1–AB4, S1 and S2 (-quick, -csv, -out DIR); -baseline writes the kernel perf snapshot committed as BENCH_baseline.json",
+		"antbench -quick",
+		"antbench -run E1,E5 -csv",
+		"antbench -baseline BENCH_baseline.json")
+	if ok, err := cliutil.Parse(fs, args); !ok {
+		return err // nil after -h: usage already printed, clean exit
 	}
 
 	if *baseline != "" {

@@ -34,11 +34,10 @@ import (
 	"os"
 	"sync"
 
-	"repro/internal/baseline"
+	"repro/internal/cliutil"
 	"repro/internal/experiment"
 	"repro/internal/rng"
 	"repro/internal/scenario"
-	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -74,8 +73,12 @@ func run(args []string, out io.Writer) error {
 		resume   = fs.Bool("resume", false, "sweep mode: serve cached grid points instead of recomputing (requires -cache)")
 		outPfx   = fs.String("out", "", "sweep mode: write summary artifacts to <prefix>.json and <prefix>.csv")
 	)
-	if err := fs.Parse(args); err != nil {
-		return err
+	cliutil.SetUsage(fs, "Runs one multi-agent search configuration (algorithm, D, n, placement) and prints M_moves statistics plus the χ audit; -scenario re-runs it on any registered world/fault preset; -sweep runs a whole experiment grid with progress, caching and resume; -trace writes a JSONL event log",
+		"antsim -algo non-uniform -d 64 -n 16 -trials 20",
+		"antsim -scenario torus:l=48 -d 16 -n 8",
+		"antsim -sweep e1 -cache .sweepcache -resume -out e1_results")
+	if ok, err := cliutil.Parse(fs, args); !ok {
+		return err // nil after -h: usage already printed, clean exit
 	}
 	if *sweepID != "" {
 		if *scnSpec != "" {
@@ -103,13 +106,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	factory, audit, err := buildAlgorithm(*algo, *d, *n, *ell)
+	factory, audit, err := experiment.BuildAlgorithm(*algo, *d, *n, *ell)
 	if err != nil {
 		return err
 	}
 	moveBudget := *budget
 	if moveBudget == 0 {
-		moveBudget = uint64(*d) * uint64(*d) * 512
+		moveBudget = experiment.DefaultMoveBudget(*d)
 	}
 
 	cfg := sim.Config{
@@ -253,35 +256,6 @@ func parsePlacement(s string) (sim.Placement, error) {
 		return sim.PlaceUniformSphere, nil
 	default:
 		return 0, fmt.Errorf("unknown placement %q", s)
-	}
-}
-
-func buildAlgorithm(algo string, d int64, n int, ell uint) (sim.Factory, string, error) {
-	switch algo {
-	case "non-uniform":
-		prog, err := search.NewNonUniform(d, ell)
-		if err != nil {
-			return nil, "", err
-		}
-		return func() sim.Program { return prog }, prog.Audit().String(), nil
-	case "uniform":
-		prog, err := search.NewUniform(ell, n)
-		if err != nil {
-			return nil, "", err
-		}
-		return func() sim.Program { return prog }, prog.AuditForDistance(d).String(), nil
-	case "feinerman":
-		prog, err := baseline.NewFeinerman(n)
-		if err != nil {
-			return nil, "", err
-		}
-		return func() sim.Program { return prog }, prog.AuditForDistance(d).String(), nil
-	case "random-walk":
-		return baseline.RandomWalkFactory(), baseline.PureRandomWalk{}.Audit().String(), nil
-	case "spiral":
-		return baseline.SpiralFactory(), (baseline.Spiral{}).AuditForDistance(d).String(), nil
-	default:
-		return nil, "", fmt.Errorf("unknown algorithm %q", algo)
 	}
 }
 

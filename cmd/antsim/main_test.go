@@ -23,6 +23,13 @@ func TestRunNonUniform(t *testing.T) {
 	}
 }
 
+func TestHelpFlagIsCleanExit(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("run(-h) = %v, want nil (usage is not a failure)", err)
+	}
+}
+
 func TestRunEveryAlgorithm(t *testing.T) {
 	for _, algo := range []string{"non-uniform", "uniform", "feinerman", "random-walk", "spiral"} {
 		var out strings.Builder

@@ -1,0 +1,134 @@
+// Command antsimd is the simulation-as-a-service daemon: a long-running
+// HTTP/JSON server that accepts experiment jobs (registered sweeps or
+// single scenario configurations), executes them on a bounded worker pool
+// reusing the sweep layer's sharded runner and content-addressed cache,
+// streams per-point progress as NDJSON/SSE, and serves result artifacts
+// byte-identical to what the equivalent antsim invocation emits.
+//
+// Usage:
+//
+//	antsimd -addr 127.0.0.1:8080 -workers 2 -cache .sweepcache
+//	antsimd -addr 127.0.0.1:0 -addr-file antsimd.addr   # ephemeral port
+//	antsimd -routes                                      # print the route table
+//
+// See docs/API.md for the full endpoint reference and DESIGN.md §7 for the
+// service architecture. On SIGINT/SIGTERM the daemon drains: new
+// submissions are rejected, queued jobs are cancelled, and running jobs
+// get -shutdown-timeout to finish before being cancelled at their next
+// point boundary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "antsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("antsimd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		addrFile = fs.String("addr-file", "", "write the actual listen address to this file once bound")
+		workers  = fs.Int("workers", 2, "job worker pool size (concurrent jobs)")
+		queue    = fs.Int("queue", 64, "queued-job capacity; submissions beyond it get HTTP 503")
+		cacheDir = fs.String("cache", "", "content-addressed sweep-point cache directory (shared with antsim -cache)")
+		dataDir  = fs.String("data", "", "write every finished job's artifacts to this directory")
+		shutdown = fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget for running jobs")
+		routes   = fs.Bool("routes", false, "print the HTTP route table and exit")
+	)
+	cliutil.SetUsage(fs, "Serves experiment jobs over HTTP: queue, worker pool, NDJSON/SSE progress streams, durable artifacts (see docs/API.md)",
+		"antsimd -addr 127.0.0.1:8080 -workers 2 -cache .sweepcache",
+		"antsimd -routes")
+	if ok, err := cliutil.Parse(fs, args); !ok {
+		return err // nil after -h: usage already printed, clean exit
+	}
+	if *routes {
+		return printRoutes(out)
+	}
+
+	svc, err := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheDir:   *cacheDir,
+		DataDir:    *dataDir,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		_ = svc.Close(context.Background()) // stop the worker pool; no jobs yet
+		return err
+	}
+	actual := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(actual+"\n"), 0o644); err != nil {
+			ln.Close()
+			_ = svc.Close(context.Background())
+			return fmt.Errorf("write addr file: %w", err)
+		}
+	}
+	fmt.Fprintf(out, "antsimd: listening on http://%s (workers=%d queue=%d)\n", actual, *workers, *queue)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "antsimd: draining (timeout %s)\n", *shutdown)
+
+	// Drain the service first so running jobs finish and event streams
+	// reach their terminal event; only then shut the HTTP server down.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdown)
+	defer cancel()
+	closeErr := svc.Close(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil && closeErr == nil {
+		closeErr = err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) && closeErr == nil {
+		closeErr = err
+	}
+	if closeErr != nil {
+		return fmt.Errorf("shutdown: %w", closeErr)
+	}
+	fmt.Fprintln(out, "antsimd: drained, bye")
+	return nil
+}
+
+// printRoutes writes the HTTP route table, one endpoint per line.
+func printRoutes(out io.Writer) error {
+	width := 0
+	for _, r := range service.RouteTable() {
+		if n := len(r.Method) + 1 + len(r.Pattern); n > width {
+			width = n
+		}
+	}
+	for _, r := range service.RouteTable() {
+		fmt.Fprintf(out, "%-*s  %s\n", width, r.Method+" "+r.Pattern, r.Summary)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func TestRoutesFlagPrintsTable(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-routes"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, rt := range service.RouteTable() {
+		if !strings.Contains(got, rt.Method+" "+rt.Pattern) {
+			t.Errorf("route table output missing %s %s:\n%s", rt.Method, rt.Pattern, got)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-bogus"}, &out); err == nil {
+		t.Fatal("run(-bogus) = nil, want error")
+	}
+}
+
+func TestHelpFlagIsCleanExit(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-h"}, &out); err != nil {
+		t.Fatalf("run(-h) = %v, want nil (usage is not a failure)", err)
+	}
+}
+
+// TestDaemonEndToEnd boots the real daemon on an ephemeral port, drives a
+// job through the Go client, and shuts it down via context cancellation —
+// the same path SIGINT/SIGTERM take in main.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	dataDir := filepath.Join(dir, "data")
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-workers", "2",
+			"-cache", filepath.Join(dir, "cache"),
+			"-data", dataDir,
+			"-shutdown-timeout", "30s",
+		}, &out)
+	}()
+
+	// Wait for the daemon to bind and publish its address.
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = strings.TrimSpace(string(data))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		cancel()
+		t.Fatalf("daemon never wrote its address; output:\n%s", out.String())
+	}
+
+	client := service.NewClient("http://" + addr)
+	if err := client.Healthz(ctx); err != nil {
+		cancel()
+		t.Fatalf("healthz: %v", err)
+	}
+	job, err := client.Submit(ctx, service.JobSpec{
+		Kind: service.KindScenario, Scenario: "open", D: 8, N: 4, Trials: 2, Seed: 1,
+	})
+	if err != nil {
+		cancel()
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := client.Wait(ctx, job.ID)
+	if err != nil || final.State != service.StateDone {
+		cancel()
+		t.Fatalf("wait: %v, state %s (%s)", err, final.State, final.Error)
+	}
+	if _, err := client.Result(ctx, job.ID, "csv"); err != nil {
+		cancel()
+		t.Fatalf("result: %v", err)
+	}
+
+	// Graceful shutdown drains and exits cleanly.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit = %v; output:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	// Durable artifacts landed in the data dir.
+	for _, suffix := range []string{".json", ".csv"} {
+		if _, err := os.Stat(filepath.Join(dataDir, job.ID+suffix)); err != nil {
+			t.Errorf("durable artifact %s%s missing: %v", job.ID, suffix, err)
+		}
+	}
+	for _, want := range []string{"listening on http://", "draining", "drained, bye"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("daemon output missing %q:\n%s", want, out.String())
+		}
+	}
+}

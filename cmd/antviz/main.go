@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/automata"
+	"repro/internal/cliutil"
 	"repro/internal/lowerbound"
 	"repro/internal/rng"
 	"repro/internal/search"
@@ -44,8 +45,12 @@ func run(args []string, out io.Writer) error {
 		ray     = fs.Bool("ray", false, "overlay the machine's predicted drift rays")
 		density = fs.Bool("density", false, "render visit counts as a shaded density map")
 	)
-	if err := fs.Parse(args); err != nil {
-		return err
+	cliutil.SetUsage(fs, "Renders ASCII views of the search plane: coverage heat-maps, drift-ray overlays, single-agent trajectories",
+		"antviz -machine drift-4bit -d 24 -n 8",
+		"antviz -machine random-walk -d 24 -path",
+		"antviz -algo non-uniform -d 24 -n 8")
+	if ok, err := cliutil.Parse(fs, args); !ok {
+		return err // nil after -h: usage already printed, clean exit
 	}
 	if (*machine == "") == (*algo == "") {
 		return fmt.Errorf("specify exactly one of -machine or -algo")

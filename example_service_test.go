@@ -1,0 +1,110 @@
+package ants_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+
+	ants "repro"
+)
+
+// ExampleServiceClient submits an experiment job to an in-process
+// simulation service over real HTTP and fetches its deterministic result
+// artifact — the same flow as `curl` against a running antsimd daemon.
+func ExampleServiceClient() {
+	svc, err := ants.NewService(ants.ServiceConfig{Workers: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	client := ants.NewServiceClient(srv.URL)
+	job, err := client.Submit(ctx, ants.JobSpec{
+		Kind:     ants.JobKindScenario,
+		Scenario: "open",
+		Algo:     "non-uniform",
+		D:        8, N: 4, Trials: 2, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if job, err = client.Wait(ctx, job.ID); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("state:", job.State)
+
+	data, err := client.Result(ctx, job.ID, "json")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var result struct {
+		FoundFrac float64 `json:"found_frac"`
+	}
+	if err := json.Unmarshal(data, &result); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("found: %.0f%%\n", result.FoundFrac*100)
+	// Output:
+	// state: done
+	// found: 100%
+}
+
+// ExampleServiceClient_events streams a job's event log: the history
+// replays from the beginning, live events follow, and the stream ends at
+// the terminal state — no polling.
+func ExampleServiceClient_events() {
+	svc, err := ants.NewService(ants.ServiceConfig{Workers: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	client := ants.NewServiceClient(srv.URL)
+	job, err := client.Submit(ctx, ants.JobSpec{
+		Kind:     ants.JobKindScenario,
+		Scenario: "torus:l=24",
+		Algo:     "random-walk",
+		D:        8, N: 2, Trials: 2, Seed: 5,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	events, err := client.Events(ctx, job.ID)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer events.Close()
+	for {
+		ev, err := events.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if ev.Type == "state" {
+			fmt.Println("state:", ev.State)
+		}
+	}
+	// Output:
+	// state: queued
+	// state: running
+	// state: done
+}

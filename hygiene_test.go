@@ -1,6 +1,7 @@
 package ants_test
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -57,6 +58,115 @@ func TestPackageComments(t *testing.T) {
 		}
 		if !documented {
 			t.Errorf("package %s has no package comment on any of its files", dir)
+		}
+	}
+}
+
+// TestServiceDocCoverage audits godoc coverage of the service surface:
+// every exported identifier in internal/service and in the facade
+// (ants.go) — types, functions, methods, consts, vars, and exported
+// struct fields — must carry a doc comment. The service layer is the
+// documented wire surface of the project, so undocumented exports are
+// regressions, not style nits.
+func TestServiceDocCoverage(t *testing.T) {
+	var files []string
+	matches, err := filepath.Glob(filepath.Join("internal", "service", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if !strings.HasSuffix(m, "_test.go") {
+			files = append(files, m)
+		}
+	}
+	files = append(files, "ants.go")
+	if len(files) < 2 {
+		t.Fatalf("found only %d files to audit — is the test running from the repo root?", len(files))
+	}
+
+	fset := token.NewFileSet()
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		undocumented := func(pos token.Pos, kind, name string) {
+			t.Errorf("%s: exported %s %s has no doc comment", fset.Position(pos), kind, name)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue
+				}
+				if d.Doc == nil {
+					undocumented(d.Pos(), "func", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						if d.Doc == nil && sp.Doc == nil {
+							undocumented(sp.Pos(), "type", sp.Name.Name)
+						}
+						if st, ok := sp.Type.(*ast.StructType); ok {
+							auditFields(t, fset, sp.Name.Name, st)
+						}
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							if !name.IsExported() {
+								continue
+							}
+							if d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+								undocumented(name.Pos(), "const/var", name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the public surface).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// auditFields requires a doc or line comment on every exported field of an
+// exported struct.
+func auditFields(t *testing.T, fset *token.FileSet, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if field.Doc != nil || field.Comment != nil {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				t.Errorf("%s: exported field %s.%s has no doc comment",
+					fset.Position(name.Pos()), typeName, name.Name)
+			}
 		}
 	}
 }

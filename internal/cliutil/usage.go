@@ -1,0 +1,56 @@
+// Package cliutil carries the small shared pieces of the cmd/ binaries —
+// currently the uniform -h usage text, so every command presents the same
+// shape: a usage line, the README one-liner, examples, then the flag
+// defaults.
+package cliutil
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+)
+
+// Parse runs fs.Parse and reports whether the command should proceed:
+// -h/-help prints the usage installed by SetUsage and is a clean stop
+// (proceed false, err nil), not a failure. Any other parse error stops
+// with that error.
+func Parse(fs *flag.FlagSet, args []string) (proceed bool, err error) {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// SetUsage installs the repository's uniform usage text on a flag set:
+//
+//	usage: <name> [flags]
+//
+//	  <purpose>
+//
+//	examples:
+//	  <example>
+//	  ...
+//
+//	flags:
+//	  <flag defaults>
+//
+// purpose should be the command's one-line description (the same line the
+// README's command table carries); examples are complete invocations.
+func SetUsage(fs *flag.FlagSet, purpose string, examples ...string) {
+	fs.Usage = func() {
+		out := fs.Output()
+		fmt.Fprintf(out, "usage: %s [flags]\n\n  %s\n\n", fs.Name(), purpose)
+		if len(examples) > 0 {
+			fmt.Fprintln(out, "examples:")
+			for _, e := range examples {
+				fmt.Fprintf(out, "  %s\n", e)
+			}
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintln(out, "flags:")
+		fs.PrintDefaults()
+	}
+}

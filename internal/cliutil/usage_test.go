@@ -1,0 +1,63 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestSetUsageFormat(t *testing.T) {
+	fs := flag.NewFlagSet("anttool", flag.ContinueOnError)
+	fs.Int("n", 4, "number of agents")
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	SetUsage(fs, "does a thing", "anttool -n 8")
+	fs.Usage()
+
+	out := buf.String()
+	for _, want := range []string{
+		"usage: anttool [flags]",
+		"  does a thing",
+		"examples:",
+		"  anttool -n 8",
+		"flags:",
+		"-n int",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasPrefix(out, "usage: ") {
+		t.Errorf("usage output does not start with the usage line:\n%s", out)
+	}
+}
+
+func TestParse(t *testing.T) {
+	newFS := func() *flag.FlagSet {
+		fs := flag.NewFlagSet("anttool", flag.ContinueOnError)
+		fs.Int("n", 4, "number of agents")
+		fs.SetOutput(&bytes.Buffer{})
+		return fs
+	}
+	if ok, err := Parse(newFS(), []string{"-n", "8"}); !ok || err != nil {
+		t.Errorf("Parse(valid) = %v, %v; want true, nil", ok, err)
+	}
+	if ok, err := Parse(newFS(), []string{"-h"}); ok || err != nil {
+		t.Errorf("Parse(-h) = %v, %v; want false, nil (clean stop)", ok, err)
+	}
+	if ok, err := Parse(newFS(), []string{"-bogus"}); ok || err == nil {
+		t.Errorf("Parse(-bogus) = %v, %v; want false, error", ok, err)
+	}
+}
+
+func TestSetUsageNoExamples(t *testing.T) {
+	fs := flag.NewFlagSet("anttool", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	SetUsage(fs, "does a thing")
+	fs.Usage()
+	if strings.Contains(buf.String(), "examples:") {
+		t.Errorf("usage output has an examples section without examples:\n%s", buf.String())
+	}
+}

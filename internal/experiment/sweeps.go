@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -51,6 +52,14 @@ func LookupSweep(name string) (SweepSpec, error) {
 // may be nil; it receives one event per finished point from worker
 // goroutines.
 func RunSweep(sp SweepSpec, cfg Config, progress func(sweep.Progress)) ([]*Table, *sweep.Report, error) {
+	return RunSweepContext(context.Background(), sp, cfg, progress)
+}
+
+// RunSweepContext is RunSweep with cooperative cancellation: the sweep
+// stops claiming new grid points once ctx is done (see sweep.RunContext
+// for the exact granularity and cache guarantees). The service layer uses
+// it to cancel jobs and to drain on shutdown.
+func RunSweepContext(ctx context.Context, sp SweepSpec, cfg Config, progress func(sweep.Progress)) ([]*Table, *sweep.Report, error) {
 	opts := sweep.Options{
 		Seed: cfg.Seed,
 		// Sweep-level sharding is the parallelism: each point runs its
@@ -68,7 +77,7 @@ func RunSweep(sp SweepSpec, cfg Config, progress func(sweep.Progress)) ([]*Table
 		opts.Cache = cache
 		opts.Resume = cfg.Resume
 	}
-	rep, err := sweep.Run(sp.Grid(cfg), sp.Point, opts)
+	rep, err := sweep.RunContext(ctx, sp.Grid(cfg), sp.Point, opts)
 	if err != nil {
 		return nil, nil, err
 	}

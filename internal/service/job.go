@@ -1,0 +1,262 @@
+// Package service is the simulation-as-a-service layer behind cmd/antsimd:
+// a long-running daemon core that accepts experiment jobs over HTTP/JSON,
+// executes them on a bounded worker pool reusing the sweep orchestration
+// layer (internal/sweep) and its content-addressed cache, streams per-point
+// progress as NDJSON or SSE, and serves durable result artifacts that are
+// byte-identical to what the equivalent antsim CLI invocation emits.
+//
+// The moving parts:
+//
+//   - JobSpec names the work: a registered sweep (internal/experiment) or a
+//     single scenario configuration (internal/scenario) plus parameters.
+//   - Job is the lifecycle record: queued → running → done | failed |
+//     cancelled, with progress counters and timestamps.
+//   - Service owns the queue, the worker pool, the per-job event logs and
+//     the finished artifacts; Handler exposes it as an http.Handler over
+//     the routes in RouteTable.
+//   - Client is the Go client of that HTTP API, used by the tests, the
+//     facade examples and cmd/antsimd's smoke tooling.
+//
+// Determinism contract: a job's result artifacts are a function of its
+// normalized spec only — never of queue position, worker count, cache
+// state, or whether the job ran in a daemon or as a CLI invocation. The
+// CSV artifact is byte-stable; the JSON artifact additionally carries
+// timing and cache-provenance metadata (see DESIGN.md §7).
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/scenario"
+)
+
+// JobState is one station of the job lifecycle state machine.
+type JobState string
+
+// The job lifecycle states. Transitions: queued → running → done | failed;
+// queued → cancelled (cancel or shutdown before a worker claims the job);
+// running → cancelled (cancel or shutdown drain timeout — observed at the
+// next grid-point boundary for sweep jobs, by abandoning the in-flight
+// engine call for scenario jobs). done, failed and cancelled are terminal.
+const (
+	// StateQueued: accepted and waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: claimed by a worker and executing.
+	StateRunning JobState = "running"
+	// StateDone: finished successfully; artifacts are available.
+	StateDone JobState = "done"
+	// StateFailed: the kernel returned an error; Job.Error has it.
+	StateFailed JobState = "failed"
+	// StateCancelled: cancelled before completion (client cancel or
+	// daemon shutdown); no artifacts.
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final (done, failed or cancelled).
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job kinds accepted by JobSpec.Kind.
+const (
+	// KindSweep runs a registered experiment grid (internal/experiment)
+	// through the sweep layer, exactly like `antsim -sweep`.
+	KindSweep = "sweep"
+	// KindScenario runs one scenario configuration (internal/scenario),
+	// exactly like `antsim -scenario`.
+	KindScenario = "scenario"
+)
+
+// JobSpec describes one experiment job. Kind selects which of the two
+// families the spec names; the remaining fields parameterize it. The zero
+// values of the optional fields are filled in by Normalize with the same
+// defaults the antsim CLI uses, so a spec submitted over the wire and the
+// equivalent CLI invocation describe identical computations.
+type JobSpec struct {
+	// Kind is KindSweep or KindScenario.
+	Kind string `json:"kind"`
+
+	// Sweep is the registered sweep id ("e1", "e5", "s1", "s2"); KindSweep
+	// only.
+	Sweep string `json:"sweep,omitempty"`
+	// Quick shrinks the sweep's grid and trial counts (antsim -quick);
+	// KindSweep only.
+	Quick bool `json:"quick,omitempty"`
+
+	// Scenario is the scenario spec string ("torus:l=48", "crash", ...);
+	// KindScenario only.
+	Scenario string `json:"scenario,omitempty"`
+	// Algo names the algorithm to run on the scenario (see
+	// experiment.AlgorithmNames; default "non-uniform"); KindScenario only.
+	Algo string `json:"algo,omitempty"`
+	// D is the nominal target distance (default 64); KindScenario only.
+	D int64 `json:"d,omitempty"`
+	// N is the agent count (default 4); KindScenario only.
+	N int `json:"n,omitempty"`
+	// Ell is the base-coin precision ℓ (default 1); KindScenario only.
+	Ell uint `json:"ell,omitempty"`
+	// Budget is the per-agent move budget (default 512·D²); KindScenario
+	// only.
+	Budget uint64 `json:"budget,omitempty"`
+	// Trials is the number of independent trials (default 20);
+	// KindScenario only.
+	Trials int `json:"trials,omitempty"`
+
+	// Seed is the root random seed (default 0; pass the CLI's -seed value
+	// to reproduce a CLI run).
+	Seed uint64 `json:"seed"`
+	// Workers bounds the job's internal concurrency: sweep-point shards
+	// for KindSweep, engine workers for KindScenario (0 = GOMAXPROCS).
+	// Results never depend on it.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Normalize fills the spec's zero-valued optional fields with the antsim
+// CLI defaults, so that validation, execution and the stored job record
+// all see the same fully explicit spec. Seed is the one exception: 0 is a
+// valid seed and stays 0 (the CLI's -seed flag defaults to 1), so
+// reproducing a CLI run requires passing its seed explicitly.
+func (s *JobSpec) Normalize() {
+	if s.Kind == KindScenario {
+		if s.Algo == "" {
+			s.Algo = "non-uniform"
+		}
+		if s.D == 0 {
+			s.D = 64
+		}
+		if s.N == 0 {
+			s.N = 4
+		}
+		if s.Ell == 0 {
+			s.Ell = 1
+		}
+		if s.Trials == 0 {
+			s.Trials = 20
+		}
+		if s.Budget == 0 {
+			s.Budget = experiment.DefaultMoveBudget(s.D)
+		}
+	}
+}
+
+// Validate checks the (normalized) spec against the registries it names:
+// the sweep id must be registered in internal/experiment, the scenario
+// spec must build in internal/scenario, and the algorithm name must
+// resolve. It reports the first problem found.
+func (s JobSpec) Validate() error {
+	switch s.Kind {
+	case KindSweep:
+		if s.Sweep == "" {
+			return fmt.Errorf("service: sweep job needs a sweep id")
+		}
+		if _, err := experiment.LookupSweep(s.Sweep); err != nil {
+			return err
+		}
+		if s.Scenario != "" || s.Algo != "" || s.D != 0 || s.N != 0 || s.Ell != 0 || s.Budget != 0 || s.Trials != 0 {
+			return fmt.Errorf("service: sweep job sets scenario-only fields")
+		}
+	case KindScenario:
+		if s.Scenario == "" {
+			return fmt.Errorf("service: scenario job needs a scenario spec (e.g. %q)", "open")
+		}
+		if s.Sweep != "" || s.Quick {
+			return fmt.Errorf("service: scenario job sets sweep-only fields")
+		}
+		if s.D < 1 {
+			return fmt.Errorf("service: scenario job needs d ≥ 1, got %d", s.D)
+		}
+		if s.N < 1 {
+			return fmt.Errorf("service: scenario job needs n ≥ 1, got %d", s.N)
+		}
+		if s.Trials < 1 {
+			return fmt.Errorf("service: scenario job needs trials ≥ 1, got %d", s.Trials)
+		}
+		if _, err := scenario.Build(s.Scenario, s.D); err != nil {
+			return err
+		}
+		if _, _, err := experiment.BuildAlgorithm(s.Algo, s.D, s.N, s.Ell); err != nil {
+			return err
+		}
+	case "":
+		return fmt.Errorf("service: job spec needs a kind (%q or %q)", KindSweep, KindScenario)
+	default:
+		return fmt.Errorf("service: unknown job kind %q (valid: %q, %q)", s.Kind, KindSweep, KindScenario)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("service: workers must be ≥ 0, got %d", s.Workers)
+	}
+	return nil
+}
+
+// Job is the public record of one submitted job: the normalized spec, the
+// lifecycle state, progress counters and timestamps. Values returned by
+// the Service and the Client are snapshots — they do not change after
+// being handed out.
+type Job struct {
+	// ID is the service-assigned job id ("j000001", ...).
+	ID string `json:"id"`
+	// Spec is the normalized job spec.
+	Spec JobSpec `json:"spec"`
+	// State is the lifecycle state at snapshot time.
+	State JobState `json:"state"`
+	// Error holds the failure (or cancellation) message for terminal
+	// failed/cancelled states.
+	Error string `json:"error,omitempty"`
+	// Done counts finished work units: grid points for sweep jobs, trials
+	// for scenario jobs.
+	Done int `json:"done"`
+	// Total is the job's total work units, set when the job starts
+	// running (0 while queued).
+	Total int `json:"total"`
+	// CacheHits counts the sweep points served from the content-addressed
+	// cache (always 0 for scenario jobs).
+	CacheHits int `json:"cache_hits"`
+	// CreatedAt timestamps the submission.
+	CreatedAt time.Time `json:"created_at"`
+	// StartedAt timestamps the queued → running transition (zero until
+	// then).
+	StartedAt time.Time `json:"started_at,omitzero"`
+	// FinishedAt timestamps the transition to a terminal state (zero
+	// until then).
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+}
+
+// Event types delivered on a job's event stream.
+const (
+	// EventState announces a lifecycle transition; Event.State has the
+	// new state and, for terminal failures, Event.Error the message.
+	EventState = "state"
+	// EventPoint announces one finished work unit (a sweep grid point),
+	// with Done/Total progress counters.
+	EventPoint = "point"
+)
+
+// Event is one entry of a job's append-only event log. Streams replay the
+// log from the beginning and then follow it live, so a late subscriber
+// sees exactly the same sequence as an early one.
+type Event struct {
+	// Seq is the event's position in the job's log, starting at 0.
+	Seq int `json:"seq"`
+	// Job is the owning job's id.
+	Job string `json:"job"`
+	// Type is EventState or EventPoint.
+	Type string `json:"type"`
+	// State carries the new lifecycle state for EventState events.
+	State JobState `json:"state,omitempty"`
+	// Error carries the failure message of terminal failed/cancelled
+	// EventState events.
+	Error string `json:"error,omitempty"`
+	// Done carries the finished-work-unit counter for EventPoint events.
+	// Under parallel sweep shards, consecutive log entries may carry
+	// out-of-order counters; the job record's Done is monotonic.
+	Done int `json:"done,omitempty"`
+	// Total carries the total-work-unit counter for EventPoint events.
+	Total int `json:"total,omitempty"`
+	// Point renders the finished grid point ("D=8 n=4") for EventPoint
+	// events.
+	Point string `json:"point,omitempty"`
+	// Cached reports whether the point was served from the sweep cache.
+	Cached bool `json:"cached,omitempty"`
+}

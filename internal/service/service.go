@@ -1,0 +1,584 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// Sentinel errors of the service API. The HTTP layer maps them to status
+// codes (see writeError in http.go).
+var (
+	// ErrNotFound: no job with that id.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrNotDone: the job has no result artifacts (yet or ever).
+	ErrNotDone = errors.New("service: job has no result (not done)")
+	// ErrTerminal: the job already reached a terminal state.
+	ErrTerminal = errors.New("service: job already terminal")
+	// ErrQueueFull: the submission queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed: the service is draining or closed and accepts no new jobs.
+	ErrClosed = errors.New("service: shutting down")
+	// ErrBadFormat: the requested artifact format is not "json" or "csv".
+	ErrBadFormat = errors.New(`service: artifact format must be "json" or "csv"`)
+	// ErrInvalidSpec wraps a job-spec validation failure (HTTP 400).
+	ErrInvalidSpec = errors.New("service: invalid job spec")
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers is the job worker pool size — how many jobs execute
+	// concurrently (default 2). Each job additionally fans out internally
+	// per its spec's Workers field.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64); submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// CacheDir, when non-empty, roots the content-addressed sweep-point
+	// cache shared by every sweep job (and by CLI runs pointed at the
+	// same directory). Sweep jobs then resume: previously computed points
+	// are served from disk.
+	CacheDir string
+	// DataDir, when non-empty, makes results durable: every finished
+	// job's artifacts are also written to <DataDir>/<jobID>.json and
+	// .csv.
+	DataDir string
+}
+
+// Stats is the service's aggregate state, served at /v1/stats.
+type Stats struct {
+	// UptimeSec is the seconds since the service started.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Workers is the configured worker pool size.
+	Workers int `json:"workers"`
+	// QueueDepth is the number of jobs queued and not yet claimed.
+	QueueDepth int `json:"queue_depth"`
+	// Queued counts jobs waiting for a worker.
+	Queued int `json:"queued"`
+	// Running counts jobs currently executing.
+	Running int `json:"running"`
+	// Done counts jobs finished successfully.
+	Done int `json:"done"`
+	// Failed counts jobs that ended with a kernel error.
+	Failed int `json:"failed"`
+	// Cancelled counts jobs cancelled by a client or by shutdown.
+	Cancelled int `json:"cancelled"`
+	// PointsDone counts finished sweep grid points since start.
+	PointsDone int64 `json:"points_done"`
+	// PointsPerSec is PointsDone over the uptime.
+	PointsPerSec float64 `json:"points_per_sec"`
+	// CacheHits counts the points served from the sweep cache.
+	CacheHits int64 `json:"cache_hits"`
+	// CacheHitRate is CacheHits/PointsDone (0 when no points ran).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Draining reports that Close has begun: no new jobs are accepted.
+	Draining bool `json:"draining"`
+}
+
+// Service is the daemon core: a bounded job queue, a worker pool that
+// executes jobs through the sweep and simulation layers, per-job event
+// logs, and finished artifacts. Create one with New, expose it with
+// Handler, stop it with Close. All methods are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	store *store
+
+	// The queue is a FIFO deque guarded by qmu rather than a buffered
+	// channel: cancelling a queued job must free its capacity slot
+	// immediately, which a channel cannot do (the tombstone would occupy
+	// the buffer until a worker drains it). qlive counts the queued,
+	// not-yet-terminal records — the number capacity checks and
+	// Stats.QueueDepth report; qitems may additionally hold tombstones
+	// of jobs cancelled while queued, which workers skip.
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	qitems  []*record
+	qlive   int
+	qclosed bool
+
+	sealMu sync.RWMutex // guards sealed vs. submissions
+	sealed bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	start      time.Time
+
+	pointsDone   atomic.Int64
+	pointsCached atomic.Int64
+
+	// execute runs one claimed job and returns its artifacts; tests
+	// substitute a controllable fake to exercise the lifecycle machinery.
+	execute func(ctx context.Context, rec *record) (jsonArtifact, csvArtifact []byte, err error)
+}
+
+// New builds and starts a Service: the worker pool is running and Submit
+// is immediately usable.
+func New(cfg Config) (*Service, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheDir != "" {
+		if _, err := sweep.NewCache(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: create data dir: %w", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		store:      newStore(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		start:      time.Now(),
+	}
+	s.qcond = sync.NewCond(&s.qmu)
+	s.execute = s.executeJob
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit normalizes and validates the spec, registers a queued job, and
+// hands it to the worker pool. It returns the job snapshot (state queued),
+// an ErrInvalidSpec-wrapped validation error, ErrClosed when the service
+// is draining, or ErrQueueFull at capacity.
+func (s *Service) Submit(spec JobSpec) (Job, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	s.sealMu.RLock()
+	defer s.sealMu.RUnlock()
+	if s.sealed {
+		return Job{}, ErrClosed
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	// Capacity counts live queued jobs only — a rejected submission is
+	// never registered, so it is never transiently visible in the store.
+	if s.qlive >= s.cfg.QueueDepth {
+		return Job{}, ErrQueueFull
+	}
+	rec := s.store.add(spec, time.Now())
+	s.qitems = append(s.qitems, rec)
+	s.qlive++
+	s.qcond.Signal()
+	return rec.snapshot(), nil
+}
+
+// queuedGone releases one live-queued slot: the record left the queued
+// state (a worker claimed it, or it was cancelled while waiting).
+func (s *Service) queuedGone() {
+	s.qmu.Lock()
+	s.qlive--
+	s.qmu.Unlock()
+}
+
+// pop blocks until a record is available (possibly a tombstone of a job
+// cancelled while queued, which the caller skips) or the queue is closed
+// and drained.
+func (s *Service) pop() (*record, bool) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for len(s.qitems) == 0 {
+		if s.qclosed {
+			return nil, false
+		}
+		s.qcond.Wait()
+	}
+	rec := s.qitems[0]
+	s.qitems[0] = nil
+	s.qitems = s.qitems[1:]
+	return rec, true
+}
+
+// Job returns a snapshot of the job with the given id.
+func (s *Service) Job(id string) (Job, error) {
+	rec, ok := s.store.get(id)
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return rec.snapshot(), nil
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Service) Jobs() []Job { return s.store.list() }
+
+// Cancel requests cancellation of a job. A queued job transitions to
+// cancelled immediately; a running job is cancelled asynchronously at its
+// next point boundary (watch the event stream for the terminal state). It
+// returns ErrTerminal when the job already finished.
+func (s *Service) Cancel(id string) (Job, error) {
+	rec, ok := s.store.get(id)
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	rec.mu.Lock()
+	switch {
+	case rec.job.State == StateQueued:
+		rec.setStateLocked(StateCancelled, "cancelled while queued", time.Now())
+		s.queuedGone() // free the capacity slot right away
+	case rec.job.State == StateRunning:
+		if rec.cancelFn != nil {
+			rec.cancelFn()
+		}
+	default:
+		rec.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: %s is %s", ErrTerminal, id, rec.job.State)
+	}
+	job := rec.job
+	rec.mu.Unlock()
+	return job, nil
+}
+
+// Artifact returns a finished job's result artifact in the given format
+// ("json" or "csv"). It returns ErrNotDone until the job reaches the done
+// state.
+func (s *Service) Artifact(id, format string) ([]byte, error) {
+	rec, ok := s.store.get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.job.State != StateDone {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, rec.job.State)
+	}
+	switch format {
+	case "", "json":
+		return rec.artifactJSON, nil
+	case "csv":
+		return rec.artifactCSV, nil
+	default:
+		return nil, fmt.Errorf("%w, got %q", ErrBadFormat, format)
+	}
+}
+
+// Stats returns the service's aggregate state.
+func (s *Service) Stats() Stats {
+	s.qmu.Lock()
+	depth := s.qlive
+	s.qmu.Unlock()
+	st := Stats{
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Workers:    s.cfg.Workers,
+		QueueDepth: depth,
+		PointsDone: s.pointsDone.Load(),
+		CacheHits:  s.pointsCached.Load(),
+	}
+	st.Draining = s.draining()
+	for _, j := range s.store.list() {
+		switch j.State {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
+	}
+	if st.UptimeSec > 0 {
+		st.PointsPerSec = float64(st.PointsDone) / st.UptimeSec
+	}
+	if st.PointsDone > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(st.PointsDone)
+	}
+	return st
+}
+
+// draining reports whether Close has begun.
+func (s *Service) draining() bool {
+	s.sealMu.RLock()
+	defer s.sealMu.RUnlock()
+	return s.sealed
+}
+
+// Close drains the service: new submissions are rejected, still-queued
+// jobs are cancelled, and running jobs are given until ctx's deadline to
+// finish. If the deadline strikes first, running jobs are cancelled at
+// their next point boundary (the sweep cache stays consistent — entries
+// commit atomically per point) and Close returns ctx's error; otherwise it
+// returns nil. Close is idempotent.
+func (s *Service) Close(ctx context.Context) error {
+	s.sealMu.Lock()
+	s.sealed = true
+	s.sealMu.Unlock()
+
+	// Cancel everything still waiting in the queue; workers skip the
+	// tombstones while draining.
+	for _, j := range s.store.list() {
+		if j.State == StateQueued {
+			if rec, ok := s.store.get(j.ID); ok {
+				rec.mu.Lock()
+				if rec.job.State == StateQueued {
+					rec.setStateLocked(StateCancelled, "cancelled by shutdown", time.Now())
+					s.queuedGone()
+				}
+				rec.mu.Unlock()
+			}
+		}
+	}
+	s.qmu.Lock()
+	if !s.qclosed {
+		s.qclosed = true
+		s.qcond.Broadcast()
+	}
+	s.qmu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.baseCancel()
+	<-done
+	return ctx.Err()
+}
+
+// worker claims jobs off the queue until it closes and drains.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		rec, ok := s.pop()
+		if !ok {
+			return
+		}
+		s.runOne(rec)
+	}
+}
+
+// runOne drives one claimed record through the lifecycle: running, then
+// done/failed/cancelled depending on the executor's outcome.
+func (s *Service) runOne(rec *record) {
+	rec.mu.Lock()
+	if rec.job.State != StateQueued { // tombstone: cancelled while queued
+		rec.mu.Unlock()
+		return
+	}
+	s.queuedGone() // the record leaves the queued population
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	rec.cancelFn = cancel
+	rec.setStateLocked(StateRunning, "", time.Now())
+	id := rec.job.ID
+	rec.mu.Unlock()
+	defer cancel()
+
+	jsonB, csvB, err := s.execute(ctx, rec)
+
+	rec.mu.Lock()
+	switch {
+	case err != nil && ctx.Err() != nil:
+		rec.setStateLocked(StateCancelled, err.Error(), time.Now())
+	case err != nil:
+		rec.setStateLocked(StateFailed, err.Error(), time.Now())
+	default:
+		rec.artifactJSON, rec.artifactCSV = jsonB, csvB
+		rec.setStateLocked(StateDone, "", time.Now())
+	}
+	st := rec.job.State
+	rec.mu.Unlock()
+
+	if st == StateDone && s.cfg.DataDir != "" {
+		// Durability is best-effort: the in-memory artifact already
+		// serves /result, so a full disk only costs the on-disk copy.
+		_ = os.WriteFile(filepath.Join(s.cfg.DataDir, id+".json"), jsonB, 0o644)
+		_ = os.WriteFile(filepath.Join(s.cfg.DataDir, id+".csv"), csvB, 0o644)
+	}
+}
+
+// executeJob is the real executor: it dispatches on the spec kind and
+// returns the JSON and CSV artifacts.
+func (s *Service) executeJob(ctx context.Context, rec *record) ([]byte, []byte, error) {
+	spec := rec.snapshot().Spec
+	switch spec.Kind {
+	case KindSweep:
+		return s.executeSweep(ctx, rec, spec)
+	case KindScenario:
+		return s.executeScenario(ctx, rec, spec)
+	default:
+		return nil, nil, fmt.Errorf("service: unknown job kind %q", spec.Kind)
+	}
+}
+
+// executeSweep runs a registered sweep exactly like `antsim -sweep`: same
+// config derivation, same Summary artifacts. With a CacheDir the run
+// resumes from previously computed points; cache provenance shows up in
+// the JSON artifact's metadata but never changes the CSV bytes.
+func (s *Service) executeSweep(ctx context.Context, rec *record, spec JobSpec) ([]byte, []byte, error) {
+	sp, err := experiment.LookupSweep(spec.Sweep)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := experiment.Config{
+		Seed:     spec.Seed,
+		Quick:    spec.Quick,
+		Workers:  spec.Workers,
+		CacheDir: s.cfg.CacheDir,
+		Resume:   s.cfg.CacheDir != "",
+	}
+	rec.setTotal(sp.Grid(cfg).Size())
+	progress := func(p sweep.Progress) {
+		s.pointsDone.Add(1)
+		if p.Cached {
+			s.pointsCached.Add(1)
+		}
+		rec.progress(p.Done, p.Total, p.Point.String(), p.Cached)
+	}
+	_, rep, err := experiment.RunSweepContext(ctx, sp, cfg, progress)
+	if err != nil {
+		return nil, nil, err
+	}
+	sum := rep.Summary()
+	jsonB, err := sum.JSON()
+	if err != nil {
+		return nil, nil, err
+	}
+	return jsonB, []byte(sum.CSV()), nil
+}
+
+// scenarioArtifactSchemaVersion versions the scenario-job artifact layout.
+const scenarioArtifactSchemaVersion = 1
+
+// scenarioArtifact is the JSON result of a scenario job. Every field is a
+// deterministic function of the normalized spec; there is no timing, so
+// the JSON (and the derived CSV) is byte-stable across runs, hosts and
+// worker counts.
+type scenarioArtifact struct {
+	SchemaVersion int     `json:"schema_version"`
+	Spec          JobSpec `json:"spec"`
+	Scenario      string  `json:"scenario"` // canonical spec string
+	World         string  `json:"world"`
+	Targets       int     `json:"targets"`
+	Audit         string  `json:"audit"`
+	FoundFrac     float64 `json:"found_frac"`
+	Samples       int     `json:"samples"`
+	MeanMoves     float64 `json:"mean_moves"`
+	CI95Moves     float64 `json:"ci95_moves"`
+	MedianMoves   float64 `json:"median_moves"`
+	MinMoves      float64 `json:"min_moves"`
+	MaxMoves      float64 `json:"max_moves"`
+}
+
+// executeScenario runs one scenario configuration exactly like
+// `antsim -scenario`: scenario overlay on a sim.Config, RunTrials, and a
+// deterministic summary artifact. Scenario jobs have no per-point
+// progress (trials run inside one engine call); cancellation abandons
+// the in-flight engine call — the goroutine finishes in the background
+// and its result is discarded — so shutdown never blocks on it.
+func (s *Service) executeScenario(ctx context.Context, rec *record, spec JobSpec) ([]byte, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	scn, err := scenario.Build(spec.Scenario, spec.D)
+	if err != nil {
+		return nil, nil, err
+	}
+	factory, audit, err := experiment.BuildAlgorithm(spec.Algo, spec.D, spec.N, spec.Ell)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := scn.Apply(sim.Config{
+		NumAgents:  spec.N,
+		MoveBudget: spec.Budget,
+		Workers:    spec.Workers,
+	})
+	rec.setTotal(spec.Trials)
+	type trialsOutcome struct {
+		st  *sim.TrialStats
+		err error
+	}
+	outcome := make(chan trialsOutcome, 1) // buffered: an abandoned run must not leak its goroutine
+	go func() {
+		st, err := sim.RunTrials(cfg, factory, spec.Trials, spec.Seed)
+		outcome <- trialsOutcome{st, err}
+	}()
+	var st *sim.TrialStats
+	select {
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	case out := <-outcome:
+		if out.err != nil {
+			return nil, nil, out.err
+		}
+		st = out.st
+	}
+	art := scenarioArtifact{
+		SchemaVersion: scenarioArtifactSchemaVersion,
+		Spec:          spec,
+		Scenario:      scn.Spec,
+		World:         scn.WorldName(),
+		Targets:       len(scn.Targets),
+		Audit:         audit,
+		FoundFrac:     st.FoundFrac,
+	}
+	if len(st.Moves) > 0 {
+		sum, err := stats.Summarize(st.Moves)
+		if err != nil {
+			return nil, nil, err
+		}
+		art.Samples = sum.N
+		art.MeanMoves = sum.Mean
+		art.CI95Moves = sum.CI95
+		art.MedianMoves = sum.Median
+		art.MinMoves = sum.Min
+		art.MaxMoves = sum.Max
+	}
+	rec.progress(spec.Trials, spec.Trials, "trials="+strconv.Itoa(spec.Trials), false)
+	jsonB, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return nil, nil, err
+	}
+	jsonB = append(jsonB, '\n')
+	return jsonB, []byte(scenarioCSV(art)), nil
+}
+
+// scenarioCSV renders a scenario artifact as a one-row CSV using the
+// sweep layer's shared quoting and float-format rules — a canonical
+// scenario spec like "torus:crash=0.1,l=48" contains commas and must be
+// quoted.
+func scenarioCSV(a scenarioArtifact) string {
+	var b strings.Builder
+	b.WriteString("scenario,world,targets,found_frac,samples,mean,ci95,median,min,max\n")
+	fmt.Fprintf(&b, "%s,%s,%d,%s,%d,%s,%s,%s,%s,%s\n",
+		sweep.CSVField(a.Scenario), sweep.CSVField(a.World), a.Targets,
+		sweep.CSVFloat(a.FoundFrac), a.Samples,
+		sweep.CSVFloat(a.MeanMoves),
+		sweep.CSVFloat(a.CI95Moves),
+		sweep.CSVFloat(a.MedianMoves),
+		sweep.CSVFloat(a.MinMoves),
+		sweep.CSVFloat(a.MaxMoves))
+	return b.String()
+}

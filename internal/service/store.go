@@ -1,0 +1,150 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// record is the service-internal state of one job: the mutable Job
+// snapshot, the append-only event log with its waiters, the artifacts, and
+// the running job's cancel function. All fields are guarded by mu.
+type record struct {
+	mu       sync.Mutex
+	job      Job
+	events   []Event
+	waiters  []chan struct{} // closed and cleared on every append
+	cancelFn context.CancelFunc
+
+	artifactJSON []byte
+	artifactCSV  []byte
+}
+
+// snapshot returns a copy of the job record safe to hand out.
+func (r *record) snapshot() Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.job
+}
+
+// appendLocked adds an event to the log (stamping Seq and Job) and wakes
+// every stream waiting for new entries. Callers hold r.mu.
+func (r *record) appendLocked(ev Event) {
+	ev.Seq = len(r.events)
+	ev.Job = r.job.ID
+	r.events = append(r.events, ev)
+	for _, w := range r.waiters {
+		close(w)
+	}
+	r.waiters = r.waiters[:0]
+}
+
+// setStateLocked transitions the job and logs the matching EventState
+// entry, stamping the lifecycle timestamps. Callers hold r.mu and are
+// responsible for the transition being legal.
+func (r *record) setStateLocked(st JobState, errMsg string, now time.Time) {
+	r.job.State = st
+	r.job.Error = errMsg
+	switch {
+	case st == StateRunning:
+		r.job.StartedAt = now
+	case st.Terminal():
+		r.job.FinishedAt = now
+	}
+	r.appendLocked(Event{Type: EventState, State: st, Error: errMsg})
+}
+
+// setTotal records the job's total work units, announced as soon as the
+// job starts so pollers can render done/total before the first unit
+// finishes.
+func (r *record) setTotal(total int) {
+	r.mu.Lock()
+	r.job.Total = total
+	r.mu.Unlock()
+}
+
+// progress logs one finished work unit and updates the job's counters.
+// Parallel sweep shards race between claiming a Done number and reaching
+// this method, so the job's counter takes the max — it must never move
+// backwards even when the log entries interleave out of claim order.
+func (r *record) progress(done, total int, point string, cached bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if done > r.job.Done {
+		r.job.Done = done
+	}
+	r.job.Total = total
+	if cached {
+		r.job.CacheHits++
+	}
+	r.appendLocked(Event{Type: EventPoint, Done: done, Total: total, Point: point, Cached: cached})
+}
+
+// eventsFrom returns the log entries at index ≥ from, whether the job is
+// terminal, and — when there is nothing new yet — a channel closed on the
+// next append. Streams loop on it: drain, deliver, wait, repeat.
+func (r *record) eventsFrom(from int) (evs []Event, terminal bool, wait <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if from < len(r.events) {
+		return r.events[from:len(r.events):len(r.events)], r.job.State.Terminal(), nil
+	}
+	if r.job.State.Terminal() {
+		return nil, true, nil
+	}
+	w := make(chan struct{})
+	r.waiters = append(r.waiters, w)
+	return nil, false, w
+}
+
+// store is the concurrency-safe job table: id allocation, lookup, and
+// ordered listing. Records are never removed — the daemon's job history is
+// its in-memory log for the life of the process.
+type store struct {
+	mu     sync.RWMutex
+	jobs   map[string]*record
+	order  []string
+	nextID int
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*record)}
+}
+
+// add allocates an id, registers a queued record for spec, and returns it.
+func (st *store) add(spec JobSpec, now time.Time) *record {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.nextID++
+	id := fmt.Sprintf("j%06d", st.nextID)
+	rec := &record{job: Job{ID: id, Spec: spec, State: StateQueued, CreatedAt: now}}
+	rec.events = append(rec.events, Event{Seq: 0, Job: id, Type: EventState, State: StateQueued})
+	st.jobs[id] = rec
+	st.order = append(st.order, id)
+	return rec
+}
+
+// get looks a record up by id.
+func (st *store) get(id string) (*record, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	rec, ok := st.jobs[id]
+	return rec, ok
+}
+
+// list returns snapshots of every job in submission order.
+func (st *store) list() []Job {
+	st.mu.RLock()
+	ids := append([]string(nil), st.order...)
+	recs := make([]*record, len(ids))
+	for i, id := range ids {
+		recs[i] = st.jobs[id]
+	}
+	st.mu.RUnlock()
+	jobs := make([]Job, len(recs))
+	for i, rec := range recs {
+		jobs[i] = rec.snapshot()
+	}
+	return jobs
+}

@@ -140,12 +140,12 @@ func (s *Summary) CSV() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(csvField(a.Name))
+		b.WriteString(CSVField(a.Name))
 	}
 	b.WriteString(",samples,mean,ci95,median,min,max")
 	for _, c := range cols {
 		b.WriteByte(',')
-		b.WriteString(csvField(c))
+		b.WriteString(CSVField(c))
 	}
 	b.WriteByte('\n')
 	for _, row := range s.Rows {
@@ -153,15 +153,15 @@ func (s *Summary) CSV() string {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			b.WriteString(csvField(p.Value))
+			b.WriteString(CSVField(p.Value))
 		}
 		fmt.Fprintf(&b, ",%d,%s,%s,%s,%s,%s",
-			row.N, csvFloat(row.Mean), csvFloat(row.CI95), csvFloat(row.Median),
-			csvFloat(row.Min), csvFloat(row.Max))
+			row.N, CSVFloat(row.Mean), CSVFloat(row.CI95), CSVFloat(row.Median),
+			CSVFloat(row.Min), CSVFloat(row.Max))
 		for _, c := range cols {
 			b.WriteByte(',')
 			if v, ok := row.Values[c]; ok {
-				b.WriteString(csvFloat(v))
+				b.WriteString(CSVFloat(v))
 			}
 		}
 		b.WriteByte('\n')
@@ -169,18 +169,19 @@ func (s *Summary) CSV() string {
 	return b.String()
 }
 
-// csvField quotes a field per RFC 4180 when it contains a comma, quote or
-// newline.
-func csvField(s string) string {
+// CSVField quotes a field per RFC 4180 when it contains a comma, quote or
+// newline. It is exported so every CSV artifact in the repository (sweep
+// summaries, the service's scenario artifacts) shares one quoting rule.
+func CSVField(s string) string {
 	if !strings.ContainsAny(s, ",\"\n") {
 		return s
 	}
 	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
-// csvFloat renders a float compactly and losslessly ('g', shortest
-// round-trip form).
-func csvFloat(v float64) string {
+// CSVFloat renders a float compactly and losslessly ('g', shortest
+// round-trip form) — the shared number format of every CSV artifact.
+func CSVFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 

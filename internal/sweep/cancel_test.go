@@ -1,0 +1,91 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunContextCancelStopsAtPointBoundary cancels a run from its own
+// progress callback and checks the contract: the run reports the context
+// error, no further points are claimed, and already-computed points are in
+// the cache so a resume run finishes the remainder.
+func TestRunContextCancelStopsAtPointBoundary(t *testing.T) {
+	g := Grid{
+		Name:    "cancel-grid",
+		Version: 1,
+		Axes:    []Axis{IntAxis("x", 1, 2, 3, 4, 5, 6)},
+		Trials:  1,
+	}
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	kernel := func(p Point, ctx Ctx) (*Result, error) {
+		calls.Add(1)
+		b := p.Bind()
+		x := b.Int("x")
+		if err := b.Err(); err != nil {
+			return nil, err
+		}
+		return &Result{Values: map[string]float64{"y": float64(2 * x)}}, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err = RunContext(ctx, g, kernel, Options{
+		Seed:   3,
+		Shards: 1,
+		Cache:  cache,
+		Progress: func(p Progress) {
+			if p.Done == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext after cancel = %v, want context.Canceled", err)
+	}
+	done := calls.Load()
+	if done < 2 || done >= int64(g.Size()) {
+		t.Fatalf("kernel ran %d points of %d; cancellation did not stop at a point boundary", done, g.Size())
+	}
+
+	// Resume completes only the missing points and the report is whole.
+	rep, err := RunContext(context.Background(), g, kernel, Options{
+		Seed: 3, Shards: 1, Cache: cache, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHits != int(done) {
+		t.Errorf("resume cache hits = %d, want %d (the pre-cancel points)", rep.CacheHits, done)
+	}
+	if rep.Computed != g.Size()-int(done) {
+		t.Errorf("resume computed = %d, want %d", rep.Computed, g.Size()-int(done))
+	}
+	for _, pr := range rep.Points {
+		if pr.Result == nil || len(pr.Result.Values) == 0 {
+			t.Fatalf("point %s has no result after resume", pr.Point)
+		}
+	}
+}
+
+// TestRunContextAlreadyCancelled: a dead context runs nothing.
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	g := Grid{Name: "dead", Version: 1, Axes: []Axis{IntAxis("x", 1, 2)}, Trials: 1}
+	_, err := RunContext(ctx, g, func(p Point, c Ctx) (*Result, error) {
+		calls.Add(1)
+		return &Result{}, nil
+	}, Options{Shards: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("kernel ran %d times under a dead context", calls.Load())
+	}
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -73,11 +74,25 @@ type Report struct {
 // The first kernel error aborts the run; already-finished points stay in
 // the cache, so a re-run with Resume picks up where the failure struck.
 func Run(g Grid, fn PointFunc, opts Options) (*Report, error) {
+	return RunContext(context.Background(), g, fn, opts)
+}
+
+// RunContext is Run with cooperative cancellation: workers stop claiming
+// new grid points as soon as ctx is done and the call returns ctx's error.
+// Cancellation granularity is the point boundary — a kernel already in
+// flight runs to completion, and its result is committed to the cache
+// before the workers wind down, so a cancelled run never leaves a partial
+// or corrupt entry behind and a later Resume run picks up exactly where
+// the cancellation struck.
+func RunContext(ctx context.Context, g Grid, fn PointFunc, opts Options) (*Report, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if fn == nil {
 		return nil, errors.New("sweep: nil point function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	points := g.Points()
 	shards := opts.Shards
@@ -87,7 +102,7 @@ func Run(g Grid, fn PointFunc, opts Options) (*Report, error) {
 	if shards > len(points) {
 		shards = len(points)
 	}
-	ctx := Ctx{Seed: opts.Seed, Trials: g.Trials, Workers: opts.Workers}
+	kctx := Ctx{Seed: opts.Seed, Trials: g.Trials, Workers: opts.Workers}
 
 	rep := &Report{Grid: g, Seed: opts.Seed, Points: make([]PointResult, len(points))}
 	start := time.Now()
@@ -105,13 +120,13 @@ func Run(g Grid, fn PointFunc, opts Options) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !stop.Load() {
+			for !stop.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
 					return
 				}
 				p := points[i]
-				res, cached, err := runPoint(g, p, fn, ctx, opts)
+				res, cached, err := runPoint(g, p, fn, kctx, opts)
 				if err != nil {
 					errOnce.Do(func() { runErr = fmt.Errorf("sweep: point %d (%s): %w", i, p, err) })
 					stop.Store(true)
@@ -142,6 +157,9 @@ func Run(g Grid, fn PointFunc, opts Options) (*Report, error) {
 	wg.Wait()
 	if runErr != nil {
 		return nil, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: run of grid %q cancelled: %w", g.Name, err)
 	}
 	rep.CacheHits = int(hits.Load())
 	rep.Computed = len(points) - rep.CacheHits
