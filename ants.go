@@ -21,6 +21,7 @@ package ants
 import (
 	"repro/internal/automata"
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/grid"
 	"repro/internal/scenario"
 	"repro/internal/search"
@@ -391,3 +392,53 @@ func NewServiceClient(baseURL string) *ServiceClient {
 // ServiceRoutes returns the service's HTTP route table — the endpoints
 // documented in docs/API.md.
 func ServiceRoutes() []ServiceRoute { return service.RouteTable() }
+
+// Distributed sweep execution (the cluster layer): a coordinator shards a
+// registered sweep across a fleet of antsimd workers, survives worker
+// failures by reassigning shards, steals the tail shard from stragglers,
+// federates the content-addressed cache, and merges artifacts
+// byte-identical to a local run. See DESIGN.md §8.
+type (
+	// Cluster is a coordinator over a fixed antsimd worker fleet; its
+	// Dispatch method runs registered sweeps across the fleet.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes a Cluster: fleet URLs, shard size,
+	// coordinator cache, heartbeat policy.
+	ClusterConfig = cluster.Config
+	// ClusterRequest names one distributed sweep run (sweep id, quick,
+	// seed, progress callback).
+	ClusterRequest = cluster.Request
+	// ClusterProgress is one distributed-run progress event: a grid point
+	// merged from the coordinator cache or from a worker shard.
+	ClusterProgress = cluster.Progress
+	// ClusterStats is the distribution accounting of one dispatch
+	// (shards, reassignments, steals, cache provenance).
+	ClusterStats = cluster.Stats
+	// Dispatch is the outcome of one distributed sweep run: the merged
+	// report — byte-identical to a local run's — plus ClusterStats.
+	Dispatch = cluster.Dispatch
+	// ServiceDistributor is the hook an antsimd daemon uses to execute
+	// sweep jobs across a fleet instead of locally (Service.SetDistributor).
+	ServiceDistributor = service.Distributor
+	// WorkerInfo is one live entry of a coordinator's worker registry
+	// (/v1/cluster/workers).
+	WorkerInfo = service.WorkerInfo
+	// JobFailedError is returned by ServiceClient.Wait when a job ends in
+	// the failed state, carrying the terminal event's error message.
+	JobFailedError = service.JobFailedError
+)
+
+// NewCluster validates the fleet and returns a coordinator for
+// distributed sweep runs.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(cfg)
+}
+
+// NewClusterDistributor adapts the cluster coordinator to the service
+// layer's distributor hook: a daemon with this installed dispatches its
+// sweep jobs across the worker fleet returned by workers (typically its
+// live join registry), falling back to local execution when the fleet is
+// empty.
+func NewClusterDistributor(workers func() []string, cacheDir string) ServiceDistributor {
+	return cluster.NewDistributor(workers, cacheDir)
+}

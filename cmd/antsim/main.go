@@ -25,16 +25,30 @@
 //	antsim -sweep e1 -cache .sweepcache -out e1_results
 //	antsim -sweep e1 -cache .sweepcache -resume -out e1_results  # recomputes only missing points
 //	antsim -sweep s2 -quick
+//
+// Distributed sweep mode fans the grid out across a fleet of antsimd
+// workers (internal/cluster): this process is the coordinator — it
+// consults its local cache first, ships only cache-miss points as shard
+// jobs, survives worker failures by reassigning their shards, steals the
+// tail shard from stragglers, and merges artifacts byte-identical to the
+// local run. Ctrl-C drains the fleet at grid-point boundaries:
+//
+//	antsim -sweep s2 -fleet 127.0.0.1:8081,127.0.0.1:8082 -cache .sweepcache -out s2_results
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
 	"sync"
+	"syscall"
 
 	"repro/internal/cliutil"
+	"repro/internal/cluster"
 	"repro/internal/experiment"
 	"repro/internal/rng"
 	"repro/internal/scenario"
@@ -72,11 +86,13 @@ func run(args []string, out io.Writer) error {
 		cacheDir = fs.String("cache", "", "sweep mode: content-addressed result cache directory")
 		resume   = fs.Bool("resume", false, "sweep mode: serve cached grid points instead of recomputing (requires -cache)")
 		outPfx   = fs.String("out", "", "sweep mode: write summary artifacts to <prefix>.json and <prefix>.csv")
+		fleet    = fs.String("fleet", "", "sweep mode: comma-separated antsimd worker URLs; distributes the grid across them with this process as coordinator")
 	)
-	cliutil.SetUsage(fs, "Runs one multi-agent search configuration (algorithm, D, n, placement) and prints M_moves statistics plus the χ audit; -scenario re-runs it on any registered world/fault preset; -sweep runs a whole experiment grid with progress, caching and resume; -trace writes a JSONL event log",
+	cliutil.SetUsage(fs, "Runs one multi-agent search configuration (algorithm, D, n, placement) and prints M_moves statistics plus the χ audit; -scenario re-runs it on any registered world/fault preset; -sweep runs a whole experiment grid with progress, caching and resume; -fleet distributes the grid across antsimd workers; -trace writes a JSONL event log",
 		"antsim -algo non-uniform -d 64 -n 16 -trials 20",
 		"antsim -scenario torus:l=48 -d 16 -n 8",
-		"antsim -sweep e1 -cache .sweepcache -resume -out e1_results")
+		"antsim -sweep e1 -cache .sweepcache -resume -out e1_results",
+		"antsim -sweep s2 -fleet 127.0.0.1:8081,127.0.0.1:8082")
 	if ok, err := cliutil.Parse(fs, args); !ok {
 		return err // nil after -h: usage already printed, clean exit
 	}
@@ -90,10 +106,10 @@ func run(args []string, out io.Writer) error {
 			Workers:  *workers,
 			CacheDir: *cacheDir,
 			Resume:   *resume,
-		}, *outPfx, out)
+		}, *fleet, *outPfx, out)
 	}
-	if *resume || *cacheDir != "" || *outPfx != "" || *quick {
-		return fmt.Errorf("-cache/-resume/-out/-quick apply to sweep mode only (set -sweep)")
+	if *resume || *cacheDir != "" || *outPfx != "" || *quick || *fleet != "" {
+		return fmt.Errorf("-cache/-resume/-out/-quick/-fleet apply to sweep mode only (set -sweep)")
 	}
 	if *scnSpec == "list" {
 		return listScenarios(out)
@@ -171,11 +187,16 @@ func run(args []string, out io.Writer) error {
 
 // runSweep executes one experiment grid through internal/sweep: per-point
 // progress lines, the rendered tables, run accounting (throughput, cache
-// hits), and optional JSON/CSV summary artifacts.
-func runSweep(id string, cfg experiment.Config, outPrefix string, out io.Writer) error {
+// hits), and optional JSON/CSV summary artifacts. With a fleet, the grid
+// is dispatched across remote antsimd workers instead (internal/cluster)
+// and the merged artifacts are byte-identical to the local run's. Ctrl-C
+// cancels either mode at grid-point boundaries, draining remote workers.
+func runSweep(id string, cfg experiment.Config, fleet, outPrefix string, out io.Writer) error {
 	if cfg.Resume && cfg.CacheDir == "" {
 		return fmt.Errorf("-resume needs -cache")
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	sp, err := experiment.LookupSweep(id)
 	if err != nil {
 		return err
@@ -194,21 +215,67 @@ func runSweep(id string, cfg experiment.Config, outPrefix string, out io.Writer)
 
 	// Progress events arrive from worker goroutines; serialize the writes.
 	var mu sync.Mutex
-	progress := func(p sweep.Progress) {
+	progressLine := func(done, total int, point sweep.Point, status string) {
 		mu.Lock()
 		defer mu.Unlock()
-		status := "computed"
-		if p.Cached {
-			status = "cached"
-		}
-		fmt.Fprintf(out, "  [%*d/%d] %s — %s\n", len(fmt.Sprint(p.Total)), p.Done, p.Total, p.Point, status)
-	}
-	tables, rep, err := experiment.RunSweep(sp, cfg, progress)
-	if err != nil {
-		return err
+		fmt.Fprintf(out, "  [%*d/%d] %s — %s\n", len(fmt.Sprint(total)), done, total, point, status)
 	}
 
-	fmt.Fprintln(out)
+	var tables []*experiment.Table
+	var rep *sweep.Report
+	if fleet != "" {
+		c, err := cluster.New(cluster.Config{
+			Workers:  strings.Split(fleet, ","),
+			CacheDir: cfg.CacheDir,
+			Resume:   cfg.Resume,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "fleet:       %s\n", strings.Join(c.Workers(), ", "))
+		d, err := c.Dispatch(ctx, cluster.Request{
+			Sweep:   sp.Name,
+			Quick:   cfg.Quick,
+			Seed:    cfg.Seed,
+			Workers: cfg.Workers,
+			Progress: func(p cluster.Progress) {
+				status := "computed by " + p.Worker
+				switch {
+				case p.Worker == "":
+					status = "local cache"
+				case p.Cached:
+					status = "cached on " + p.Worker
+				}
+				progressLine(p.Done, p.Total, p.Point, status)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		rep = d.Report
+		if tables, err = sp.Tables(rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ndispatch:    %d shards over %d workers: %d shipped, %d local hits, %d remote hits, %d reassigned, %d stolen\n",
+			d.Stats.Shards, d.Stats.Workers, d.Stats.Shipped, d.Stats.LocalHits, d.Stats.RemoteHits, d.Stats.Reassigned, d.Stats.Stolen)
+		if len(d.Stats.Failed) > 0 {
+			fmt.Fprintf(out, "failed:      %s\n", strings.Join(d.Stats.Failed, ", "))
+		}
+	} else {
+		progress := func(p sweep.Progress) {
+			status := "computed"
+			if p.Cached {
+				status = "cached"
+			}
+			progressLine(p.Done, p.Total, p.Point, status)
+		}
+		tables, rep, err = experiment.RunSweepContext(ctx, sp, cfg, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
 	for _, tb := range tables {
 		fmt.Fprintln(out, tb.Render())
 	}

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/service"
 )
 
 func TestRunNonUniform(t *testing.T) {
@@ -208,5 +212,81 @@ func TestRunWithTrace(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "trace:") {
 		t.Error("output missing trace confirmation")
+	}
+}
+
+// TestRunSweepDistributed drives the -fleet path end to end: two
+// in-process antsimd workers, a distributed s1 run, and artifacts
+// byte-identical to the same sweep run locally.
+func TestRunSweepDistributed(t *testing.T) {
+	var workers []string
+	for i := 0; i < 2; i++ {
+		svc, err := service.New(service.Config{Workers: 2, CacheDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			_ = svc.Close(ctx)
+			srv.Close()
+		})
+		workers = append(workers, srv.URL)
+	}
+
+	localPfx := filepath.Join(t.TempDir(), "local")
+	var localOut strings.Builder
+	if err := run([]string{"-sweep", "s1", "-quick", "-seed", "7", "-out", localPfx}, &localOut); err != nil {
+		t.Fatal(err)
+	}
+
+	distPfx := filepath.Join(t.TempDir(), "dist")
+	var distOut strings.Builder
+	err := run([]string{"-sweep", "s1", "-quick", "-seed", "7",
+		"-fleet", strings.Join(workers, ","), "-out", distPfx}, &distOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fleet:", "dispatch:", "artifacts:", "S1: cells"} {
+		if !strings.Contains(distOut.String(), want) {
+			t.Errorf("distributed output missing %q in:\n%s", want, distOut.String())
+		}
+	}
+
+	localCSV, err := os.ReadFile(localPfx + ".csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	distCSV, err := os.ReadFile(distPfx + ".csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(localCSV) != string(distCSV) {
+		t.Errorf("distributed CSV differs from local CSV:\n%s\nvs\n%s", distCSV, localCSV)
+	}
+
+	// The rendered experiment tables agree too.
+	table := func(s string) string {
+		i := strings.Index(s, "== S1")
+		j := strings.Index(s, "points:")
+		if i < 0 || j < 0 {
+			t.Fatalf("output has no table section:\n%s", s)
+		}
+		return s[i:j]
+	}
+	if table(localOut.String()) != table(distOut.String()) {
+		t.Error("distributed sweep rendered a different table than the local run")
+	}
+}
+
+// TestRunFleetErrors pins the -fleet flag's validation.
+func TestRunFleetErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fleet", "127.0.0.1:1"}, &out); err == nil || !strings.Contains(err.Error(), "-fleet") {
+		t.Errorf("fleet without -sweep error = %v", err)
+	}
+	if err := run([]string{"-sweep", "s1", "-quick", "-fleet", "ftp://nope"}, &out); err == nil {
+		t.Error("bad fleet URL should fail")
 	}
 }

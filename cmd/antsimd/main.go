@@ -9,7 +9,15 @@
 //
 //	antsimd -addr 127.0.0.1:8080 -workers 2 -cache .sweepcache
 //	antsimd -addr 127.0.0.1:0 -addr-file antsimd.addr   # ephemeral port
+//	antsimd -addr 127.0.0.1:8081 -join http://127.0.0.1:8080  # federate as a worker
 //	antsimd -routes                                      # print the route table
+//
+// Daemons federate into clusters: a worker started with -join heartbeats
+// into the coordinator's fleet registry, and a coordinator with live
+// workers dispatches its sweep jobs across them (internal/cluster) —
+// shard reassignment on worker failure, tail-shard work stealing, and a
+// federated content-addressed cache — with artifacts byte-identical to a
+// local run.
 //
 // See docs/API.md for the full endpoint reference and DESIGN.md §7 for the
 // service architecture. On SIGINT/SIGTERM the daemon drains: new
@@ -26,12 +34,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -47,23 +57,35 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("antsimd", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks an ephemeral port)")
-		addrFile = fs.String("addr-file", "", "write the actual listen address to this file once bound")
-		workers  = fs.Int("workers", 2, "job worker pool size (concurrent jobs)")
-		queue    = fs.Int("queue", 64, "queued-job capacity; submissions beyond it get HTTP 503")
-		cacheDir = fs.String("cache", "", "content-addressed sweep-point cache directory (shared with antsim -cache)")
-		dataDir  = fs.String("data", "", "write every finished job's artifacts to this directory")
-		shutdown = fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget for running jobs")
-		routes   = fs.Bool("routes", false, "print the HTTP route table and exit")
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		addrFile  = fs.String("addr-file", "", "write the actual listen address to this file once bound")
+		workers   = fs.Int("workers", 2, "job worker pool size (concurrent jobs)")
+		queue     = fs.Int("queue", 64, "queued-job capacity; submissions beyond it get HTTP 503")
+		cacheDir  = fs.String("cache", "", "content-addressed sweep-point cache directory (shared with antsim -cache)")
+		dataDir   = fs.String("data", "", "write every finished job's artifacts to this directory")
+		shutdown  = fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget for running jobs")
+		routes    = fs.Bool("routes", false, "print the HTTP route table and exit")
+		join      = fs.String("join", "", "join a coordinator antsimd's worker fleet (base URL); heartbeats keep the membership alive")
+		advertise = fs.String("advertise", "", "with -join: the base URL the coordinator dials this worker back on (default http://<actual listen address>; required for wildcard binds like :8080)")
 	)
-	cliutil.SetUsage(fs, "Serves experiment jobs over HTTP: queue, worker pool, NDJSON/SSE progress streams, durable artifacts (see docs/API.md)",
+	cliutil.SetUsage(fs, "Serves experiment jobs over HTTP: queue, worker pool, NDJSON/SSE progress streams, durable artifacts (see docs/API.md); -join federates this daemon into a coordinator's fleet, and daemons with joined workers distribute their sweep jobs across them",
 		"antsimd -addr 127.0.0.1:8080 -workers 2 -cache .sweepcache",
+		"antsimd -addr 127.0.0.1:8081 -join http://127.0.0.1:8080",
 		"antsimd -routes")
 	if ok, err := cliutil.Parse(fs, args); !ok {
 		return err // nil after -h: usage already printed, clean exit
 	}
 	if *routes {
 		return printRoutes(out)
+	}
+	var coordinator string
+	if *join != "" {
+		var err error
+		if coordinator, err = service.NormalizeWorkerURL(*join); err != nil {
+			return fmt.Errorf("-join: %w", err)
+		}
+	} else if *advertise != "" {
+		return fmt.Errorf("-advertise only applies with -join")
 	}
 
 	svc, err := service.New(service.Config{
@@ -75,12 +97,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Every daemon can coordinate: once workers join its fleet, sweep jobs
+	// are dispatched across them (internal/cluster) instead of run
+	// locally. With no joined workers the distributor declines and
+	// execution stays local, so a standalone daemon behaves exactly as
+	// before.
+	svc.SetDistributor(cluster.NewDistributor(func() []string {
+		ws := svc.ClusterWorkers()
+		addrs := make([]string, len(ws))
+		for i, w := range ws {
+			addrs[i] = w.Addr
+		}
+		return addrs
+	}, *cacheDir))
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		_ = svc.Close(context.Background()) // stop the worker pool; no jobs yet
 		return err
 	}
 	actual := ln.Addr().String()
+	selfURL := ""
+	if coordinator != "" {
+		selfURL, err = advertisedURL(*advertise, actual)
+		if err != nil {
+			ln.Close()
+			_ = svc.Close(context.Background())
+			return err
+		}
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(actual+"\n"), 0o644); err != nil {
 			ln.Close()
@@ -93,6 +137,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	if coordinator != "" {
+		fmt.Fprintf(out, "antsimd: joining fleet of %s as %s\n", coordinator, selfURL)
+		go joinLoop(ctx, coordinator, selfURL)
+	}
 
 	select {
 	case err := <-serveErr:
@@ -117,6 +166,56 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "antsimd: drained, bye")
 	return nil
+}
+
+// advertisedURL resolves the base URL a worker registers with the
+// coordinator: the -advertise flag, or http://<listen address> when the
+// flag is empty. A wildcard or unspecified host (":8080", "0.0.0.0",
+// "[::]") is rejected — the coordinator would dial its own loopback — so
+// multi-machine workers must advertise a reachable address explicitly.
+func advertisedURL(advertise, actual string) (string, error) {
+	raw := advertise
+	if raw == "" {
+		raw = "http://" + actual
+	}
+	norm, err := service.NormalizeWorkerURL(raw)
+	if err != nil {
+		return "", fmt.Errorf("-advertise: %w", err)
+	}
+	u, err := url.Parse(norm)
+	if err != nil {
+		return "", fmt.Errorf("-advertise: %w", err)
+	}
+	host := u.Hostname()
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		return "", fmt.Errorf("advertised address %q is not dialable from a coordinator (wildcard host); pass -advertise http://<reachable-host>:%s", norm, u.Port())
+	}
+	return norm, nil
+}
+
+// joinLoop keeps this worker's fleet membership alive: an immediate join,
+// then heartbeats at a third of the coordinator's TTL until ctx ends.
+// Failures are retried on the same cadence — a coordinator restart simply
+// re-admits the worker on its next beat.
+func joinLoop(ctx context.Context, coordinator, self string) {
+	client := service.NewClient(coordinator)
+	beat := service.DefaultWorkerTTL / 3
+	join := func() {
+		jctx, cancel := context.WithTimeout(ctx, beat)
+		defer cancel()
+		_, _ = client.Join(jctx, self)
+	}
+	join()
+	ticker := time.NewTicker(beat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			join()
+		}
+	}
 }
 
 // printRoutes writes the HTTP route table, one endpoint per line.

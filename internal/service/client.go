@@ -188,15 +188,35 @@ func (c *Client) Events(ctx context.Context, id string) (*EventStream, error) {
 	return &EventStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
 }
 
+// JobFailedError is returned by Wait when the job ends in the failed
+// state. It carries the job's terminal failure message — the kernel error
+// the daemon logged on the failed event — so callers see the actual cause
+// instead of a generic status error.
+type JobFailedError struct {
+	// ID is the failed job's id.
+	ID string
+	// Message is the failure message from the job's terminal failed event.
+	Message string
+}
+
+// Error renders the failure with its original message.
+func (e *JobFailedError) Error() string {
+	return fmt.Sprintf("service: job %s failed: %s", e.ID, e.Message)
+}
+
 // Wait follows the job's event stream until it reaches a terminal state
 // and returns the final job record. It needs no polling interval — the
-// daemon pushes the terminal transition.
+// daemon pushes the terminal transition. A job that ends in the failed
+// state additionally returns a *JobFailedError carrying the terminal
+// event's error message (done and cancelled jobs return a nil error; the
+// caller reads the state off the record).
 func (c *Client) Wait(ctx context.Context, id string) (Job, error) {
 	es, err := c.Events(ctx, id)
 	if err != nil {
 		return Job{}, err
 	}
 	defer es.Close()
+	failMsg := ""
 	for {
 		ev, err := es.Next()
 		if err == io.EOF {
@@ -206,8 +226,39 @@ func (c *Client) Wait(ctx context.Context, id string) (Job, error) {
 			return Job{}, err
 		}
 		if ev.Type == EventState && ev.State.Terminal() {
+			if ev.State == StateFailed {
+				failMsg = ev.Error
+			}
 			break
 		}
 	}
-	return c.Job(ctx, id)
+	job, err := c.Job(ctx, id)
+	if err != nil {
+		return Job{}, err
+	}
+	if job.State == StateFailed {
+		if failMsg == "" {
+			failMsg = job.Error
+		}
+		return job, &JobFailedError{ID: id, Message: failMsg}
+	}
+	return job, nil
+}
+
+// Join registers (or refreshes) a worker's membership in the daemon's
+// cluster fleet; addr is the worker's base URL. Workers call it on a
+// heartbeat interval — membership expires when the heartbeats stop.
+func (c *Client) Join(ctx context.Context, addr string) (WorkerInfo, error) {
+	var info WorkerInfo
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/join", map[string]string{"addr": addr}, &info)
+	return info, err
+}
+
+// ClusterWorkers lists the daemon's live worker fleet.
+func (c *Client) ClusterWorkers(ctx context.Context) ([]WorkerInfo, error) {
+	var out struct {
+		Workers []WorkerInfo `json:"workers"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/cluster/workers", nil, &out)
+	return out.Workers, err
 }

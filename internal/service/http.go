@@ -34,6 +34,8 @@ func RouteTable() []Route {
 		{"DELETE", "/v1/jobs/{id}", "cancel a queued or running job"},
 		{"GET", "/v1/jobs/{id}/events", "stream the job's event log as NDJSON (or SSE), replay then follow"},
 		{"GET", "/v1/jobs/{id}/result", "fetch a finished job's artifact (?format=json|csv)"},
+		{"POST", "/v1/cluster/join", "register (or refresh) a worker in this coordinator's fleet"},
+		{"GET", "/v1/cluster/workers", "list the live worker fleet (heartbeats within the TTL)"},
 	}
 }
 
@@ -49,6 +51,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
+	mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
 	return mux
 }
 
@@ -153,6 +157,32 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)
+}
+
+// handleClusterJoin registers a worker heartbeat: body {"addr": "..."}.
+// Joining is idempotent and doubles as the heartbeat — workers re-post on
+// an interval and fall out of the fleet when they stop.
+func (s *Service) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Addr string `json:"addr"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode join request: %v", err)})
+		return
+	}
+	info, err := s.JoinWorker(body.Addr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleClusterWorkers lists the live fleet.
+func (s *Service) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]WorkerInfo{"workers": s.ClusterWorkers()})
 }
 
 // handleEvents streams a job's event log: the full history replays first,

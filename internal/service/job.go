@@ -67,23 +67,32 @@ const (
 	// KindScenario runs one scenario configuration (internal/scenario),
 	// exactly like `antsim -scenario`.
 	KindScenario = "scenario"
+	// KindShard runs a subset of a registered sweep's grid points,
+	// identified by expansion index. It is the worker half of distributed
+	// sweeps (internal/cluster): a coordinator ships shards of cache-miss
+	// points, the worker computes exactly those points (serving its own
+	// cache hits without recomputing) and returns per-point results.
+	KindShard = "shard"
 )
 
-// JobSpec describes one experiment job. Kind selects which of the two
+// JobSpec describes one experiment job. Kind selects which of the three
 // families the spec names; the remaining fields parameterize it. The zero
 // values of the optional fields are filled in by Normalize with the same
 // defaults the antsim CLI uses, so a spec submitted over the wire and the
 // equivalent CLI invocation describe identical computations.
 type JobSpec struct {
-	// Kind is KindSweep or KindScenario.
+	// Kind is KindSweep, KindScenario or KindShard.
 	Kind string `json:"kind"`
 
 	// Sweep is the registered sweep id ("e1", "e5", "s1", "s2"); KindSweep
-	// only.
+	// and KindShard.
 	Sweep string `json:"sweep,omitempty"`
 	// Quick shrinks the sweep's grid and trial counts (antsim -quick);
-	// KindSweep only.
+	// KindSweep and KindShard.
 	Quick bool `json:"quick,omitempty"`
+	// Points are the grid-point expansion indexes a shard job computes
+	// (unique, each in [0, grid size)); KindShard only.
+	Points []int `json:"points,omitempty"`
 
 	// Scenario is the scenario spec string ("torus:l=48", "crash", ...);
 	// KindScenario only.
@@ -147,21 +156,42 @@ func (s *JobSpec) Normalize() {
 // resolve. It reports the first problem found.
 func (s JobSpec) Validate() error {
 	switch s.Kind {
-	case KindSweep:
+	case KindSweep, KindShard:
 		if s.Sweep == "" {
-			return fmt.Errorf("service: sweep job needs a sweep id")
+			return fmt.Errorf("service: %s job needs a sweep id", s.Kind)
 		}
-		if _, err := experiment.LookupSweep(s.Sweep); err != nil {
+		sp, err := experiment.LookupSweep(s.Sweep)
+		if err != nil {
 			return err
 		}
 		if s.Scenario != "" || s.Algo != "" || s.D != 0 || s.N != 0 || s.Ell != 0 || s.Budget != 0 || s.Trials != 0 {
-			return fmt.Errorf("service: sweep job sets scenario-only fields")
+			return fmt.Errorf("service: %s job sets scenario-only fields", s.Kind)
+		}
+		if s.Kind == KindSweep {
+			if len(s.Points) != 0 {
+				return fmt.Errorf("service: sweep job sets shard-only field points (use kind %q)", KindShard)
+			}
+			break
+		}
+		if len(s.Points) == 0 {
+			return fmt.Errorf("service: shard job needs at least one grid-point index")
+		}
+		size := sp.Grid(experiment.Config{Quick: s.Quick}).Size()
+		seen := make(map[int]bool, len(s.Points))
+		for _, idx := range s.Points {
+			if idx < 0 || idx >= size {
+				return fmt.Errorf("service: shard point index %d out of range [0,%d) of sweep %q", idx, size, s.Sweep)
+			}
+			if seen[idx] {
+				return fmt.Errorf("service: shard point index %d listed twice", idx)
+			}
+			seen[idx] = true
 		}
 	case KindScenario:
 		if s.Scenario == "" {
 			return fmt.Errorf("service: scenario job needs a scenario spec (e.g. %q)", "open")
 		}
-		if s.Sweep != "" || s.Quick {
+		if s.Sweep != "" || s.Quick || len(s.Points) != 0 {
 			return fmt.Errorf("service: scenario job sets sweep-only fields")
 		}
 		if s.D < 1 {
@@ -180,9 +210,9 @@ func (s JobSpec) Validate() error {
 			return err
 		}
 	case "":
-		return fmt.Errorf("service: job spec needs a kind (%q or %q)", KindSweep, KindScenario)
+		return fmt.Errorf("service: job spec needs a kind (%q, %q or %q)", KindSweep, KindScenario, KindShard)
 	default:
-		return fmt.Errorf("service: unknown job kind %q (valid: %q, %q)", s.Kind, KindSweep, KindScenario)
+		return fmt.Errorf("service: unknown job kind %q (valid: %q, %q, %q)", s.Kind, KindSweep, KindScenario, KindShard)
 	}
 	if s.Workers < 0 {
 		return fmt.Errorf("service: workers must be ≥ 0, got %d", s.Workers)

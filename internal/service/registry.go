@@ -1,0 +1,107 @@
+package service
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultWorkerTTL is how long a joined worker stays listed without a
+// fresh heartbeat. Workers (antsimd -join) re-join at a third of the TTL,
+// so one or two lost heartbeats do not drop a live worker.
+const DefaultWorkerTTL = 10 * time.Second
+
+// WorkerInfo is one live entry of the coordinator's worker registry, as
+// served at /v1/cluster/workers.
+type WorkerInfo struct {
+	// Addr is the worker's base URL ("http://127.0.0.1:8081").
+	Addr string `json:"addr"`
+	// AgeSec is the seconds since the worker's last heartbeat.
+	AgeSec float64 `json:"age_sec"`
+}
+
+// workerRegistry tracks the antsimd workers that joined this daemon as a
+// coordinator: base URL → last heartbeat. Entries expire after the TTL;
+// expired entries are pruned on every read, so the registry never needs a
+// background sweeper.
+type workerRegistry struct {
+	mu   sync.Mutex
+	ttl  time.Duration
+	seen map[string]time.Time
+}
+
+// join records a heartbeat for addr.
+func (r *workerRegistry) join(addr string, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen == nil {
+		r.seen = make(map[string]time.Time)
+	}
+	r.seen[addr] = now
+}
+
+// live prunes expired entries and returns the remaining workers sorted by
+// address (a stable order keeps fleet construction deterministic).
+func (r *workerRegistry) live(now time.Time) []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ttl := r.ttl
+	if ttl <= 0 {
+		ttl = DefaultWorkerTTL
+	}
+	out := make([]WorkerInfo, 0, len(r.seen))
+	for addr, last := range r.seen {
+		if now.Sub(last) > ttl {
+			delete(r.seen, addr)
+			continue
+		}
+		out = append(out, WorkerInfo{Addr: addr, AgeSec: now.Sub(last).Seconds()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// JoinWorker registers (or refreshes) a worker's membership in this
+// daemon's fleet. The address must be a base URL the coordinator can dial
+// back; scheme-less host:port addresses get "http://" prepended.
+func (s *Service) JoinWorker(addr string) (WorkerInfo, error) {
+	norm, err := NormalizeWorkerURL(addr)
+	if err != nil {
+		return WorkerInfo{}, err
+	}
+	s.registry.join(norm, time.Now())
+	return WorkerInfo{Addr: norm, AgeSec: 0}, nil
+}
+
+// ClusterWorkers returns the live worker fleet: every joined worker whose
+// last heartbeat is within the TTL, sorted by address.
+func (s *Service) ClusterWorkers() []WorkerInfo {
+	return s.registry.live(time.Now())
+}
+
+// NormalizeWorkerURL canonicalizes a worker address for the registry and
+// the fleet flags: "host:port" gains an "http://" scheme, trailing slashes
+// are dropped, and anything unparseable or without a host is rejected.
+func NormalizeWorkerURL(addr string) (string, error) {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return "", fmt.Errorf("service: empty worker address")
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil {
+		return "", fmt.Errorf("service: worker address %q: %w", addr, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("service: worker address %q: scheme must be http or https", addr)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("service: worker address %q has no host", addr)
+	}
+	return strings.TrimRight(u.String(), "/"), nil
+}

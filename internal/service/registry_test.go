@@ -1,0 +1,99 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNormalizeWorkerURL(t *testing.T) {
+	cases := []struct {
+		in, want, wantErr string
+	}{
+		{"127.0.0.1:8081", "http://127.0.0.1:8081", ""},
+		{"http://w1.example:9000/", "http://w1.example:9000", ""},
+		{"https://w2.example", "https://w2.example", ""},
+		{" 127.0.0.1:1 ", "http://127.0.0.1:1", ""},
+		{"", "", "empty worker address"},
+		{"ftp://x", "", "scheme must be http or https"},
+		{"http://", "", "has no host"},
+	}
+	for _, tc := range cases {
+		got, err := NormalizeWorkerURL(tc.in)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("NormalizeWorkerURL(%q) err = %v, want %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("NormalizeWorkerURL(%q) = %q, %v, want %q", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+// TestRegistryJoinHeartbeatExpiry pins the fleet-membership semantics:
+// joins are idempotent heartbeats, listings are sorted by address, and a
+// worker whose heartbeats stop falls out after the TTL.
+func TestRegistryJoinHeartbeatExpiry(t *testing.T) {
+	r := &workerRegistry{ttl: 50 * time.Millisecond}
+	t0 := time.Now()
+	r.join("http://b:1", t0)
+	r.join("http://a:1", t0)
+	r.join("http://b:1", t0.Add(10*time.Millisecond)) // heartbeat refresh
+
+	live := r.live(t0.Add(20 * time.Millisecond))
+	if len(live) != 2 || live[0].Addr != "http://a:1" || live[1].Addr != "http://b:1" {
+		t.Fatalf("live = %+v, want a then b", live)
+	}
+
+	// 70ms after t0: a (last seen t0) expired, b (refreshed at +10ms) not.
+	live = r.live(t0.Add(55 * time.Millisecond))
+	if len(live) != 1 || live[0].Addr != "http://b:1" {
+		t.Fatalf("after expiry live = %+v, want only b", live)
+	}
+	// Expired entries are pruned, not resurrected.
+	live = r.live(t0.Add(200 * time.Millisecond))
+	if len(live) != 0 {
+		t.Fatalf("after full expiry live = %+v, want empty", live)
+	}
+}
+
+// TestClusterJoinEndpoints exercises the HTTP surface: join, list, bad
+// joins, and TTL-driven disappearance through the client.
+func TestClusterJoinEndpoints(t *testing.T) {
+	// The TTL is generous enough that two joins and a listing always fit
+	// inside it (even under -race); the tight expiry timing itself is
+	// pinned clock-injected in TestRegistryJoinHeartbeatExpiry.
+	svc, client := newTestServer(t, Config{Workers: 1, WorkerTTL: 2 * time.Second})
+	ctx := context.Background()
+
+	info, err := client.Join(ctx, "127.0.0.1:9001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Addr != "http://127.0.0.1:9001" {
+		t.Errorf("join normalized addr = %q", info.Addr)
+	}
+	if _, err := client.Join(ctx, "http://127.0.0.1:9002"); err != nil {
+		t.Fatal(err)
+	}
+	workers, err := client.ClusterWorkers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 2 {
+		t.Fatalf("workers = %+v, want 2", workers)
+	}
+
+	_, err = client.Join(ctx, "")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Errorf("empty join err = %v, want 400", err)
+	}
+
+	waitFor(t, func() bool { return len(svc.ClusterWorkers()) == 0 })
+}

@@ -57,6 +57,10 @@ type Config struct {
 	// job's artifacts are also written to <DataDir>/<jobID>.json and
 	// .csv.
 	DataDir string
+	// WorkerTTL is how long a joined cluster worker stays in the fleet
+	// without a fresh heartbeat (default DefaultWorkerTTL). Tests shrink
+	// it to exercise expiry quickly.
+	WorkerTTL time.Duration
 }
 
 // Stats is the service's aggregate state, served at /v1/stats.
@@ -124,6 +128,35 @@ type Service struct {
 	// execute runs one claimed job and returns its artifacts; tests
 	// substitute a controllable fake to exercise the lifecycle machinery.
 	execute func(ctx context.Context, rec *record) (jsonArtifact, csvArtifact []byte, err error)
+
+	distMu      sync.RWMutex
+	distributor Distributor
+
+	registry workerRegistry
+}
+
+// Distributor runs a sweep job across a remote worker fleet instead of
+// locally. internal/cluster implements it and cmd/antsimd wires it in with
+// SetDistributor, keeping the dependency arrow service ← cluster acyclic.
+// It returns handled=false to decline (e.g. no live workers joined), in
+// which case the service falls back to local execution; progress receives
+// one event per merged grid point, exactly like a local run's.
+type Distributor func(ctx context.Context, spec JobSpec, progress func(sweep.Progress)) (rep *sweep.Report, handled bool, err error)
+
+// SetDistributor installs the distributed-sweep executor consulted by
+// every subsequent sweep job. Call it before the daemon starts accepting
+// submissions; passing nil restores pure local execution.
+func (s *Service) SetDistributor(d Distributor) {
+	s.distMu.Lock()
+	s.distributor = d
+	s.distMu.Unlock()
+}
+
+// getDistributor returns the installed distributor, or nil.
+func (s *Service) getDistributor() Distributor {
+	s.distMu.RLock()
+	defer s.distMu.RUnlock()
+	return s.distributor
 }
 
 // New builds and starts a Service: the worker pool is running and Submit
@@ -154,6 +187,7 @@ func New(cfg Config) (*Service, error) {
 		start:      time.Now(),
 	}
 	s.qcond = sync.NewCond(&s.qmu)
+	s.registry.ttl = cfg.WorkerTTL
 	s.execute = s.executeJob
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -428,6 +462,8 @@ func (s *Service) executeJob(ctx context.Context, rec *record) ([]byte, []byte, 
 		return s.executeSweep(ctx, rec, spec)
 	case KindScenario:
 		return s.executeScenario(ctx, rec, spec)
+	case KindShard:
+		return s.executeShard(ctx, rec, spec)
 	default:
 		return nil, nil, fmt.Errorf("service: unknown job kind %q", spec.Kind)
 	}
@@ -457,9 +493,25 @@ func (s *Service) executeSweep(ctx context.Context, rec *record, spec JobSpec) (
 		}
 		rec.progress(p.Done, p.Total, p.Point.String(), p.Cached)
 	}
-	_, rep, err := experiment.RunSweepContext(ctx, sp, cfg, progress)
-	if err != nil {
-		return nil, nil, err
+	var rep *sweep.Report
+	if d := s.getDistributor(); d != nil {
+		// Distributed execution: the cluster layer shards the grid across
+		// joined workers and merges a report identical to a local run's.
+		// handled=false (no live fleet) falls through to local execution.
+		drep, handled, err := d(ctx, spec, progress)
+		if err != nil {
+			return nil, nil, err
+		}
+		if handled {
+			rep = drep
+		}
+	}
+	if rep == nil {
+		_, lrep, err := experiment.RunSweepContext(ctx, sp, cfg, progress)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep = lrep
 	}
 	sum := rep.Summary()
 	jsonB, err := sum.JSON()

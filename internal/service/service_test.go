@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -78,7 +79,7 @@ func TestNormalizeFillsCLIDefaults(t *testing.T) {
 	spec.Normalize()
 	want := JobSpec{Kind: KindScenario, Scenario: "open", Algo: "non-uniform",
 		D: 64, N: 4, Ell: 1, Trials: 20, Budget: 64 * 64 * 512}
-	if spec != want {
+	if !reflect.DeepEqual(spec, want) {
 		t.Errorf("Normalize() = %+v, want %+v", spec, want)
 	}
 }

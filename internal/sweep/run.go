@@ -91,10 +91,30 @@ func RunContext(ctx context.Context, g Grid, fn PointFunc, opts Options) (*Repor
 	if fn == nil {
 		return nil, errors.New("sweep: nil point function")
 	}
+	start := time.Now()
+	results, err := runPoints(ctx, g, g.Points(), fn, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Grid: g, Seed: opts.Seed, Points: results}
+	for _, pr := range results {
+		if pr.Cached {
+			rep.CacheHits++
+		}
+	}
+	rep.Computed = len(results) - rep.CacheHits
+	rep.ElapsedSec = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// runPoints is the shared worker-pool core of RunContext and
+// RunPointsContext: points are claimed off an atomic counter by a pool of
+// goroutines, each slot index owns its entry of the result slice, and the
+// first kernel error (or the context) stops the claim loop.
+func runPoints(ctx context.Context, g Grid, points []Point, fn PointFunc, opts Options) ([]PointResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	points := g.Points()
 	shards := opts.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -103,16 +123,13 @@ func RunContext(ctx context.Context, g Grid, fn PointFunc, opts Options) (*Repor
 		shards = len(points)
 	}
 	kctx := Ctx{Seed: opts.Seed, Trials: g.Trials, Workers: opts.Workers}
-
-	rep := &Report{Grid: g, Seed: opts.Seed, Points: make([]PointResult, len(points))}
-	start := time.Now()
+	out := make([]PointResult, len(points))
 
 	var (
 		wg      sync.WaitGroup
-		next    atomic.Int64 // next point index to claim
+		next    atomic.Int64 // next slot index to claim
 		done    atomic.Int64 // finished points, for progress events
-		hits    atomic.Int64
-		stop    atomic.Bool // set on first kernel error
+		stop    atomic.Bool  // set on first kernel error
 		errOnce sync.Once
 		runErr  error
 	)
@@ -128,14 +145,11 @@ func RunContext(ctx context.Context, g Grid, fn PointFunc, opts Options) (*Repor
 				p := points[i]
 				res, cached, err := runPoint(g, p, fn, kctx, opts)
 				if err != nil {
-					errOnce.Do(func() { runErr = fmt.Errorf("sweep: point %d (%s): %w", i, p, err) })
+					errOnce.Do(func() { runErr = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err) })
 					stop.Store(true)
 					return
 				}
-				if cached {
-					hits.Add(1)
-				}
-				rep.Points[i] = PointResult{Point: p, Cached: cached, Result: res}
+				out[i] = PointResult{Point: p, Cached: cached, Result: res}
 				if opts.Progress != nil {
 					elapsed := res.ElapsedSec
 					if cached {
@@ -161,10 +175,46 @@ func RunContext(ctx context.Context, g Grid, fn PointFunc, opts Options) (*Repor
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("sweep: run of grid %q cancelled: %w", g.Name, err)
 	}
-	rep.CacheHits = int(hits.Load())
-	rep.Computed = len(points) - rep.CacheHits
-	rep.ElapsedSec = time.Since(start).Seconds()
-	return rep, nil
+	return out, nil
+}
+
+// RunPoints evaluates only the grid points with the given expansion
+// indexes. It is the shard kernel of distributed sweeps (internal/cluster):
+// a worker receives a set of indexes, computes exactly those points —
+// consulting and feeding its local cache like a full run would — and
+// returns them in the order requested. Results are identical to the
+// corresponding slice of a full Run: cache keys depend on the point's
+// parameters, never on its index or on which indexes ride along.
+func RunPoints(g Grid, idxs []int, fn PointFunc, opts Options) ([]PointResult, error) {
+	return RunPointsContext(context.Background(), g, idxs, fn, opts)
+}
+
+// RunPointsContext is RunPoints with cooperative cancellation at point
+// boundaries, exactly like RunContext.
+func RunPointsContext(ctx context.Context, g Grid, idxs []int, fn PointFunc, opts Options) ([]PointResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if fn == nil {
+		return nil, errors.New("sweep: nil point function")
+	}
+	if len(idxs) == 0 {
+		return nil, errors.New("sweep: no point indexes to run")
+	}
+	all := g.Points()
+	seen := make(map[int]bool, len(idxs))
+	points := make([]Point, len(idxs))
+	for i, idx := range idxs {
+		if idx < 0 || idx >= len(all) {
+			return nil, fmt.Errorf("sweep: point index %d out of range [0,%d) of grid %q", idx, len(all), g.Name)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("sweep: point index %d requested twice", idx)
+		}
+		seen[idx] = true
+		points[i] = all[idx]
+	}
+	return runPoints(ctx, g, points, fn, opts)
 }
 
 // runPoint evaluates one point: cache lookup (when resuming), kernel call,
