@@ -43,6 +43,17 @@ type (
 	Rect = grid.Rect
 )
 
+// NewVisitSet returns a visit set with ball radius r. Small radii get a
+// dense window bitmap; radii beyond the dense threshold automatically
+// select the sparse tile-index backing, whose memory tracks cells touched
+// instead of arena area.
+func NewVisitSet(r int64) *VisitSet { return grid.NewVisitSet(r) }
+
+// NewSparseVisitSet returns a visit set with ball radius r backed entirely
+// by the sparse hierarchical tile index regardless of radius — the
+// unbounded-arena backing (observationally identical to the dense one).
+func NewSparseVisitSet(r int64) *VisitSet { return grid.NewSparseVisitSet(r) }
+
 // The four grid directions.
 const (
 	Up    = grid.Up
@@ -253,6 +264,11 @@ type (
 	// ScenarioPreset is one registered scenario family.
 	ScenarioPreset = scenario.Preset
 )
+
+// NewObstacles returns the open plane minus the given blocked rectangles,
+// with membership backed by the sparse tile index for O(depth) Resolve
+// checks on large obstacle fields.
+func NewObstacles(blocked ...Rect) Obstacles { return sim.NewObstacles(blocked...) }
 
 // BuildScenario instantiates a scenario spec ("torus", "ring:k=4",
 // "crash:crash=0.001") for nominal target distance d. Apply the result to

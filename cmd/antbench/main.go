@@ -4,6 +4,7 @@
 // Usage:
 //
 //	antbench [-run E1,E5] [-quick] [-seed 42] [-csv] [-list] [-baseline BENCH_baseline.json]
+//	antbench [-snapshot BENCH_label.json] [-parent BENCH_baseline.json] [-compare BENCH_baseline.json] [-tolerance 0.15]
 package main
 
 import (
@@ -29,25 +30,46 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("antbench", flag.ContinueOnError)
 	var (
-		runIDs   = fs.String("run", "", "comma-separated experiment ids (default: all)")
-		quick    = fs.Bool("quick", false, "smaller sweeps and trial counts")
-		seed     = fs.Uint64("seed", 42, "root random seed")
-		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		list     = fs.Bool("list", false, "list experiments and exit")
-		workers  = fs.Int("workers", 0, "simulation worker bound (0 = GOMAXPROCS)")
-		outDir   = fs.String("out", "", "also write one CSV file per table into this directory")
-		baseline = fs.String("baseline", "", "measure the simulation kernels and write a JSON perf snapshot to this path, then exit")
+		runIDs    = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		quick     = fs.Bool("quick", false, "smaller sweeps and trial counts")
+		seed      = fs.Uint64("seed", 42, "root random seed")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		workers   = fs.Int("workers", 0, "simulation worker bound (0 = GOMAXPROCS)")
+		outDir    = fs.String("out", "", "also write one CSV file per table into this directory")
+		baseline  = fs.String("baseline", "", "measure the simulation kernels and write a root JSON perf snapshot (no parent) to this path, then exit")
+		snapshot  = fs.String("snapshot", "", "measure the simulation kernels and write a JSON perf snapshot linked to -parent, then exit")
+		parent    = fs.String("parent", "BENCH_baseline.json", "parent snapshot name recorded in a -snapshot file")
+		compare   = fs.String("compare", "", "measure the simulation kernels and gate against the reference snapshot at this path, then exit")
+		tolerance = fs.Float64("tolerance", 0.15, "allowed fractional regression on the gated kernels for -compare")
 	)
-	cliutil.SetUsage(fs, "Regenerates the reproduction tables E1–E8, AB1–AB4, S1 and S2 (-quick, -csv, -out DIR); -baseline writes the kernel perf snapshot committed as BENCH_baseline.json",
+	cliutil.SetUsage(fs, "Regenerates the reproduction tables E1–E8, AB1–AB4, S1 and S2 (-quick, -csv, -out DIR); -baseline/-snapshot write kernel perf snapshots (the BENCH_*.json series), -compare gates against one",
 		"antbench -quick",
 		"antbench -run E1,E5 -csv",
-		"antbench -baseline BENCH_baseline.json")
+		"antbench -snapshot BENCH_candidate.json -compare BENCH_baseline.json")
 	if ok, err := cliutil.Parse(fs, args); !ok {
 		return err // nil after -h: usage already printed, clean exit
 	}
 
-	if *baseline != "" {
-		return writeBaseline(*baseline, out)
+	if *baseline != "" || *snapshot != "" || *compare != "" {
+		lineage := ""
+		path := *baseline
+		if *snapshot != "" {
+			lineage, path = *parent, *snapshot
+		}
+		b, err := measureBaseline(lineage)
+		if err != nil {
+			return err
+		}
+		if path != "" {
+			if err := writeBaseline(b, path, out); err != nil {
+				return err
+			}
+		}
+		if *compare != "" {
+			return compareBaseline(b, *compare, *tolerance, out)
+		}
+		return nil
 	}
 
 	if *list {

@@ -171,6 +171,17 @@ func (c *CompiledMachine) IsOrigin(s int) bool { return c.actions[s].origin }
 // branch-free move counting.
 func (c *CompiledMachine) MoveInc(s int) uint64 { return uint64(c.actions[s].moveInc) }
 
+// Advance applies state s's grid action to (x, y): the origin teleport or
+// the movement delta. Unlike Apply it skips the move counter, and it is
+// small enough to inline into an engine's inner loop alongside Next.
+func (c *CompiledMachine) Advance(s int, x, y int64) (nx, ny int64) {
+	a := c.actions[s]
+	if a.origin {
+		return 0, 0
+	}
+	return x + int64(a.dx), y + int64(a.dy)
+}
+
 // Apply advances an agent by one transition: it draws the successor of
 // state s from u and applies the state's grid action to (x, y). It returns
 // the new state, position, and the move-counter increment. This is the

@@ -29,6 +29,23 @@ type Walker struct {
 
 	steps uint64
 	moves uint64
+
+	// Dense-sampler inverse CDF, precomputed at construction (nil on the
+	// compiled path): row i's entries are cdf[cdfStart[i]:cdfStart[i+1]],
+	// the running probability mass over row i's non-zero successors in
+	// state order, each paired with its successor index. The accumulation
+	// order is exactly the per-step loop the sampler used to run, so a
+	// fixed seed maps every draw to the same successor.
+	cdf      []cdfEntry
+	cdfStart []int32
+	acts     []stateAction // per-state grid actions (dense path only)
+}
+
+// cdfEntry is one non-zero transition in a precomputed CDF row: the running
+// mass up to and including this successor, and the successor's index.
+type cdfEntry struct {
+	mass float64
+	next int32
 }
 
 // NewWalker returns a compiled-path walker at the machine's start state and
@@ -41,7 +58,25 @@ func NewWalker(m *Machine, src *rng.Source) *Walker {
 // over the machine's dense rows. It is the baseline the compiled path is
 // validated (and benchmarked) against.
 func NewDenseWalker(m *Machine, src *rng.Source) *Walker {
-	return &Walker{m: m, src: src, state: m.Start()}
+	w := &Walker{m: m, src: src, state: m.Start()}
+	n := m.NumStates()
+	w.cdfStart = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := 0; j < n; j++ {
+			p := m.Prob(i, j)
+			if p == 0 {
+				continue
+			}
+			acc += p
+			w.cdf = append(w.cdf, cdfEntry{mass: acc, next: int32(j)})
+		}
+		w.cdfStart[i+1] = int32(len(w.cdf))
+	}
+	// The grid actions are sampler-independent; share the compiled
+	// machine's packed table instead of re-deriving it from labels.
+	w.acts = m.Compiled().actions
+	return w
 }
 
 // Machine returns the machine being walked.
@@ -82,44 +117,51 @@ func (w *Walker) Step() Label {
 
 // stepDense is Step over the dense reference sampler.
 func (w *Walker) stepDense() Label {
-	w.state = w.sample(w.state)
+	s := w.sample(w.state)
+	w.state = s
 	w.steps++
-	label := w.m.Label(w.state)
-	switch label {
-	case LabelUp, LabelDown, LabelLeft, LabelRight:
-		d, _ := label.Direction()
-		w.pos = w.pos.Move(d)
-		w.moves++
-	case LabelOrigin:
+	a := w.acts[s]
+	if a.origin {
 		w.pos = grid.Origin
+	} else {
+		w.pos.X += int64(a.dx)
+		w.pos.Y += int64(a.dy)
+		w.moves += uint64(a.moveInc)
 	}
-	return label
+	return Label(a.label)
 }
 
 // StepN performs k transitions as one batch, equivalent to calling Step k
 // times but with the per-step bookkeeping hoisted out of the loop. It is
 // the kernel warm-up and bulk-simulation entry point.
 func (w *Walker) StepN(k uint64) {
-	c := w.c
-	if c == nil {
-		for i := uint64(0); i < k; i++ {
-			w.Step()
-		}
-		return
-	}
 	src := w.src
 	state := w.state
 	pos := w.pos
 	var moves uint64
-	for i := uint64(0); i < k; i++ {
-		state = c.Next(state, src.Uint64())
-		a := c.actions[state]
-		if a.origin {
-			pos = grid.Origin
-		} else {
-			pos.X += int64(a.dx)
-			pos.Y += int64(a.dy)
-			moves += uint64(a.moveInc)
+	if c := w.c; c != nil {
+		for i := uint64(0); i < k; i++ {
+			state = c.Next(state, src.Uint64())
+			a := c.actions[state]
+			if a.origin {
+				pos = grid.Origin
+			} else {
+				pos.X += int64(a.dx)
+				pos.Y += int64(a.dy)
+				moves += uint64(a.moveInc)
+			}
+		}
+	} else {
+		for i := uint64(0); i < k; i++ {
+			state = w.sample(state)
+			a := w.acts[state]
+			if a.origin {
+				pos = grid.Origin
+			} else {
+				pos.X += int64(a.dx)
+				pos.Y += int64(a.dy)
+				moves += uint64(a.moveInc)
+			}
 		}
 	}
 	w.state = state
@@ -128,28 +170,20 @@ func (w *Walker) StepN(k uint64) {
 	w.moves += moves
 }
 
-// sample draws the successor of state i from row i of the transition
-// matrix by inverse-CDF sampling (the dense reference path).
+// sample draws the successor of state i by inverse-CDF sampling over the
+// CDF rows precomputed at construction (the dense reference path).
 func (w *Walker) sample(i int) int {
 	u := w.src.Float64()
-	var acc float64
-	n := w.m.NumStates()
-	for j := 0; j < n; j++ {
-		p := w.m.Prob(i, j)
-		if p == 0 {
-			continue
-		}
-		acc += p
-		if u < acc {
-			return j
+	row := w.cdf[w.cdfStart[i]:w.cdfStart[i+1]]
+	for _, e := range row {
+		if u < e.mass {
+			return int(e.next)
 		}
 	}
-	// Float rounding can leave u just above the accumulated mass; return
-	// the last state with non-zero probability.
-	for j := n - 1; j >= 0; j-- {
-		if w.m.Prob(i, j) > 0 {
-			return j
-		}
+	if len(row) > 0 {
+		// Float rounding can leave u just above the accumulated mass;
+		// return the last state with non-zero probability.
+		return int(row[len(row)-1].next)
 	}
 	return i
 }

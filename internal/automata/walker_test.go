@@ -1,0 +1,72 @@
+package automata
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestDenseWalkerMatchesPerStepCDF pins the construction-time CDF hoist:
+// the precomputed rows must replay the exact per-step accumulation the
+// sampler used to perform, so a fixed seed yields an identical trajectory.
+func TestDenseWalkerMatchesPerStepCDF(t *testing.T) {
+	for mi, m := range []*Machine{RandomWalk(), ZigZag()} {
+		w := NewDenseWalker(m, rng.New(3))
+		ref := rng.New(3)
+		state := m.Start()
+		for step := 0; step < 5000; step++ {
+			// Reference: the original per-step inverse-CDF loop.
+			u := ref.Float64()
+			next := -1
+			var acc float64
+			for j := 0; j < m.NumStates(); j++ {
+				p := m.Prob(state, j)
+				if p == 0 {
+					continue
+				}
+				acc += p
+				if u < acc {
+					next = j
+					break
+				}
+			}
+			if next < 0 {
+				for j := m.NumStates() - 1; j >= 0; j-- {
+					if m.Prob(state, j) > 0 {
+						next = j
+						break
+					}
+				}
+			}
+			w.Step()
+			if w.State() != next {
+				t.Fatalf("machine %d step %d: walker state %d, per-step CDF says %d",
+					mi, step, w.State(), next)
+			}
+			state = next
+		}
+	}
+}
+
+// TestWalkerStepAllocsZero pins the hot step loops at zero allocations per
+// step — the dense_walker_step fix and the compiled path's contract.
+func TestWalkerStepAllocsZero(t *testing.T) {
+	m := RandomWalk()
+	dw := NewDenseWalker(m, rng.New(1))
+	cw := NewWalker(m, rng.New(1))
+	dw.StepN(256)
+	cw.StepN(256)
+	if a := testing.AllocsPerRun(50, func() { dw.StepN(512) }); a != 0 {
+		t.Errorf("dense walker StepN allocated %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(50, func() { cw.StepN(512) }); a != 0 {
+		t.Errorf("compiled walker StepN allocated %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 512; i++ {
+			dw.Step()
+		}
+	}); a != 0 {
+		t.Errorf("dense walker Step allocated %v per run, want 0", a)
+	}
+}

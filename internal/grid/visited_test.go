@@ -145,3 +145,184 @@ func TestMergeCrossRadiusMatchesUnion(t *testing.T) {
 		}
 	}
 }
+
+// TestSparseDenseOracleEquality is the core satellite property test: a
+// forced-sparse VisitSet must be observationally identical to the dense
+// oracle on 10⁴-step random walks, across radii spanning the dense window,
+// the boundary, and far excursions.
+func TestSparseDenseOracleEquality(t *testing.T) {
+	for _, r := range []int64{0, 1, 16, 63, 64, 100, 1000} {
+		src := rng.New(uint64(r)*1000 + 3)
+		dense := NewVisitSet(r)
+		sparse := NewSparseVisitSet(r)
+		if dense.Sparse() || !sparse.Sparse() {
+			t.Fatalf("r=%d: mode selection broken: dense.Sparse=%v sparse.Sparse=%v",
+				r, dense.Sparse(), sparse.Sparse())
+		}
+		var p Point
+		for step := 0; step < 10000; step++ {
+			switch src.Intn(5) {
+			case 0:
+				p.X++
+			case 1:
+				p.X--
+			case 2:
+				p.Y++
+			case 3:
+				p.Y--
+			case 4:
+				// Long jump: exercise the excursion store.
+				p = Point{X: src.Intn(4*r+4001) - 2*r - 2000, Y: src.Intn(4*r+4001) - 2*r - 2000}
+			}
+			dv := dense.Visit(p)
+			sv := sparse.Visit(p)
+			if dv != sv {
+				t.Fatalf("r=%d step %d: Visit(%v) dense=%v sparse=%v", r, step, p, dv, sv)
+			}
+			if dense.Count() != sparse.Count() || dense.CountInBall() != sparse.CountInBall() {
+				t.Fatalf("r=%d step %d: counts diverge: dense (%d,%d) sparse (%d,%d)",
+					r, step, dense.Count(), dense.CountInBall(),
+					sparse.Count(), sparse.CountInBall())
+			}
+		}
+		if dense.CoverageFraction() != sparse.CoverageFraction() {
+			t.Fatalf("r=%d: coverage fractions diverge", r)
+		}
+		// Point-for-point equality both ways.
+		dense.Each(func(q Point) {
+			if !sparse.Contains(q) {
+				t.Fatalf("r=%d: sparse missing %v", r, q)
+			}
+		})
+		n := 0
+		sparse.Each(func(q Point) {
+			n++
+			if !dense.Contains(q) {
+				t.Fatalf("r=%d: sparse has extra %v", r, q)
+			}
+		})
+		if int64(n) != dense.Count() {
+			t.Fatalf("r=%d: sparse Each yielded %d points, want %d", r, n, dense.Count())
+		}
+		// EachDense (ball-restricted iteration) must agree as sets.
+		db := map[Point]bool{}
+		dense.EachDense(func(q Point) { db[q] = true })
+		sn := 0
+		sparse.EachDense(func(q Point) {
+			sn++
+			if !db[q] {
+				t.Fatalf("r=%d: sparse EachDense yielded %v outside dense oracle", r, q)
+			}
+		})
+		if sn != len(db) {
+			t.Fatalf("r=%d: EachDense sizes diverge: sparse %d dense %d", r, sn, len(db))
+		}
+	}
+}
+
+// TestSparseMergeMatchesDenseMerge checks the structural word-OR merge in
+// both modes against per-point union, including the striped-worker pattern
+// (same radius, same mode) the engines use at checkpoints.
+func TestSparseMergeMatchesDenseMerge(t *testing.T) {
+	const r = 32
+	src := rng.New(77)
+	walk := func(v *VisitSet, n int) {
+		var p Point
+		for i := 0; i < n; i++ {
+			p.X += src.Intn(3) - 1
+			p.Y += src.Intn(3) - 1
+			if src.Intn(50) == 0 {
+				p = Point{X: src.Intn(401) - 200, Y: src.Intn(401) - 200}
+			}
+			v.Visit(p)
+		}
+	}
+	da, sa := NewVisitSet(r), NewSparseVisitSet(r)
+	db, sb := NewVisitSet(r), NewSparseVisitSet(r)
+	// Identical fills: rewind the stream for the sparse twins.
+	walk(da, 3000)
+	walk(db, 3000)
+	src = rng.New(77)
+	walk(sa, 3000)
+	walk(sb, 3000)
+
+	da.Merge(db)
+	sa.Merge(sb)
+	if da.Count() != sa.Count() || da.CountInBall() != sa.CountInBall() {
+		t.Fatalf("merge diverges: dense (%d,%d) sparse (%d,%d)",
+			da.Count(), da.CountInBall(), sa.Count(), sa.CountInBall())
+	}
+	da.Each(func(q Point) {
+		if !sa.Contains(q) {
+			t.Fatalf("sparse merge missing %v", q)
+		}
+	})
+	// Cross-mode merge falls back to per-point and must still agree.
+	cross := NewVisitSet(r)
+	cross.Merge(sb)
+	db2 := NewVisitSet(r)
+	db2.Merge(db)
+	if cross.Count() != db.Count() || cross.CountInBall() != db.CountInBall() {
+		t.Fatalf("cross-mode merge diverges: got (%d,%d), want (%d,%d)",
+			cross.Count(), cross.CountInBall(), db.Count(), db.CountInBall())
+	}
+}
+
+// TestNewVisitSetAutoSelectsSparse pins the radius threshold behaviour.
+func TestNewVisitSetAutoSelectsSparse(t *testing.T) {
+	if NewVisitSet(1024).Sparse() {
+		t.Error("radius 1024 should stay dense")
+	}
+	if !NewVisitSet(1025).Sparse() {
+		t.Error("radius 1025 should auto-select sparse")
+	}
+	huge := NewVisitSet(1 << 40)
+	if !huge.Visit(Point{X: 1 << 39, Y: -(1 << 39)}) {
+		t.Error("sparse set rejected a far visit")
+	}
+	if huge.CountInBall() != 1 {
+		t.Errorf("CountInBall = %d, want 1", huge.CountInBall())
+	}
+}
+
+// TestVisitBatchMatchesVisit pins the engines' buffered entry point to the
+// per-point oracle in both backings, including window excursions and
+// duplicate points within one batch.
+func TestVisitBatchMatchesVisit(t *testing.T) {
+	src := rng.New(41)
+	for _, r := range []int64{0, 4, 64} {
+		for _, sparse := range []bool{false, true} {
+			mk := func() *VisitSet {
+				if sparse {
+					return NewSparseVisitSet(r)
+				}
+				return NewVisitSet(r)
+			}
+			batched, oracle := mk(), mk()
+			p := Origin
+			var batch []Point
+			for i := 0; i < 4000; i++ {
+				p = p.Move(Direction(1 + src.Intn(4)))
+				if src.Intn(200) == 0 { // excursion far outside the window
+					p = Point{X: p.X + 3*r + 7, Y: p.Y - 2*r - 5}
+				}
+				batch = append(batch, p)
+				oracle.Visit(p)
+				if len(batch) == 97 || i == 3999 {
+					batched.VisitBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			if batched.Count() != oracle.Count() || batched.CountInBall() != oracle.CountInBall() {
+				t.Fatalf("r=%d sparse=%v: batch (%d,%d) vs oracle (%d,%d)",
+					r, sparse, batched.Count(), batched.CountInBall(),
+					oracle.Count(), oracle.CountInBall())
+			}
+			oracle.Each(func(q Point) {
+				if !batched.Contains(q) {
+					t.Fatalf("r=%d sparse=%v: batch missing %v", r, sparse, q)
+				}
+			})
+		}
+	}
+}

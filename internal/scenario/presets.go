@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/grid"
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -56,11 +57,60 @@ var presets = []Preset{
 		Summary: "open plane with a wall at x=⌈D/2⌉ pierced by a one-cell gap at y=0, target at (D,0)",
 		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
 			w := (d + 1) / 2
-			wall := sim.Obstacles{Blocked: []grid.Rect{
+			wall := sim.NewObstacles(
 				grid.NewRect(grid.Point{X: w, Y: 1}, grid.Point{X: w, Y: d}),
 				grid.NewRect(grid.Point{X: w, Y: -d}, grid.Point{X: w, Y: -1}),
-			}}
+			)
 			return wall, []grid.Point{{X: d, Y: 0}}, sim.FaultModel{}, nil
+		},
+	},
+	{
+		Name:    "field",
+		Summary: "unbounded-arena variant: open plane strewn with k 3×3 obstacle blocks out to span·D, target at (D,0)",
+		Params:  "k=<blocks> (default 48), span=<mult> (default 4)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			k := p.int64v("k", 48)
+			span := p.int64v("span", 4)
+			if k < 1 || k > 2048 {
+				return nil, nil, sim.FaultModel{}, fmt.Errorf("field size k=%d out of [1, 2048]", k)
+			}
+			if span < 2 || span > 1<<16 {
+				return nil, nil, sim.FaultModel{}, fmt.Errorf("field span=%d out of [2, %d]", span, 1<<16)
+			}
+			target := grid.Point{X: d, Y: 0}
+			ext := span * d
+			side := 2*ext + 1
+			// Keep the field under half-covered so rejection sampling
+			// terminates fast and the plane stays searchable.
+			if 18*k > side*side {
+				return nil, nil, sim.FaultModel{}, fmt.Errorf("field k=%d too crowded for span·D=%d", k, ext)
+			}
+			// Deterministic placement: the same (k, span, D) always lays
+			// out the same field, keeping Build a pure function of the spec.
+			src := rng.New(0xf1e1d ^ uint64(k)<<40 ^ uint64(span)<<20 ^ uint64(d))
+			blocks := make([]grid.Rect, 0, k)
+			for int64(len(blocks)) < k {
+				cx := src.Intn(side) - ext
+				cy := src.Intn(side) - ext
+				r := grid.NewRect(grid.Point{X: cx - 1, Y: cy - 1}, grid.Point{X: cx + 1, Y: cy + 1})
+				if r.Contains(grid.Origin) || r.Contains(target) {
+					continue
+				}
+				blocks = append(blocks, r)
+			}
+			return sim.NewObstacles(blocks...), []grid.Point{target}, sim.FaultModel{}, nil
+		},
+	},
+	{
+		Name:    "far",
+		Summary: "unbounded-arena variant: open plane with the target pushed out to (mult·D, 0)",
+		Params:  "mult=<factor> (default 8)",
+		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+			mult := p.int64v("mult", 8)
+			if mult < 1 || mult > 1<<40 {
+				return nil, nil, sim.FaultModel{}, fmt.Errorf("far mult=%d out of [1, 2^40]", mult)
+			}
+			return nil, []grid.Point{{X: mult * d, Y: 0}}, sim.FaultModel{}, nil
 		},
 	},
 	{

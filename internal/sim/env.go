@@ -179,6 +179,18 @@ func (e *Env) FoundAt() uint64 { return e.foundAt }
 // Crashed reports whether the fault model has crashed the agent.
 func (e *Env) Crashed() bool { return e.crashed }
 
+// TargetDist returns the max-norm distance from the agent's current
+// position to the nearest target, or -1 when the run has no targets. Large
+// target sets answer via the spatial index in time proportional to the tile
+// distance to the nearest target.
+func (e *Env) TargetDist() int64 {
+	_, d, ok := e.targets.Nearest(e.pos)
+	if !ok {
+		return -1
+	}
+	return d
+}
+
 // Done reports whether the agent should stop: it found a target, crashed,
 // or ran out of budget.
 func (e *Env) Done() bool {

@@ -19,11 +19,24 @@ import (
 // growth experiment) are about.
 //
 // The engine runs on the machine's compiled form (see automata.Compile):
-// agent state lives in flat parallel arrays, each worker owns a contiguous
-// stripe of agents plus its own VisitSet, and the worker pool is persistent
-// — goroutines are created once per run and synchronized with a channel
-// round barrier, not spawned per round. Visit stripes are merged into the
-// master set by word-OR only at checkpoints and at the end of the run.
+// agent state lives in flat parallel structure-of-arrays storage, each
+// worker owns a contiguous stripe of agents plus its own VisitSet, and the
+// worker pool is persistent — goroutines are created once per run and
+// synchronized with a channel barrier, not spawned per round.
+//
+// Rounds are executed in segments. Because agents are independent between
+// synchronization points (observer rounds, checkpoints, the StopOnFound
+// horizon), the engine is free to step one agent through a whole run of
+// rounds before touching the next: agent-major order keeps the agent's
+// source, state and position in registers across the inner round loop and
+// pays the worker barrier once per segment instead of once per round.
+// The trajectories are bit-identical to round-major order — each agent
+// consumes the same stream in the same order — and the first-found round is
+// the minimum over agents of their personal first-hit round, which segments
+// compute exactly. A run with an observer or StopOnFound degenerates to
+// one-round segments, which is precisely the old behaviour. Visit stripes
+// are merged into the master set by word-OR only at checkpoints and at the
+// end of the run.
 
 // AgentState is one agent's snapshot at the end of a round.
 type AgentState struct {
@@ -76,6 +89,11 @@ type RoundsConfig struct {
 	StopOnFound bool
 	// TrackRadius, when positive, maintains the union visit set.
 	TrackRadius int64
+	// SparseVisits forces the sparse tile-index backing for the visit sets
+	// regardless of TrackRadius (large radii select it automatically). The
+	// two backings are observationally identical; the flag exists for the
+	// oracle-equality tests and sparse-path benchmarks.
+	SparseVisits bool
 	// Workers bounds per-round stepping concurrency. 0 auto-sizes: up to
 	// GOMAXPROCS workers, but never so many that a worker owns fewer than
 	// minAgentsPerWorker agents (small swarms run without synchronization).
@@ -129,15 +147,24 @@ func roundWorkers(requested, n int) int {
 	return w
 }
 
+// newTrackSet builds one visit set of the run's tracking configuration.
+func newTrackSet(r int64, sparse bool) *grid.VisitSet {
+	if sparse {
+		return grid.NewSparseVisitSet(r)
+	}
+	return grid.NewVisitSet(r)
+}
+
 // swarm is the flat compiled-execution state of a synchronous run: one slot
-// per agent in parallel arrays, stepped stripe-wise by the worker pool.
+// per agent in parallel structure-of-arrays storage, stepped stripe-wise by
+// the worker pool in agent-major segments.
 //
-// Two stepping paths exist. The fast path (stepRange) is the open-plane,
+// Two stepping paths exist. The fast path (segmentRange) is the open-plane,
 // no-fault, single-target kernel: it applies the compiled machine's packed
-// grid action directly. The general path (stepRangeGeneral) resolves every
-// move against a World, checks a TargetSet, and runs the fault model; it is
-// selected whenever any of those depart from the defaults. Both paths draw
-// exactly one walk-stream value per acting agent per round, so the
+// grid action directly. The general path (segmentRangeGeneral) resolves
+// every move against a World, checks a TargetSet, and runs the fault model;
+// it is selected whenever any of those depart from the defaults. Both paths
+// draw exactly one walk-stream value per acting agent per round, so the
 // trajectories of an explicit OpenPlane{} match the fast path bit for bit.
 type swarm struct {
 	c      *automata.CompiledMachine
@@ -150,11 +177,14 @@ type swarm struct {
 	hasTarget bool
 	target    grid.Point
 
+	// Segment bounds [segR0, segR1], 1-based inclusive rounds; written by
+	// the main goroutine before the barrier releases the workers.
+	segR0, segR1 uint64
+
 	// General-path state (world / multi-target / fault scenarios).
 	general   bool
 	world     World
 	targets   TargetSet
-	round     uint64 // current 1-based round; written by the main goroutine before the barrier
 	crashProb uint64 // fixed-point per-round crash threshold; 0 = off
 	faultSrcs []rng.Source
 	delays    []uint64 // idle-prefix rounds per agent
@@ -202,81 +232,129 @@ func newSwarm(cfg RoundsConfig, seed uint64) *swarm {
 	return s
 }
 
-// step advances agents [lo, hi) by one round on whichever path the run
-// selected.
-func (s *swarm) step(lo, hi int, stripe *grid.VisitSet) bool {
+// segment advances agents [lo, hi) through rounds [segR0, segR1] on
+// whichever path the run selected, returning the earliest round at which an
+// agent in the range newly reached a target (0: none did).
+func (s *swarm) segment(lo, hi int, stripe *grid.VisitSet) uint64 {
 	if s.general {
-		return s.stepRangeGeneral(lo, hi, stripe)
+		return s.segmentRangeGeneral(lo, hi, stripe)
 	}
-	return s.stepRange(lo, hi, stripe)
+	return s.segmentRange(lo, hi, stripe)
 }
 
-// stepRange advances agents [lo, hi) by one transition each, recording
-// visits into stripe (may be nil) and reporting whether any agent in the
-// range newly reached the target this round.
-func (s *swarm) stepRange(lo, hi int, stripe *grid.VisitSet) bool {
+// visitBatchLen is the engine's position-buffer size: 256 points (4 KB per
+// worker frame) amortizes the VisitBatch call without leaving L1.
+const visitBatchLen = 256
+
+// segmentRange is the fast-path kernel: agent-major over the segment's
+// rounds, one compiled transition per round, visits recorded into stripe
+// (may be nil).
+func (s *swarm) segmentRange(lo, hi int, stripe *grid.VisitSet) uint64 {
 	c := s.c
-	found := false
+	r0, r1 := s.segR0, s.segR1
+	tx, ty := s.target.X, s.target.Y
+	hasTarget := s.hasTarget
+	var first uint64
 	for i := lo; i < hi; i++ {
-		st, x, y, _ := c.Apply(int(s.states[i]), s.posX[i], s.posY[i], s.srcs[i].Uint64())
+		src := &s.srcs[i]
+		st := int(s.states[i])
+		x, y := s.posX[i], s.posY[i]
+		found := s.agents[i].Found
+		if stripe != nil && !hasTarget {
+			// Coverage kernel: no per-step target test, Next and Advance
+			// inline, and visits are buffered so the loop body makes no
+			// calls at all — one VisitBatch flush per buffer.
+			var buf [visitBatchLen]grid.Point
+			bn := 0
+			for r := r0; r <= r1; r++ {
+				st = c.Next(st, src.Uint64())
+				x, y = c.Advance(st, x, y)
+				buf[bn] = grid.Point{X: x, Y: y}
+				bn++
+				if bn == len(buf) {
+					stripe.VisitBatch(buf[:])
+					bn = 0
+				}
+			}
+			stripe.VisitBatch(buf[:bn])
+		} else {
+			for r := r0; r <= r1; r++ {
+				st = c.Next(st, src.Uint64())
+				x, y = c.Advance(st, x, y)
+				if stripe != nil {
+					stripe.Visit(grid.Point{X: x, Y: y})
+				}
+				if hasTarget && !found && x == tx && y == ty {
+					found = true
+					if first == 0 || r < first {
+						first = r
+					}
+				}
+			}
+		}
 		s.states[i] = int32(st)
 		s.posX[i], s.posY[i] = x, y
-		p := grid.Point{X: x, Y: y}
-		if stripe != nil {
-			stripe.Visit(p)
-		}
-		s.agents[i].Pos = p
+		s.agents[i].Pos = grid.Point{X: x, Y: y}
 		s.agents[i].State = st
-		if s.hasTarget && p == s.target && !s.agents[i].Found {
-			s.agents[i].Found = true
-			found = true
-		}
+		s.agents[i].Found = found
 	}
-	return found
+	return first
 }
 
-// stepRangeGeneral is the world-aware stepping kernel: it draws the
-// successor state exactly like the fast path but resolves the state's grid
-// action against the world, tests the full target set, and applies the
-// fault model. A crashed agent never acts again and keeps its position; an
-// agent still inside its start-delay prefix draws nothing at all, so the
-// walk stream it eventually uses is the same one it would have used with no
+// segmentRangeGeneral is the world-aware kernel: it draws the successor
+// state exactly like the fast path but resolves the state's grid action
+// against the world, tests the full target set, and applies the fault
+// model. A crashed agent never acts again and keeps its position; an agent
+// still inside its start-delay prefix draws nothing at all, so the walk
+// stream it eventually uses is the same one it would have used with no
 // delay.
-func (s *swarm) stepRangeGeneral(lo, hi int, stripe *grid.VisitSet) bool {
+func (s *swarm) segmentRangeGeneral(lo, hi int, stripe *grid.VisitSet) uint64 {
 	c := s.c
-	found := false
+	r0, r1 := s.segR0, s.segR1
+	var first uint64
 	for i := lo; i < hi; i++ {
 		if s.crashed[i] {
 			continue
 		}
-		if s.round <= s.delays[i] {
-			continue
+		src := &s.srcs[i]
+		st := int(s.states[i])
+		x, y := s.posX[i], s.posY[i]
+		found := s.agents[i].Found
+		delay := s.delays[i]
+		for r := r0; r <= r1; r++ {
+			if r <= delay {
+				continue
+			}
+			if s.crashProb > 0 && s.faultSrcs[i].Uint64() < s.crashProb {
+				s.crashed[i] = true
+				s.agents[i].Crashed = true
+				break
+			}
+			st = c.Next(st, src.Uint64())
+			p := grid.Point{X: x, Y: y}
+			if c.IsOrigin(st) {
+				p = grid.Origin
+			} else if d, ok := c.Dir(st); ok {
+				p, _ = s.world.Resolve(p, d)
+			}
+			x, y = p.X, p.Y
+			if stripe != nil {
+				stripe.Visit(p)
+			}
+			if !found && s.targets.Hit(p) {
+				found = true
+				if first == 0 || r < first {
+					first = r
+				}
+			}
 		}
-		if s.crashProb > 0 && s.faultSrcs[i].Uint64() < s.crashProb {
-			s.crashed[i] = true
-			s.agents[i].Crashed = true
-			continue
-		}
-		st := c.Next(int(s.states[i]), s.srcs[i].Uint64())
 		s.states[i] = int32(st)
-		p := grid.Point{X: s.posX[i], Y: s.posY[i]}
-		if c.IsOrigin(st) {
-			p = grid.Origin
-		} else if d, ok := c.Dir(st); ok {
-			p, _ = s.world.Resolve(p, d)
-		}
-		s.posX[i], s.posY[i] = p.X, p.Y
-		if stripe != nil {
-			stripe.Visit(p)
-		}
-		s.agents[i].Pos = p
+		s.posX[i], s.posY[i] = x, y
+		s.agents[i].Pos = grid.Point{X: x, Y: y}
 		s.agents[i].State = st
-		if !s.agents[i].Found && s.targets.Hit(p) {
-			s.agents[i].Found = true
-			found = true
-		}
+		s.agents[i].Found = found
 	}
-	return found
+	return first
 }
 
 // RunRounds executes the swarm in lockstep. Observers (optional, may be
@@ -325,10 +403,10 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 	var master *grid.VisitSet
 	stripes := make([]*grid.VisitSet, workers)
 	if track {
-		master = grid.NewVisitSet(cfg.TrackRadius)
+		master = newTrackSet(cfg.TrackRadius, cfg.SparseVisits)
 		master.Visit(grid.Origin)
 		for w := range stripes {
-			stripes[w] = grid.NewVisitSet(cfg.TrackRadius)
+			stripes[w] = newTrackSet(cfg.TrackRadius, cfg.SparseVisits)
 		}
 	}
 
@@ -343,15 +421,15 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 	}
 
 	// Persistent worker pool: workers are started once and synchronized
-	// with a channel round barrier. Worker w owns agents [lo[w], hi[w])
+	// with a channel segment barrier. Worker w owns agents [lo[w], hi[w])
 	// and visit stripe w, so stepping needs no locks; the barrier gives
-	// the main goroutine exclusive access between rounds.
+	// the main goroutine exclusive access between segments.
 	chunk := (n + workers - 1) / workers
 	var starts []chan struct{}
-	var done chan bool
+	var done chan uint64
 	if workers > 1 {
 		starts = make([]chan struct{}, workers)
-		done = make(chan bool, workers)
+		done = make(chan uint64, workers)
 		for w := 0; w < workers; w++ {
 			lo := w * chunk
 			hi := lo + chunk
@@ -361,7 +439,7 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 			starts[w] = make(chan struct{})
 			go func(lo, hi int, start chan struct{}, stripe *grid.VisitSet) {
 				for range start {
-					done <- sw.step(lo, hi, stripe)
+					done <- sw.segment(lo, hi, stripe)
 				}
 			}(lo, hi, starts[w], stripes[w])
 		}
@@ -378,38 +456,49 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 			master.Merge(st)
 		}
 	}
-	for round := uint64(1); round <= cfg.Rounds; round++ {
-		// The barrier orders this write before the workers' reads.
-		sw.round = round
-		var anyFound bool
+	// Observers and StopOnFound need exclusive access after every round;
+	// otherwise segments extend to the next checkpoint or the horizon.
+	perRound := obs != nil || cfg.StopOnFound
+	for round := uint64(1); round <= cfg.Rounds; {
+		segEnd := cfg.Rounds
+		if perRound {
+			segEnd = round
+		}
+		if nextCk < len(cfg.Checkpoints) && cfg.Checkpoints[nextCk] < segEnd {
+			segEnd = cfg.Checkpoints[nextCk]
+		}
+		// The barrier orders these writes before the workers' reads.
+		sw.segR0, sw.segR1 = round, segEnd
+		var firstFound uint64
 		if workers == 1 {
-			anyFound = sw.step(0, n, stripes[0])
+			firstFound = sw.segment(0, n, stripes[0])
 		} else {
 			for _, ch := range starts {
 				ch <- struct{}{}
 			}
 			for w := 0; w < workers; w++ {
-				if <-done {
-					anyFound = true
+				if f := <-done; f != 0 && (firstFound == 0 || f < firstFound) {
+					firstFound = f
 				}
 			}
 		}
-		res.RoundsRun = round
-		if anyFound && !res.Found {
+		res.RoundsRun = segEnd
+		if firstFound != 0 && !res.Found {
 			res.Found = true
-			res.FoundRound = round
+			res.FoundRound = firstFound
 		}
-		if nextCk < len(cfg.Checkpoints) && round == cfg.Checkpoints[nextCk] {
+		if nextCk < len(cfg.Checkpoints) && segEnd == cfg.Checkpoints[nextCk] {
 			mergeStripes()
-			cfg.CheckpointFn(round, master)
+			cfg.CheckpointFn(segEnd, master)
 			nextCk++
 		}
 		if obs != nil {
-			obs.Observe(round, sw.agents)
+			obs.Observe(segEnd, sw.agents)
 		}
 		if res.Found && cfg.StopOnFound {
 			break
 		}
+		round = segEnd + 1
 	}
 	if track {
 		mergeStripes()

@@ -178,3 +178,68 @@ func TestCoverageCurveValidation(t *testing.T) {
 		t.Error("non-increasing checkpoints should fail")
 	}
 }
+
+// TestSegmentBatchingMatchesPerRound pins the agent-major segment kernel:
+// a batched run (no observer) must be bit-identical to the same run forced
+// into one-round segments by a no-op observer, across worker counts and
+// both stepping paths.
+func TestSegmentBatchingMatchesPerRound(t *testing.T) {
+	noop := RoundObserverFunc(func(uint64, []AgentState) {})
+	cfgs := []RoundsConfig{
+		{Machine: automata.RandomWalk(), NumAgents: 5, Rounds: 700,
+			Target: grid.Point{X: 3, Y: 1}, HasTarget: true, TrackRadius: 24},
+		{Machine: automata.RandomWalk(), NumAgents: 4, Rounds: 500,
+			World: OpenPlane{}, Targets: []grid.Point{{X: 2, Y: 2}, {X: -1, Y: 3}}, TrackRadius: 16},
+		{Machine: automata.RandomWalk(), NumAgents: 6, Rounds: 400,
+			Faults: FaultModel{CrashProb: 0.002, MaxStartDelay: 20}, TrackRadius: 16},
+	}
+	for ci, base := range cfgs {
+		for _, workers := range []int{1, 3} {
+			cfg := base
+			cfg.Workers = workers
+			batched, err := RunRounds(cfg, nil, 21)
+			if err != nil {
+				t.Fatalf("cfg %d workers %d: batched: %v", ci, workers, err)
+			}
+			perRound, err := RunRounds(cfg, noop, 21)
+			if err != nil {
+				t.Fatalf("cfg %d workers %d: per-round: %v", ci, workers, err)
+			}
+			if batched.Found != perRound.Found || batched.FoundRound != perRound.FoundRound ||
+				batched.RoundsRun != perRound.RoundsRun || batched.Crashed != perRound.Crashed {
+				t.Fatalf("cfg %d workers %d: results diverge: %+v vs %+v",
+					ci, workers, batched, perRound)
+			}
+			if batched.Visited.Count() != perRound.Visited.Count() ||
+				batched.Visited.CountInBall() != perRound.Visited.CountInBall() {
+				t.Fatalf("cfg %d workers %d: visit sets diverge: (%d,%d) vs (%d,%d)",
+					ci, workers, batched.Visited.Count(), batched.Visited.CountInBall(),
+					perRound.Visited.Count(), perRound.Visited.CountInBall())
+			}
+			batched.Visited.Each(func(p grid.Point) {
+				if !perRound.Visited.Contains(p) {
+					t.Fatalf("cfg %d workers %d: per-round run missing %v", ci, workers, p)
+				}
+			})
+		}
+	}
+}
+
+// TestSegmentBatchingFoundRoundExact places a deterministic target so the
+// batched kernel must report the same first-found round a per-round run
+// would, even though the whole horizon executes as one segment.
+func TestSegmentBatchingFoundRoundExact(t *testing.T) {
+	res, err := RunRounds(RoundsConfig{
+		Machine:   automata.ZigZag(),
+		NumAgents: 2,
+		Rounds:    50, // no StopOnFound: the run must batch the full horizon
+		Target:    grid.Point{X: 2, Y: 2},
+		HasTarget: true,
+	}, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.FoundRound != 4 || res.RoundsRun != 50 {
+		t.Fatalf("batched zigzag: %+v, want FoundRound=4 RoundsRun=50", res)
+	}
+}

@@ -40,8 +40,12 @@ type Config struct {
 	// algorithms guaranteed to find the target).
 	MoveBudget uint64
 	// TrackRadius, when positive, records every cell visited by any agent
-	// into a merged VisitSet with the given dense radius.
+	// into a merged VisitSet with the given ball radius.
 	TrackRadius int64
+	// SparseVisits forces the sparse tile-index backing for the visit sets
+	// regardless of TrackRadius (large radii select it automatically); see
+	// RoundsConfig.SparseVisits.
+	SparseVisits bool
 	// Workers bounds the concurrency; 0 means GOMAXPROCS.
 	Workers int
 	// HookFactory, when non-nil, builds an event hook per agent id (may
@@ -61,6 +65,11 @@ type AgentResult struct {
 	Moves uint64
 	// Steps is the corresponding Markov-step count.
 	Steps uint64
+	// TargetDist is the max-norm distance from the agent's final position
+	// to the nearest target (0 for agents that ended on one, -1 when the
+	// run has no targets) — the "how close did the failures get" statistic
+	// of budgeted runs.
+	TargetDist int64
 }
 
 // Result is the outcome of one multi-agent search.
@@ -129,7 +138,7 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 	for w := 0; w < workers; w++ {
 		var track *grid.VisitSet
 		if cfg.TrackRadius > 0 {
-			track = grid.NewVisitSet(cfg.TrackRadius)
+			track = newTrackSet(cfg.TrackRadius, cfg.SparseVisits)
 			visits = append(visits, track)
 		}
 		wg.Add(1)
@@ -172,10 +181,11 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 				// The slot is owned by this worker: no other goroutine
 				// writes index id, and wg.Wait orders it before the reads.
 				res.Agents[id] = AgentResult{
-					Found:   env.Found(),
-					Crashed: env.Crashed(),
-					Moves:   movesOf(&env),
-					Steps:   env.Steps(),
+					Found:      env.Found(),
+					Crashed:    env.Crashed(),
+					Moves:      movesOf(&env),
+					Steps:      env.Steps(),
+					TargetDist: env.TargetDist(),
 				}
 			}
 		}(track)
@@ -204,7 +214,7 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 		res.MinSteps = 0
 	}
 	if cfg.TrackRadius > 0 {
-		merged := grid.NewVisitSet(cfg.TrackRadius)
+		merged := newTrackSet(cfg.TrackRadius, cfg.SparseVisits)
 		for _, v := range visits {
 			merged.Merge(v)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/rng"
+	"repro/internal/spatial"
 )
 
 // World is the topology agents move on: it decides which moves are legal,
@@ -132,37 +133,72 @@ func (t Torus) Validate() error {
 	return nil
 }
 
+// obstacleIndexMaxCells caps the total rasterized area NewObstacles will
+// index: 2²² cells is 4 MB of leaf tiles in the worst case, far beyond any
+// scenario preset, while a handful of enormous rectangles (cheap to scan
+// linearly, ruinous to rasterize) stay on the linear path.
+const obstacleIndexMaxCells = 1 << 22
+
 // Obstacles is the open plane minus a set of axis-aligned rectangles.
 // Moves into a blocked cell are blocked; the agent stays in place.
+//
+// A struct literal resolves moves by scanning Blocked linearly — exact but
+// O(#rects) per step. NewObstacles additionally rasterizes the rectangles
+// into a sparse spatial index, making membership O(tree height) regardless
+// of the rectangle count; the two constructions are observationally
+// identical.
 type Obstacles struct {
 	// Blocked lists the obstacle rectangles (inclusive corners). None may
 	// contain the origin.
 	Blocked []grid.Rect
+
+	// idx, when non-nil, holds every blocked cell (see NewObstacles).
+	// Resolve/Contains run on many goroutines at once, which is safe
+	// because lookups never mutate the index.
+	idx *spatial.Index
+}
+
+// NewObstacles builds an Obstacles world whose membership queries run
+// against a rasterized spatial index when the total blocked area is at most
+// obstacleIndexMaxCells (larger or malformed inputs fall back to the
+// linear scan; Validate still reports malformed rectangles).
+func NewObstacles(blocked ...grid.Rect) Obstacles {
+	o := Obstacles{Blocked: blocked}
+	rects := make([][4]int64, len(blocked))
+	for i, r := range blocked {
+		rects[i] = [4]int64{r.Min.X, r.Min.Y, r.Max.X, r.Max.Y}
+	}
+	o.idx = spatial.FromRects(rects, obstacleIndexMaxCells)
+	return o
 }
 
 // Name implements World.
 func (o Obstacles) Name() string { return fmt.Sprintf("obstacles-%d", len(o.Blocked)) }
 
+// blocked reports whether p lies inside an obstacle.
+func (o Obstacles) blocked(p grid.Point) bool {
+	if o.idx != nil {
+		return o.idx.Contains(p.X, p.Y)
+	}
+	for _, r := range o.Blocked {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
 // Resolve implements World.
 func (o Obstacles) Resolve(pos grid.Point, d grid.Direction) (grid.Point, bool) {
 	next := pos.Move(d)
-	for _, r := range o.Blocked {
-		if r.Contains(next) {
-			return pos, false
-		}
+	if o.blocked(next) {
+		return pos, false
 	}
 	return next, true
 }
 
 // Contains implements World.
-func (o Obstacles) Contains(p grid.Point) bool {
-	for _, r := range o.Blocked {
-		if r.Contains(p) {
-			return false
-		}
-	}
-	return true
-}
+func (o Obstacles) Contains(p grid.Point) bool { return !o.blocked(p) }
 
 // Validate implements World.
 func (o Obstacles) Validate() error {
@@ -204,16 +240,18 @@ func validateWorld(w World, targets []grid.Point) error {
 }
 
 // targetSetMapThreshold is the size above which TargetSet switches from a
-// linear scan to a hash lookup.
+// linear scan to a spatial-index lookup.
 const targetSetMapThreshold = 8
 
 // TargetSet is the set of target positions of one search instance. Small
 // sets (the common case: one target) are scanned linearly, matching the
-// single-comparison cost of the pre-scenario engine; larger sets use a map.
-// The zero value is the empty set (a pure coverage run).
+// single-comparison cost of the pre-scenario engine; larger sets use a
+// sparse spatial index, which also answers nearest-target queries in time
+// proportional to the tile distance to the answer. The zero value is the
+// empty set (a pure coverage run).
 type TargetSet struct {
 	pts []grid.Point
-	m   map[grid.Point]struct{} // non-nil only above targetSetMapThreshold
+	idx *spatial.Index // non-nil only above targetSetMapThreshold
 }
 
 // NewTargetSet builds a target set from the given points (duplicates are
@@ -221,19 +259,19 @@ type TargetSet struct {
 func NewTargetSet(pts ...grid.Point) TargetSet {
 	t := TargetSet{pts: pts}
 	if len(pts) > targetSetMapThreshold {
-		t.m = make(map[grid.Point]struct{}, len(pts))
+		t.idx = spatial.NewIndex()
 		for _, p := range pts {
-			t.m[p] = struct{}{}
+			t.idx.Visit(p.X, p.Y)
 		}
 	}
 	return t
 }
 
-// Hit reports whether p is a target.
+// Hit reports whether p is a target. It is safe to call from many
+// goroutines at once (index lookups never mutate).
 func (t TargetSet) Hit(p grid.Point) bool {
-	if t.m != nil {
-		_, ok := t.m[p]
-		return ok
+	if t.idx != nil {
+		return t.idx.Contains(p.X, p.Y)
 	}
 	for _, q := range t.pts {
 		if q == p {
@@ -241,6 +279,28 @@ func (t TargetSet) Hit(p grid.Point) bool {
 		}
 	}
 	return false
+}
+
+// Nearest returns the target closest to p in max-norm and its distance,
+// breaking distance ties by smaller Y, then smaller X (the same order on
+// the linear and indexed paths). ok is false for the empty set.
+func (t TargetSet) Nearest(p grid.Point) (q grid.Point, dist int64, ok bool) {
+	if len(t.pts) == 0 {
+		return grid.Point{}, 0, false
+	}
+	if t.idx != nil {
+		nx, ny, _ := t.idx.Nearest(p.X, p.Y)
+		q = grid.Point{X: nx, Y: ny}
+		return q, q.Sub(p).Norm(), true
+	}
+	dist = -1
+	for _, c := range t.pts {
+		d := c.Sub(p).Norm()
+		if dist < 0 || d < dist || (d == dist && (c.Y < q.Y || (c.Y == q.Y && c.X < q.X))) {
+			q, dist = c, d
+		}
+	}
+	return q, dist, true
 }
 
 // Empty reports whether the set has no targets.
