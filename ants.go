@@ -23,6 +23,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/grid"
+	"repro/internal/monitor"
 	"repro/internal/scenario"
 	"repro/internal/search"
 	"repro/internal/service"
@@ -356,6 +357,14 @@ type (
 	// ServiceStats is the aggregate state served at /v1/stats (queue
 	// depth, jobs by state, points/sec, cache hit rate).
 	ServiceStats = service.Stats
+	// ServiceMonitorState is the control-chart health view served at
+	// /v1/monitor (overall verdict, per-series estimator state, recent
+	// state transitions).
+	ServiceMonitorState = service.MonitorState
+	// HealthMonitor is a set of named EWMA control-chart estimators — the
+	// change detector behind /v1/monitor and `antbench -sentinel`
+	// (internal/monitor, DESIGN.md §10).
+	HealthMonitor = monitor.Monitor
 	// ServiceRoute is one entry of the service's HTTP route table.
 	ServiceRoute = service.Route
 	// ServiceClient is the Go client of the antsimd HTTP API.
@@ -454,7 +463,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 // layer's distributor hook: a daemon with this installed dispatches its
 // sweep jobs across the worker fleet returned by workers (typically its
 // live join registry), falling back to local execution when the fleet is
-// empty.
-func NewClusterDistributor(workers func() []string, cacheDir string) ServiceDistributor {
-	return cluster.NewDistributor(workers, cacheDir)
+// empty. Heartbeat-probe round-trips land in health when non-nil
+// (typically the daemon's Service.Monitor), so /v1/monitor covers the
+// fleet.
+func NewClusterDistributor(workers func() []string, cacheDir string, health *HealthMonitor) ServiceDistributor {
+	return cluster.NewDistributor(workers, cacheDir, health)
 }

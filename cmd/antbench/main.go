@@ -5,6 +5,7 @@
 //
 //	antbench [-run E1,E5] [-quick] [-seed 42] [-csv] [-list] [-baseline BENCH_baseline.json]
 //	antbench [-snapshot BENCH_label.json] [-parent BENCH_baseline.json] [-compare BENCH_baseline.json] [-tolerance 0.15]
+//	antbench [-sentinel DIR] [-k 3] [-warmup 2] [-floor 0.05]
 package main
 
 import (
@@ -42,13 +43,22 @@ func run(args []string, out io.Writer) error {
 		parent    = fs.String("parent", "BENCH_baseline.json", "parent snapshot name recorded in a -snapshot file")
 		compare   = fs.String("compare", "", "measure the simulation kernels and gate against the reference snapshot at this path, then exit")
 		tolerance = fs.Float64("tolerance", 0.15, "allowed fractional regression on the gated kernels for -compare")
+		sentinel  = fs.String("sentinel", "", "walk the parent-linked BENCH_*.json series in this directory through the control-chart detector and fail on the first upper-limit breach, then exit")
+		kSigma    = fs.Float64("k", 3, "control-limit width in sigmas for -sentinel")
+		warmup    = fs.Int("warmup", 2, "snapshots absorbed per kernel before -sentinel starts classifying")
+		floor     = fs.Float64("floor", 0.05, "minimum log-space sigma for -sentinel (0.05 ≈ a ±5% noise floor)")
 	)
-	cliutil.SetUsage(fs, "Regenerates the reproduction tables E1–E8, AB1–AB4, S1 and S2 (-quick, -csv, -out DIR); -baseline/-snapshot write kernel perf snapshots (the BENCH_*.json series), -compare gates against one",
+	cliutil.SetUsage(fs, "Regenerates the reproduction tables E1–E8, AB1–AB4, S1 and S2 (-quick, -csv, -out DIR); -baseline/-snapshot write kernel perf snapshots (the BENCH_*.json series), -compare gates against one, -sentinel control-charts the whole series",
 		"antbench -quick",
 		"antbench -run E1,E5 -csv",
-		"antbench -snapshot BENCH_candidate.json -compare BENCH_baseline.json")
+		"antbench -snapshot BENCH_candidate.json -parent BENCH_sparse_soa.json",
+		"antbench -sentinel .")
 	if ok, err := cliutil.Parse(fs, args); !ok {
 		return err // nil after -h: usage already printed, clean exit
+	}
+
+	if *sentinel != "" {
+		return runSentinel(*sentinel, *kSigma, *warmup, *floor, out)
 	}
 
 	if *baseline != "" || *snapshot != "" || *compare != "" {

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/monitor"
+)
+
+// runSentinel is `antbench -sentinel DIR`: it loads every BENCH_*.json
+// snapshot under dir, orders them by their parent links into the one
+// committed perf trajectory, feeds each kernel's ns/op series through a
+// log-normal control-limit detector (internal/monitor), and fails naming
+// the first snapshot whose value breaches a kernel's upper control
+// limit. It replaces the single-parent ±15% compare as CI's perf gate:
+// the whole series is the reference, not one hand-picked snapshot, and
+// the allowance tracks the series' own measured noise (never tighter
+// than the σ floor).
+//
+// Improvements never fail: only upper-limit breaches do, and a
+// persistent shift re-learns as the new normal once it is recorded in
+// the series, so an accepted regression does not fail every later run.
+func runSentinel(dir string, k float64, warmup int, floor float64, out io.Writer) error {
+	snaps, err := loadSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	chain, err := chainOrder(snaps)
+	if err != nil {
+		return err
+	}
+
+	kernels := map[string]bool{}
+	for _, name := range chain {
+		for kn := range snaps[name].Kernels {
+			kernels[kn] = true
+		}
+	}
+	names := make([]string, 0, len(kernels))
+	for kn := range kernels {
+		names = append(names, kn)
+	}
+	sort.Strings(names)
+
+	cfg := monitor.Config{Mode: monitor.LogNormal, K: k, Warmup: warmup, Floor: floor}
+	est := make(map[string]*monitor.Estimator, len(names))
+	for _, kn := range names {
+		est[kn] = monitor.NewEstimator(cfg)
+	}
+
+	fmt.Fprintf(out, "sentinel over %d snapshots (%s), k=%.1f warmup=%d floor=%.0f%%:\n",
+		len(chain), strings.Join(chain, " -> "), k, warmup, floor*100)
+	type failure struct {
+		snap, kernel string
+		value, ucl   float64
+	}
+	var failures []failure
+	for _, snapName := range chain {
+		b := snaps[snapName]
+		for _, kn := range names {
+			v, ok := b.Kernels[kn]
+			if !ok {
+				continue
+			}
+			obs := est[kn].Observe(v)
+			status := string(obs.State)
+			if obs.State == monitor.Breach && obs.Above {
+				status = "BREACH"
+				failures = append(failures, failure{snapName, kn, v, obs.UCL})
+			}
+			limit := ""
+			if obs.State != monitor.Learning {
+				limit = fmt.Sprintf("  (ucl %.1f)", obs.UCL)
+			}
+			fmt.Fprintf(out, "  %-28s %-20s %14.1f ns/op  %s%s\n", snapName, kn, v, status, limit)
+		}
+	}
+	if len(failures) > 0 {
+		f := failures[0]
+		return fmt.Errorf("sentinel: snapshot %s kernel %s breached its upper control limit (%.1f ns/op > ucl %.1f); %d breach(es) total",
+			f.snap, f.kernel, f.value, f.ucl, len(failures))
+	}
+	fmt.Fprintf(out, "sentinel: trajectory clean (%d snapshots, %d kernels)\n", len(chain), len(names))
+	return nil
+}
+
+// loadSnapshots parses every BENCH_*.json under dir into base-name →
+// snapshot.
+func loadSnapshots(dir string) (map[string]Baseline, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("sentinel: no BENCH_*.json snapshots under %s", dir)
+	}
+	snaps := make(map[string]Baseline, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("sentinel: %w", err)
+		}
+		var b Baseline
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("sentinel: parse %s: %w", p, err)
+		}
+		snaps[filepath.Base(p)] = b
+	}
+	return snaps, nil
+}
+
+// chainOrder validates the snapshots' parent links and returns their
+// names root-first. The links must form one linear chain: exactly one
+// root (empty parent), every parent present among the snapshots, no
+// snapshot claimed as parent twice, and no cycles — each violation is a
+// named error, never a hang or a nil dereference.
+func chainOrder(snaps map[string]Baseline) ([]string, error) {
+	sorted := make([]string, 0, len(snaps))
+	for name := range snaps {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	child := make(map[string]string, len(snaps)) // parent -> its one child
+	var roots []string
+	for _, name := range sorted {
+		parent := snaps[name].Parent
+		if parent == "" {
+			roots = append(roots, name)
+			continue
+		}
+		if _, ok := snaps[parent]; !ok {
+			return nil, fmt.Errorf("sentinel: snapshot %s names parent %s, which is not among the BENCH_*.json snapshots", name, parent)
+		}
+		if other, ok := child[parent]; ok {
+			return nil, fmt.Errorf("sentinel: snapshots %s and %s both name %s as parent (the series must be a linear chain)", other, name, parent)
+		}
+		child[parent] = name
+	}
+	switch {
+	case len(roots) == 0:
+		return nil, fmt.Errorf("sentinel: no root snapshot (every parent link is set — the chain is cyclic among %s)", strings.Join(sorted, ", "))
+	case len(roots) > 1:
+		return nil, fmt.Errorf("sentinel: %d root snapshots (%s); the series must have exactly one snapshot without a parent", len(roots), strings.Join(roots, ", "))
+	}
+
+	chain := make([]string, 0, len(snaps))
+	for name := roots[0]; ; {
+		chain = append(chain, name)
+		next, ok := child[name]
+		if !ok {
+			break
+		}
+		name = next
+	}
+	if len(chain) != len(snaps) {
+		inChain := make(map[string]bool, len(chain))
+		for _, name := range chain {
+			inChain[name] = true
+		}
+		var orphans []string
+		for _, name := range sorted {
+			if !inChain[name] {
+				orphans = append(orphans, name)
+			}
+		}
+		return nil, fmt.Errorf("sentinel: snapshots %s are not reachable from the root %s (cyclic or detached parent links)",
+			strings.Join(orphans, ", "), roots[0])
+	}
+	return chain, nil
+}

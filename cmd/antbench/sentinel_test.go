@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// writeSnap writes one synthetic BENCH_*.json snapshot into dir.
+func writeSnap(t *testing.T, dir, name, parent string, kernels map[string]float64) {
+	t.Helper()
+	data, err := json.Marshal(Baseline{
+		SchemaVersion: baselineSchemaVersion,
+		Parent:        parent,
+		GoVersion:     "go-test",
+		Timestamp:     "2026-01-01T00:00:00Z",
+		Kernels:       kernels,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// jitteredChain writes a length-n parent-linked chain into dir whose
+// kernels hover at their base levels with ±frac uniform jitter, and
+// returns the snapshot names root-first. step, if non-nil, overrides the
+// multiplier applied to one kernel from one index onward.
+func jitteredChain(t *testing.T, dir string, src *rng.Source, n int, levels map[string]float64, frac float64, step func(i int, kernel string) float64) []string {
+	t.Helper()
+	names := make([]string, n)
+	parent := ""
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("BENCH_%03d.json", i)
+		kernels := make(map[string]float64, len(levels))
+		for k, level := range levels {
+			x := level * (1 + frac*(2*src.Float64()-1))
+			if step != nil {
+				x *= step(i, k)
+			}
+			kernels[k] = x
+		}
+		writeSnap(t, dir, names[i], parent, kernels)
+		parent = names[i]
+	}
+	return names
+}
+
+// TestSentinelCommittedChainPasses is the acceptance check: the sentinel
+// run over the real committed BENCH_*.json series must be clean.
+func TestSentinelCommittedChainPasses(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sentinel", "../.."}, &out); err != nil {
+		t.Fatalf("sentinel failed over the committed chain: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "trajectory clean") {
+		t.Errorf("no clean verdict in output: %q", out.String())
+	}
+}
+
+// TestSentinelNamesInjectedStep plants a +60% step regression in one
+// kernel partway along a jittered chain; the sentinel must fail naming
+// exactly that snapshot and kernel.
+func TestSentinelNamesInjectedStep(t *testing.T) {
+	dir := t.TempDir()
+	src := rng.New(11)
+	const plantAt = 5
+	names := jitteredChain(t, dir, src, 8,
+		map[string]float64{"alpha": 120, "beta": 5000}, 0.02,
+		func(i int, kernel string) float64 {
+			if kernel == "beta" && i >= plantAt {
+				return 1.6
+			}
+			return 1
+		})
+
+	var out strings.Builder
+	err := run([]string{"-sentinel", dir}, &out)
+	if err == nil {
+		t.Fatalf("sentinel passed a planted step regression:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), names[plantAt]) {
+		t.Errorf("error does not name the planted snapshot %s: %v", names[plantAt], err)
+	}
+	if !strings.Contains(err.Error(), "beta") {
+		t.Errorf("error does not name the planted kernel: %v", err)
+	}
+	for i, name := range names[:plantAt] {
+		if strings.Contains(err.Error(), name) {
+			t.Errorf("error names pre-step snapshot %d (%s): %v", i, name, err)
+		}
+	}
+}
+
+// TestSentinelQuietOnNoise pins the false-positive budget: over many
+// seeded pure-noise chains (±3% jitter, under the 5% σ floor) the
+// sentinel must never fail.
+func TestSentinelQuietOnNoise(t *testing.T) {
+	falsePositives := 0
+	for seed := uint64(1); seed <= 20; seed++ {
+		dir := t.TempDir()
+		src := rng.New(seed)
+		jitteredChain(t, dir, src, 10,
+			map[string]float64{"alpha": 120, "beta": 5000, "gamma": 7.5}, 0.03, nil)
+		var out strings.Builder
+		if err := run([]string{"-sentinel", dir}, &out); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			falsePositives++
+		}
+	}
+	if falsePositives != 0 {
+		t.Errorf("%d/20 noise-only chains tripped the sentinel, want 0", falsePositives)
+	}
+}
+
+// TestSentinelChainValidation: malformed parent links must produce named
+// errors — never a hang or a nil dereference.
+func TestSentinelChainValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		write   func(t *testing.T, dir string)
+		wantErr []string
+	}{
+		{
+			name: "missing parent",
+			write: func(t *testing.T, dir string) {
+				writeSnap(t, dir, "BENCH_a.json", "BENCH_ghost.json", map[string]float64{"k": 1})
+			},
+			wantErr: []string{"BENCH_a.json", "BENCH_ghost.json"},
+		},
+		{
+			name: "cyclic chain",
+			write: func(t *testing.T, dir string) {
+				writeSnap(t, dir, "BENCH_a.json", "BENCH_b.json", map[string]float64{"k": 1})
+				writeSnap(t, dir, "BENCH_b.json", "BENCH_a.json", map[string]float64{"k": 1})
+			},
+			wantErr: []string{"cyclic"},
+		},
+		{
+			name: "cycle detached from the root",
+			write: func(t *testing.T, dir string) {
+				writeSnap(t, dir, "BENCH_root.json", "", map[string]float64{"k": 1})
+				writeSnap(t, dir, "BENCH_c.json", "BENCH_d.json", map[string]float64{"k": 1})
+				writeSnap(t, dir, "BENCH_d.json", "BENCH_c.json", map[string]float64{"k": 1})
+			},
+			wantErr: []string{"BENCH_c.json", "BENCH_d.json", "not reachable"},
+		},
+		{
+			name: "branching chain",
+			write: func(t *testing.T, dir string) {
+				writeSnap(t, dir, "BENCH_root.json", "", map[string]float64{"k": 1})
+				writeSnap(t, dir, "BENCH_a.json", "BENCH_root.json", map[string]float64{"k": 1})
+				writeSnap(t, dir, "BENCH_b.json", "BENCH_root.json", map[string]float64{"k": 1})
+			},
+			wantErr: []string{"BENCH_a.json", "BENCH_b.json", "linear chain"},
+		},
+		{
+			name: "multiple roots",
+			write: func(t *testing.T, dir string) {
+				writeSnap(t, dir, "BENCH_a.json", "", map[string]float64{"k": 1})
+				writeSnap(t, dir, "BENCH_b.json", "", map[string]float64{"k": 1})
+			},
+			wantErr: []string{"2 root snapshots"},
+		},
+		{
+			name:    "no snapshots at all",
+			write:   func(t *testing.T, dir string) {},
+			wantErr: []string{"no BENCH_*.json"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			tc.write(t, dir)
+			var out strings.Builder
+			err := run([]string{"-sentinel", dir}, &out)
+			if err == nil {
+				t.Fatalf("malformed chain accepted:\n%s", out.String())
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSentinelImprovementPasses: a large speed-up (downward step) must
+// not fail the gate — only upper-limit breaches do.
+func TestSentinelImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	src := rng.New(5)
+	jitteredChain(t, dir, src, 8,
+		map[string]float64{"alpha": 120}, 0.02,
+		func(i int, kernel string) float64 {
+			if i >= 5 {
+				return 0.2 // 5× faster
+			}
+			return 1
+		})
+	var out strings.Builder
+	if err := run([]string{"-sentinel", dir}, &out); err != nil {
+		t.Fatalf("improvement tripped the sentinel: %v\n%s", err, out.String())
+	}
+}

@@ -109,7 +109,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			addrs[i] = w.Addr
 		}
 		return addrs
-	}, *cacheDir))
+	}, *cacheDir, svc.Monitor()))
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		_ = svc.Close(context.Background()) // stop the worker pool; no jobs yet

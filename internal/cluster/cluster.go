@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/monitor"
 	"repro/internal/service"
 	"repro/internal/sweep"
 )
@@ -80,6 +81,11 @@ type Config struct {
 	// stealing aimed at genuine stragglers instead of duplicating every
 	// tail shard of a healthy fleet.
 	StealAfter time.Duration
+	// Health, when non-nil, receives one "fleet_rtt:<worker>" sample per
+	// successful heartbeat probe — the probe's round-trip seconds — so a
+	// daemon's /v1/monitor control charts cover its dispatch fleet. Nil
+	// disables the sampling.
+	Health *monitor.Monitor
 }
 
 // Cluster is a coordinator over a fixed worker fleet. Build one with New;
@@ -516,9 +522,13 @@ func (c *Cluster) runAttempt(ctx context.Context, d *dispatcher, client *service
 				return
 			case <-ticker.C:
 				hctx, hcancel := context.WithTimeout(at.ctx, c.cfg.Heartbeat)
+				probeStart := time.Now()
 				err := client.Healthz(hctx)
 				hcancel()
 				if err == nil {
+					if c.cfg.Health != nil {
+						c.cfg.Health.Observe("fleet_rtt:"+at.worker, time.Since(probeStart).Seconds(), time.Now())
+					}
 					misses = 0
 					continue
 				}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/monitor"
 	"repro/internal/service"
 	"repro/internal/sweep"
 )
@@ -394,6 +395,36 @@ func TestWorkStealingReassignsStraggler(t *testing.T) {
 	}
 }
 
+// TestHeartbeatFeedsHealthMonitor holds a shard in flight long enough
+// for several heartbeat probes to fire and checks that each successful
+// probe lands a "fleet_rtt:<worker>" sample in the configured health
+// monitor — the series /v1/monitor charts for the dispatch fleet.
+func TestHeartbeatFeedsHealthMonitor(t *testing.T) {
+	w := startWorker(t, service.Config{}, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+				time.Sleep(120 * time.Millisecond) // keep the shard in flight across probes
+			}
+			next.ServeHTTP(rw, r)
+		})
+	})
+	health := monitor.New(monitor.Config{})
+	c, err := New(Config{Workers: []string{w.srv.URL}, Heartbeat: 10 * time.Millisecond, Health: health})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Dispatch(context.Background(), Request{Sweep: "s1", Quick: true, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	wantSeries := "fleet_rtt:" + w.srv.URL
+	for _, s := range health.Snapshot() {
+		if s.Name == wantSeries && s.N > 0 {
+			return
+		}
+	}
+	t.Errorf("no %s series in the health monitor: %+v", wantSeries, health.Snapshot())
+}
+
 // TestDispatchAbortsWhenAllWorkersDead: a fleet that is entirely
 // unreachable fails the dispatch with a clear error instead of hanging.
 func TestDispatchAbortsWhenAllWorkersDead(t *testing.T) {
@@ -518,13 +549,13 @@ func TestKernelFailureAbortsDispatch(t *testing.T) {
 // empty fleet declines (local fallback), a live fleet handles the job and
 // forwards per-point progress.
 func TestNewDistributorAdaptsServiceHook(t *testing.T) {
-	empty := NewDistributor(func() []string { return nil }, "")
+	empty := NewDistributor(func() []string { return nil }, "", nil)
 	if _, handled, err := empty(context.Background(), service.JobSpec{Kind: service.KindSweep, Sweep: "s1", Quick: true}, nil); handled || err != nil {
 		t.Fatalf("empty fleet: handled=%v err=%v, want decline", handled, err)
 	}
 
 	ws := startFleet(t, 2)
-	dist := NewDistributor(func() []string { return fleetURLs(ws) }, t.TempDir())
+	dist := NewDistributor(func() []string { return fleetURLs(ws) }, t.TempDir(), monitor.New(monitor.Config{}))
 	var mu sync.Mutex
 	points := 0
 	rep, handled, err := dist(context.Background(),

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 
+	"repro/internal/monitor"
 	"repro/internal/service"
 	"repro/internal/sweep"
 )
@@ -15,14 +16,16 @@ import (
 // job (the determinism contract makes a retry safe and, with a cache
 // directory, warm). cacheDir roots the coordinator-side federated cache —
 // normally the daemon's own CacheDir, so daemon-local and distributed
-// runs share one cache.
-func NewDistributor(workers func() []string, cacheDir string) service.Distributor {
+// runs share one cache. health, when non-nil, receives per-worker
+// heartbeat round-trip samples (typically the daemon's own Monitor, so
+// /v1/monitor covers the fleet); nil disables the sampling.
+func NewDistributor(workers func() []string, cacheDir string, health *monitor.Monitor) service.Distributor {
 	return func(ctx context.Context, spec service.JobSpec, progress func(sweep.Progress)) (*sweep.Report, bool, error) {
 		fleet := workers()
 		if len(fleet) == 0 {
 			return nil, false, nil
 		}
-		c, err := New(Config{Workers: fleet, CacheDir: cacheDir, Resume: cacheDir != ""})
+		c, err := New(Config{Workers: fleet, CacheDir: cacheDir, Resume: cacheDir != "", Health: health})
 		if err != nil {
 			return nil, true, err
 		}

@@ -1,0 +1,155 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randConfig derives an arbitrary-but-valid estimator config from a
+// seeded source, covering both modes and a spread of k/warmup/alpha.
+func randConfig(src *rng.Source) Config {
+	mode := Linear
+	if src.Bool() {
+		mode = LogNormal
+	}
+	return Config{
+		Alpha:  0.05 + 0.9*src.Float64(),
+		K:      1 + 5*src.Float64(),
+		Warmup: int(2 + src.Intn(6)),
+		Mode:   mode,
+		Floor:  0.01 + 0.2*src.Float64(),
+	}
+}
+
+// randSeries derives a positive sample series with occasional large
+// excursions, so property runs exercise every FSM state.
+func randSeries(src *rng.Source, n int) []float64 {
+	level := math.Exp(10 * (src.Float64() - 0.5)) // levels across ~9 decades
+	out := make([]float64, n)
+	for i := range out {
+		x := level * (1 + 0.1*(2*src.Float64()-1))
+		if src.Intn(8) == 0 {
+			x *= math.Exp(2 * (2*src.Float64() - 1)) // excursion up to ±e²
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// TestEstimatorProperties checks the package invariants over many seeded
+// random configs and series:
+//
+//  1. the EWMA center stays within the observed raw [min, max];
+//  2. control limits widen monotonically in k;
+//  3. the FSM never steps from learning straight to breach;
+//  4. states are always one of the four defined values and N counts.
+func TestEstimatorProperties(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		src := rng.New(seed)
+		cfg := randConfig(src)
+		e := NewEstimator(cfg)
+		series := randSeries(src, 60)
+		for i, x := range series {
+			obs := e.Observe(x)
+			checkInvariants(t, e, obs, seed, i)
+		}
+		if e.N() != len(series) {
+			t.Fatalf("seed %d: N = %d, want %d", seed, e.N(), len(series))
+		}
+	}
+}
+
+// checkInvariants asserts the estimator invariants after one Observe.
+func checkInvariants(t *testing.T, e *Estimator, obs Observation, seed uint64, i int) {
+	t.Helper()
+	if obs.Prev == Learning && obs.State == Breach {
+		t.Fatalf("seed %d sample %d: FSM skipped learning → breach", seed, i)
+	}
+	switch obs.State {
+	case Learning, Healthy, Warning, Breach:
+	default:
+		t.Fatalf("seed %d sample %d: undefined state %q", seed, i, obs.State)
+	}
+	min, max := e.Range()
+	c := e.Center()
+	// Convexity puts the center inside the observed range; allow float
+	// slack at the edges (one sample ⇒ center == min == max).
+	const slack = 1e-9
+	lo := min - slack*(math.Abs(min)+1)
+	hi := max + slack*(math.Abs(max)+1)
+	if c < lo || c > hi {
+		t.Fatalf("seed %d sample %d: center %g outside observed [%g, %g]", seed, i, c, min, max)
+	}
+	prevUCL, prevLCL := math.Inf(-1), math.Inf(1)
+	for _, k := range []float64{0.5, 1, 2, 3, 4, 6, 10} {
+		lcl, ucl := e.ControlLimits(k)
+		if ucl < prevUCL || lcl > prevLCL {
+			t.Fatalf("seed %d sample %d: limits not monotone in k (k=%g: [%g, %g], prev [%g, %g])",
+				seed, i, k, lcl, ucl, prevLCL, prevUCL)
+		}
+		if lcl > ucl {
+			t.Fatalf("seed %d sample %d: lcl %g > ucl %g at k=%g", seed, i, lcl, ucl, k)
+		}
+		prevUCL, prevLCL = ucl, lcl
+	}
+}
+
+// TestLogNormalScaleInvariance: in LogNormal mode, scaling every sample
+// by a positive constant must reproduce the exact same state sequence —
+// detection is relative, so a uniformly slower machine alarms exactly
+// where a faster one does.
+func TestLogNormalScaleInvariance(t *testing.T) {
+	for seed := uint64(1); seed <= 100; seed++ {
+		src := rng.New(seed)
+		cfg := randConfig(src)
+		cfg.Mode = LogNormal
+		series := randSeries(src, 50)
+		for _, scale := range []float64{1e-6, 0.5, 3, 1e6} {
+			a, b := NewEstimator(cfg), NewEstimator(cfg)
+			for i, x := range series {
+				oa, ob := a.Observe(x), b.Observe(x*scale)
+				if oa.State != ob.State || oa.Above != ob.Above {
+					t.Fatalf("seed %d scale %g sample %d: states diverge (%s/%v vs %s/%v)",
+						seed, scale, i, oa.State, oa.Above, ob.State, ob.Above)
+				}
+			}
+		}
+	}
+}
+
+// FuzzEstimator drives one estimator with fuzz-chosen config knobs and a
+// fuzz-derived sample series, asserting the package invariants on every
+// step. Samples include zero, negatives and huge magnitudes — the
+// estimator must classify them without panicking or entering an
+// undefined state.
+func FuzzEstimator(f *testing.F) {
+	f.Add(uint64(1), uint8(3), false, []byte{10, 20, 30, 200, 30, 20})
+	f.Add(uint64(7), uint8(2), true, []byte{1, 1, 1, 1, 255, 1})
+	f.Add(uint64(42), uint8(5), true, []byte{0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, warmup uint8, lognormal bool, data []byte) {
+		mode := Linear
+		if lognormal {
+			mode = LogNormal
+		}
+		src := rng.New(seed)
+		cfg := Config{
+			Alpha:  0.05 + 0.9*src.Float64(),
+			K:      1 + 5*src.Float64(),
+			Warmup: int(warmup),
+			Mode:   mode,
+			Floor:  0.01 + 0.2*src.Float64(),
+		}
+		e := NewEstimator(cfg)
+		for i, b := range data {
+			// Map bytes onto a wide, signed, occasionally extreme range.
+			x := (float64(b) - 32) * math.Exp(float64(b%7)-3)
+			obs := e.Observe(x)
+			if obs.Value != x {
+				t.Fatalf("sample %d echoed wrong value", i)
+			}
+			checkInvariants(t, e, obs, seed, i)
+		}
+	})
+}

@@ -1,0 +1,428 @@
+// Package monitor is the statistical regression sentinel: exponentially
+// weighted control-chart change detection over metric series, used to
+// watch both the committed BENCH_*.json perf trajectory (antbench
+// -sentinel) and the live antsimd fleet (GET /v1/monitor).
+//
+// The moving parts:
+//
+//   - Estimator tracks one series with an EWMA mean and EWMA variance and
+//     classifies each new sample against control limits at ±k·σ (with a
+//     σ floor so near-constant series do not alarm on noise), driving a
+//     small state machine learning → healthy → warning → breach.
+//   - Monitor is a concurrency-safe set of named Estimators plus an
+//     append-only log of state transitions, snapshot-able for serving.
+//
+// Detection runs either on the raw samples (Linear) or on their
+// logarithms (LogNormal). Log-space detection is the right choice for
+// throughput-style metrics such as ns/op: multiplicative noise becomes
+// additive, and classification is invariant under rescaling every sample
+// by a constant (a machine twice as slow overall alarms exactly where a
+// twice-as-fast one does).
+//
+// Classification happens against the limits computed from the samples
+// seen so far, before the new sample is folded into the moments — a
+// regression is judged by the history it deviates from, then absorbed
+// so a persistent shift re-learns as the new normal.
+package monitor
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// State is one station of the detector's state machine. The zero value
+// is Learning.
+type State string
+
+// The detector states. Transitions: learning holds until Warmup samples
+// have been absorbed; after that each sample lands in healthy, warning
+// (beyond WarnK·σ) or breach (beyond K·σ), except that the first
+// classified sample after learning is capped at warning — the FSM never
+// jumps from learning straight to breach. A breached series recovers to
+// healthy (or warning) as soon as samples fall back inside the limits.
+const (
+	// Learning: fewer than Warmup samples absorbed; no classification yet.
+	Learning State = "learning"
+	// Healthy: the last sample fell inside the warning limits.
+	Healthy State = "healthy"
+	// Warning: the last sample fell between the warning and control
+	// limits (or was breach-level while still learning).
+	Warning State = "warning"
+	// Breach: the last sample fell outside the ±K·σ control limits.
+	Breach State = "breach"
+)
+
+// rank orders states by severity for Monitor.Overall: healthy < learning
+// < warning < breach.
+func (s State) rank() int {
+	switch s {
+	case Healthy:
+		return 0
+	case Learning:
+		return 1
+	case Warning:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Mode selects the detection space.
+type Mode string
+
+// The detection spaces.
+const (
+	// Linear detects on the raw sample values.
+	Linear Mode = "linear"
+	// LogNormal detects on log(sample): limits are multiplicative and
+	// classification is invariant under scaling the whole series by a
+	// positive constant. Samples must be positive; non-positive samples
+	// are clamped to the smallest positive float (a gross outlier, which
+	// is what a non-positive throughput reading is).
+	LogNormal Mode = "log-normal"
+)
+
+// Config parameterizes an Estimator. The zero value selects the
+// defaults noted on each field.
+type Config struct {
+	// Alpha is the EWMA weight of the newest sample, in (0, 1]
+	// (default 0.3).
+	Alpha float64
+	// K is the control-limit half-width in σ units; a sample beyond
+	// mean ± K·σ is breach-level (default 4).
+	K float64
+	// WarnK is the warning-limit half-width in σ units, ≤ K; a sample
+	// beyond mean ± WarnK·σ but inside the control limits is
+	// warning-level (default 0.75·K).
+	WarnK float64
+	// Warmup is how many samples the estimator absorbs before it starts
+	// classifying (minimum and default 2): limits need at least a mean
+	// and one deviation to be meaningful.
+	Warmup int
+	// Mode selects the detection space (default Linear).
+	Mode Mode
+	// Floor is the minimum detection-space σ, as a fraction of the
+	// series level: in LogNormal mode it is an absolute log-space floor
+	// (0.05 ≈ ±5% of the level), in Linear mode it is multiplied by
+	// |EWMA|. It keeps near-constant series from alarming on measurement
+	// noise (default 0.05).
+	Floor float64
+}
+
+// withDefaults fills the zero fields of a Config.
+func (c Config) withDefaults() Config {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.WarnK <= 0 || c.WarnK > c.K {
+		c.WarnK = 0.75 * c.K
+	}
+	if c.Warmup < 2 {
+		c.Warmup = 2
+	}
+	if c.Mode == "" {
+		c.Mode = Linear
+	}
+	if c.Floor <= 0 {
+		c.Floor = 0.05
+	}
+	return c
+}
+
+// Observation is the outcome of feeding one sample to an Estimator: the
+// state the sample landed the series in, the state it came from, and the
+// limits it was classified against (raw-space; zero while learning).
+type Observation struct {
+	// Value is the raw sample.
+	Value float64
+	// Prev is the state before this sample.
+	Prev State
+	// State is the state after this sample.
+	State State
+	// Above reports that the sample exceeded the upper warning or
+	// control limit — a regression for smaller-is-better metrics. A
+	// breach with Above false is a downward excursion (an improvement,
+	// for such metrics).
+	Above bool
+	// UCL and LCL are the raw-space control limits the sample was
+	// classified against (both 0 while the estimator was still
+	// learning).
+	UCL, LCL float64
+}
+
+// Estimator tracks one metric series: EWMA mean and variance in the
+// detection space, the observed raw min/max, and the FSM state. Not safe
+// for concurrent use; Monitor adds locking.
+type Estimator struct {
+	cfg      Config
+	n        int
+	mean     float64 // detection-space EWMA
+	variance float64 // detection-space EWMA variance
+	min, max float64 // raw-space observed range
+	state    State
+	last     float64 // raw-space last sample
+}
+
+// NewEstimator returns an estimator in the Learning state.
+func NewEstimator(cfg Config) *Estimator {
+	return &Estimator{cfg: cfg.withDefaults(), state: Learning}
+}
+
+// toDetect maps a raw sample into the detection space, returning the
+// effective raw value too (LogNormal clamps non-positive samples to the
+// smallest positive float — a gross outlier, which is what a
+// non-positive throughput reading is).
+func (e *Estimator) toDetect(x float64) (eff, y float64) {
+	if e.cfg.Mode == LogNormal {
+		if x <= 0 {
+			x = math.SmallestNonzeroFloat64
+		}
+		return x, math.Log(x)
+	}
+	return x, x
+}
+
+// fromDetect maps a detection-space value back to raw space.
+func (e *Estimator) fromDetect(y float64) float64 {
+	if e.cfg.Mode == LogNormal {
+		return math.Exp(y)
+	}
+	return y
+}
+
+// sigma returns the floored detection-space standard deviation.
+func (e *Estimator) sigma() float64 {
+	s := math.Sqrt(e.variance)
+	floor := e.cfg.Floor
+	if e.cfg.Mode == Linear {
+		floor *= math.Abs(e.mean)
+	}
+	if floor < 1e-12 {
+		floor = 1e-12 // keep limits strictly ordered even at zero level
+	}
+	if s < floor {
+		s = floor
+	}
+	return s
+}
+
+// ControlLimits returns the raw-space limits mean ± k·σ for an arbitrary
+// half-width k. Limits widen monotonically in k.
+func (e *Estimator) ControlLimits(k float64) (lcl, ucl float64) {
+	s := e.sigma()
+	return e.fromDetect(e.mean - k*s), e.fromDetect(e.mean + k*s)
+}
+
+// Observe classifies one sample against the limits learned from the
+// samples before it, advances the FSM, and then folds the sample into
+// the EWMA moments. It returns what happened.
+func (e *Estimator) Observe(x float64) Observation {
+	eff, y := e.toDetect(x)
+	obs := Observation{Value: x, Prev: e.state}
+
+	if e.n >= e.cfg.Warmup {
+		s := e.sigma()
+		lcl, ucl := e.mean-e.cfg.K*s, e.mean+e.cfg.K*s
+		warnLo, warnHi := e.mean-e.cfg.WarnK*s, e.mean+e.cfg.WarnK*s
+		var sev State
+		switch {
+		case y > ucl || y < lcl:
+			sev = Breach
+		case y > warnHi || y < warnLo:
+			sev = Warning
+		default:
+			sev = Healthy
+		}
+		// The FSM never jumps from learning straight to breach: the
+		// first classified sample has limits built from warmup samples
+		// only, too little history to abort on.
+		if e.state == Learning && sev == Breach {
+			sev = Warning
+		}
+		e.state = sev
+		obs.Above = y > warnHi
+		obs.UCL, obs.LCL = e.fromDetect(ucl), e.fromDetect(lcl)
+	} else {
+		e.state = Learning
+	}
+	obs.State = e.state
+
+	if e.n == 0 {
+		e.mean = y
+		e.min, e.max = eff, eff
+	} else {
+		d := y - e.mean
+		incr := e.cfg.Alpha * d
+		e.mean += incr
+		e.variance = (1 - e.cfg.Alpha) * (e.variance + d*incr)
+		if eff < e.min {
+			e.min = eff
+		}
+		if eff > e.max {
+			e.max = eff
+		}
+	}
+	e.n++
+	e.last = x
+	return obs
+}
+
+// N returns how many samples the estimator has absorbed.
+func (e *Estimator) N() int { return e.n }
+
+// State returns the current FSM state.
+func (e *Estimator) State() State { return e.state }
+
+// Center returns the raw-space EWMA level (exp of the log-space mean in
+// LogNormal mode). It is 0 before the first sample.
+func (e *Estimator) Center() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.fromDetect(e.mean)
+}
+
+// Last returns the most recent raw sample (0 before the first).
+func (e *Estimator) Last() float64 { return e.last }
+
+// Range returns the observed min and max of the effective raw samples
+// (after LogNormal clamping; both 0 before the first sample).
+func (e *Estimator) Range() (min, max float64) { return e.min, e.max }
+
+// SeriesState is one monitored series' snapshot, JSON-shaped for the
+// /v1/monitor endpoint.
+type SeriesState struct {
+	// Name is the series name ("points_per_sec", ...).
+	Name string `json:"name"`
+	// State is the series' FSM state.
+	State State `json:"state"`
+	// N is how many samples the series has absorbed.
+	N int `json:"n"`
+	// Last is the most recent sample.
+	Last float64 `json:"last"`
+	// Center is the raw-space EWMA level.
+	Center float64 `json:"center"`
+	// UCL and LCL are the current raw-space control limits at ±K·σ.
+	UCL float64 `json:"ucl"`
+	// LCL is the lower control limit (see UCL).
+	LCL float64 `json:"lcl"`
+}
+
+// Transition is one entry of the monitor's state-change log — the
+// job-log-style event surfaced when a series changes FSM state.
+type Transition struct {
+	// Seq is the transition's position in the log, starting at 0 and
+	// still increasing after old entries are dropped.
+	Seq int `json:"seq"`
+	// Time is when the transition was observed.
+	Time time.Time `json:"time"`
+	// Series names the series that transitioned.
+	Series string `json:"series"`
+	// From is the state before the sample.
+	From State `json:"from"`
+	// To is the state after the sample.
+	To State `json:"to"`
+	// Value is the sample that caused the transition.
+	Value float64 `json:"value"`
+}
+
+// maxTransitions bounds the monitor's in-memory transition log; the
+// oldest entries are dropped first (Seq keeps counting).
+const maxTransitions = 256
+
+// Monitor is a concurrency-safe set of named estimator series sharing
+// one Config, plus the log of their state transitions. The zero value is
+// not usable; create one with New.
+type Monitor struct {
+	mu      sync.Mutex
+	cfg     Config
+	series  map[string]*Estimator
+	order   []string // creation order, for stable snapshots
+	events  []Transition
+	nextSeq int
+}
+
+// New returns an empty monitor whose series all use cfg (zero fields
+// defaulted).
+func New(cfg Config) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults(), series: make(map[string]*Estimator)}
+}
+
+// Observe feeds one sample to the named series, creating its estimator
+// on first use, and logs a Transition when the sample changed the
+// series' state.
+func (m *Monitor) Observe(series string, x float64, now time.Time) Observation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.series[series]
+	if !ok {
+		e = NewEstimator(m.cfg)
+		m.series[series] = e
+		m.order = append(m.order, series)
+	}
+	obs := e.Observe(x)
+	if obs.State != obs.Prev {
+		m.events = append(m.events, Transition{
+			Seq: m.nextSeq, Time: now, Series: series,
+			From: obs.Prev, To: obs.State, Value: x,
+		})
+		m.nextSeq++
+		if len(m.events) > maxTransitions {
+			m.events = m.events[len(m.events)-maxTransitions:]
+		}
+	}
+	return obs
+}
+
+// Snapshot returns every series' current state, in series creation
+// order.
+func (m *Monitor) Snapshot() []SeriesState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SeriesState, 0, len(m.order))
+	for _, name := range m.order {
+		e := m.series[name]
+		lcl, ucl := e.ControlLimits(e.cfg.K)
+		out = append(out, SeriesState{
+			Name:   name,
+			State:  e.State(),
+			N:      e.N(),
+			Last:   e.Last(),
+			Center: e.Center(),
+			UCL:    ucl,
+			LCL:    lcl,
+		})
+	}
+	return out
+}
+
+// Events returns a copy of the retained transition log, oldest first.
+func (m *Monitor) Events() []Transition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Transition(nil), m.events...)
+}
+
+// Overall returns the worst state across all series (healthy < learning
+// < warning < breach), or Learning when no series exists yet.
+func (m *Monitor) Overall() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.order) == 0 {
+		return Learning
+	}
+	worst := Healthy
+	for _, e := range m.series {
+		if e.State().rank() > worst.rank() {
+			worst = e.State()
+		}
+	}
+	return worst
+}
+
+// String renders a state for error messages and logs.
+func (s State) String() string { return string(s) }

@@ -1,0 +1,206 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// steady returns n samples at level with ±frac uniform jitter, from a
+// seeded source.
+func steady(src *rng.Source, n int, level, frac float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = level * (1 + frac*(2*src.Float64()-1))
+	}
+	return out
+}
+
+func TestEstimatorLearnsThenSettlesHealthy(t *testing.T) {
+	e := NewEstimator(Config{Mode: LogNormal, Warmup: 3})
+	src := rng.New(1)
+	for i, x := range steady(src, 20, 100, 0.02) {
+		obs := e.Observe(x)
+		if i < 3 && obs.State != Learning {
+			t.Fatalf("sample %d: state %s during warmup, want learning", i, obs.State)
+		}
+		if i >= 3 && obs.State != Healthy {
+			t.Fatalf("sample %d (%.2f): state %s, want healthy (ucl %.2f lcl %.2f)",
+				i, x, obs.State, obs.UCL, obs.LCL)
+		}
+	}
+	if e.N() != 20 {
+		t.Errorf("N = %d, want 20", e.N())
+	}
+}
+
+func TestEstimatorStepRegressionBreachesAbove(t *testing.T) {
+	e := NewEstimator(Config{Mode: LogNormal, Warmup: 2, K: 3, Floor: 0.05})
+	src := rng.New(2)
+	for _, x := range steady(src, 10, 100, 0.02) {
+		e.Observe(x)
+	}
+	obs := e.Observe(160) // +60% step: far beyond exp(3·max(σ, 0.05))
+	if obs.State != Breach {
+		t.Fatalf("step regression landed in %s, want breach (ucl %.2f)", obs.State, obs.UCL)
+	}
+	if !obs.Above {
+		t.Error("upward step not reported Above")
+	}
+	if obs.Prev != Healthy {
+		t.Errorf("prev state %s, want healthy", obs.Prev)
+	}
+}
+
+func TestEstimatorImprovementBreachesBelowNotAbove(t *testing.T) {
+	e := NewEstimator(Config{Mode: LogNormal, Warmup: 2, K: 3, Floor: 0.05})
+	src := rng.New(3)
+	for _, x := range steady(src, 10, 100, 0.02) {
+		e.Observe(x)
+	}
+	obs := e.Observe(40) // -60%: a big improvement for ns/op-style metrics
+	if obs.State != Breach {
+		t.Fatalf("downward step landed in %s, want breach", obs.State)
+	}
+	if obs.Above {
+		t.Error("downward excursion reported Above")
+	}
+}
+
+func TestEstimatorRecoversAfterBreach(t *testing.T) {
+	e := NewEstimator(Config{Mode: LogNormal, Warmup: 2, K: 3, Floor: 0.05})
+	src := rng.New(4)
+	for _, x := range steady(src, 10, 100, 0.02) {
+		e.Observe(x)
+	}
+	if obs := e.Observe(200); obs.State != Breach {
+		t.Fatalf("outlier landed in %s, want breach", obs.State)
+	}
+	// The outlier inflated the variance; a return to the old level is
+	// within the widened limits and the FSM recovers.
+	recovered := false
+	for _, x := range steady(src, 10, 100, 0.02) {
+		if e.Observe(x).State == Healthy {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Errorf("series never recovered to healthy after breach; state %s", e.State())
+	}
+}
+
+func TestEstimatorWarningBetweenLimits(t *testing.T) {
+	// Zero-jitter history: σ is exactly the floor, so the bands are
+	// exp(±2·0.05) warning and exp(±3·0.05) control around 100.
+	e := NewEstimator(Config{Mode: LogNormal, Warmup: 2, K: 3, WarnK: 2, Floor: 0.05})
+	for i := 0; i < 10; i++ {
+		e.Observe(100)
+	}
+	x := 100 * math.Exp(2.5*0.05) // between the bands
+	if obs := e.Observe(x); obs.State != Warning || !obs.Above {
+		t.Errorf("sample between bands: state %s above %v, want warning above", obs.State, obs.Above)
+	}
+}
+
+func TestEstimatorLinearModeZeroLevel(t *testing.T) {
+	// A constant-zero series (idle queue depth) must be classifiable
+	// without NaNs and must flag a jump.
+	e := NewEstimator(Config{Mode: Linear, Warmup: 2, K: 4})
+	for i := 0; i < 10; i++ {
+		if obs := e.Observe(0); i >= 2 && obs.State != Healthy {
+			t.Fatalf("constant zero landed in %s, want healthy", obs.State)
+		}
+	}
+	if obs := e.Observe(5); obs.State != Breach || !obs.Above {
+		t.Errorf("jump from zero: state %s above %v, want breach above", obs.State, obs.Above)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Alpha != 0.3 || c.K != 4 || c.WarnK != 3 || c.Warmup != 2 || c.Mode != Linear || c.Floor != 0.05 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if c2 := (Config{WarnK: 9, K: 3}).withDefaults(); c2.WarnK > c2.K {
+		t.Errorf("WarnK %v not capped at K %v", c2.WarnK, c2.K)
+	}
+}
+
+func TestMonitorSeriesAndTransitions(t *testing.T) {
+	m := New(Config{Mode: Linear, Warmup: 2, K: 4})
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 6; i++ {
+		m.Observe("a", 10, t0.Add(time.Duration(i)*time.Second))
+		m.Observe("b", 20, t0.Add(time.Duration(i)*time.Second))
+	}
+	if got := m.Overall(); got != Healthy {
+		t.Fatalf("overall = %s, want healthy", got)
+	}
+	m.Observe("a", 1000, t0.Add(10*time.Second)) // breach series a
+	if got := m.Overall(); got != Breach {
+		t.Fatalf("overall after breach = %s, want breach", got)
+	}
+
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "b" {
+		t.Fatalf("snapshot order/len wrong: %+v", snap)
+	}
+	if snap[0].State != Breach || snap[1].State != Healthy {
+		t.Errorf("states = %s/%s, want breach/healthy", snap[0].State, snap[1].State)
+	}
+	if snap[0].N != 7 || snap[0].Last != 1000 {
+		t.Errorf("series a snapshot wrong: %+v", snap[0])
+	}
+	if !(snap[1].LCL < snap[1].Center && snap[1].Center < snap[1].UCL) {
+		t.Errorf("limits not bracketing center: %+v", snap[1])
+	}
+
+	evs := m.Events()
+	if len(evs) == 0 {
+		t.Fatal("no transitions logged")
+	}
+	last := evs[len(evs)-1]
+	if last.Series != "a" || last.From != Healthy || last.To != Breach || last.Value != 1000 {
+		t.Errorf("last transition wrong: %+v", last)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("transition seq not increasing: %+v", evs)
+		}
+	}
+}
+
+func TestMonitorOverallEmptyAndLearning(t *testing.T) {
+	m := New(Config{})
+	if got := m.Overall(); got != Learning {
+		t.Errorf("empty monitor overall = %s, want learning", got)
+	}
+	m.Observe("x", 1, time.Unix(0, 0))
+	if got := m.Overall(); got != Learning {
+		t.Errorf("single-sample overall = %s, want learning", got)
+	}
+}
+
+func TestMonitorTransitionLogBounded(t *testing.T) {
+	m := New(Config{Mode: Linear, Warmup: 2, K: 3, WarnK: 2})
+	t0 := time.Unix(0, 0)
+	// Each cycle: a long constant run (variance decays to the floor),
+	// then a spike — at least two transitions (to breach and back), so
+	// 300 cycles overflow the log cap comfortably.
+	for cycle := 0; cycle < 300; cycle++ {
+		for i := 0; i < 30; i++ {
+			m.Observe("flappy", 100, t0)
+		}
+		m.Observe("flappy", 1000, t0)
+	}
+	evs := m.Events()
+	if len(evs) > maxTransitions {
+		t.Fatalf("log grew to %d entries, cap is %d", len(evs), maxTransitions)
+	}
+	if evs[0].Seq == 0 {
+		t.Error("oldest entries not dropped (seq 0 still retained)")
+	}
+}

@@ -28,6 +28,7 @@ func RouteTable() []Route {
 	return []Route{
 		{"GET", "/v1/healthz", "liveness probe: status, uptime, draining flag"},
 		{"GET", "/v1/stats", "aggregate state: queue depth, jobs by state, points/sec, cache hit rate"},
+		{"GET", "/v1/monitor", "fleet-health control charts: per-series estimator state, overall verdict, recent transitions"},
 		{"POST", "/v1/jobs", "submit a job spec; returns the queued job record"},
 		{"GET", "/v1/jobs", "list every job in submission order"},
 		{"GET", "/v1/jobs/{id}", "fetch one job record"},
@@ -45,6 +46,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/monitor", s.handleMonitor)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -103,6 +105,10 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MonitorState())
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {

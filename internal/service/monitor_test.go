@@ -1,0 +1,125 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// waitMonitor polls the service's monitor until cond holds or the
+// deadline passes, returning the last state either way.
+func waitMonitor(t *testing.T, svc *Service, cond func(MonitorState) bool) MonitorState {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var st MonitorState
+	for time.Now().Before(deadline) {
+		st = svc.MonitorState()
+		if cond(st) {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return st
+}
+
+func TestMonitorSamplesServiceGauges(t *testing.T) {
+	svc, err := New(Config{Workers: 1, QueueDepth: 8, MonitorInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = svc.Close(context.Background()) }()
+	svc.execute = func(ctx context.Context, rec *record) ([]byte, []byte, error) {
+		return []byte("{}\n"), []byte("csv\n"), nil
+	}
+
+	job, err := svc.Submit(scenarioSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitTerminal(t, svc, job.ID); final.State != StateDone {
+		t.Fatalf("job ended %s, want done", final.State)
+	}
+
+	st := waitMonitor(t, svc, func(st MonitorState) bool {
+		return st.Overall == monitor.Healthy
+	})
+	if st.Overall != monitor.Healthy {
+		t.Fatalf("overall = %s after a completed job, want healthy; series %+v", st.Overall, st.Series)
+	}
+	if st.SampleIntervalSec != 0.005 {
+		t.Errorf("sample_interval_sec = %v, want 0.005", st.SampleIntervalSec)
+	}
+	want := map[string]bool{"points_per_sec": false, "cache_hit_rate": false, "queue_depth": false}
+	for _, s := range st.Series {
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+		if s.N == 0 {
+			t.Errorf("series %s has no samples", s.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("series %s missing from snapshot: %+v", name, st.Series)
+		}
+	}
+}
+
+func TestMonitorTracksWorkerHeartbeats(t *testing.T) {
+	svc, err := New(Config{Workers: 1, MonitorInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = svc.Close(context.Background()) }()
+	if _, err := svc.JoinWorker("127.0.0.1:9999"); err != nil {
+		t.Fatal(err)
+	}
+	st := waitMonitor(t, svc, func(st MonitorState) bool {
+		for _, s := range st.Series {
+			if s.Name == "heartbeat_age:http://127.0.0.1:9999" {
+				return true
+			}
+		}
+		return false
+	})
+	found := false
+	for _, s := range st.Series {
+		if s.Name == "heartbeat_age:http://127.0.0.1:9999" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no heartbeat series for the joined worker: %+v", st.Series)
+	}
+}
+
+func TestMonitorEndpoint(t *testing.T) {
+	svc, err := New(Config{Workers: 1, MonitorInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = svc.Close(context.Background()) }()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	waitMonitor(t, svc, func(st MonitorState) bool { return len(st.Series) > 0 })
+	resp, err := ts.Client().Get(ts.URL + "/v1/monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /v1/monitor = %d, want 200", resp.StatusCode)
+	}
+	var st MonitorState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Overall == "" || len(st.Series) == 0 {
+		t.Errorf("monitor payload incomplete: %+v", st)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/monitor"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -61,6 +62,10 @@ type Config struct {
 	// without a fresh heartbeat (default DefaultWorkerTTL). Tests shrink
 	// it to exercise expiry quickly.
 	WorkerTTL time.Duration
+	// MonitorInterval is the fleet-health sampling cadence (default
+	// DefaultMonitorInterval). Tests shrink it to drive the monitor
+	// quickly.
+	MonitorInterval time.Duration
 }
 
 // Stats is the service's aggregate state, served at /v1/stats.
@@ -133,6 +138,13 @@ type Service struct {
 	distributor Distributor
 
 	registry workerRegistry
+
+	// mon control-charts the daemon's own gauges (points/sec, cache hit
+	// rate, queue depth, worker heartbeat ages); monitorLoop feeds it and
+	// monOnce/monStop stop the loop exactly once on Close.
+	mon     *monitor.Monitor
+	monStop chan struct{}
+	monOnce sync.Once
 }
 
 // Distributor runs a sweep job across a remote worker fleet instead of
@@ -178,6 +190,9 @@ func New(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("service: create data dir: %w", err)
 		}
 	}
+	if cfg.MonitorInterval <= 0 {
+		cfg.MonitorInterval = DefaultMonitorInterval
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
@@ -185,6 +200,8 @@ func New(cfg Config) (*Service, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		start:      time.Now(),
+		mon:        monitor.New(monitor.Config{Mode: monitor.Linear}),
+		monStop:    make(chan struct{}),
 	}
 	s.qcond = sync.NewCond(&s.qmu)
 	s.registry.ttl = cfg.WorkerTTL
@@ -193,6 +210,8 @@ func New(cfg Config) (*Service, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.monitorLoop()
 	return s, nil
 }
 
@@ -386,6 +405,7 @@ func (s *Service) Close(ctx context.Context) error {
 		s.qcond.Broadcast()
 	}
 	s.qmu.Unlock()
+	s.monOnce.Do(func() { close(s.monStop) })
 
 	done := make(chan struct{})
 	go func() {

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestSummarizeEdges pins the boundary behaviour the monitor's control
+// limits build on: empty and single-sample inputs, zero-variance series,
+// and negative levels must all produce exact, finite answers (no NaNs).
+func TestSummarizeEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want Summary
+	}{
+		{
+			name: "single trial",
+			xs:   []float64{42.5},
+			want: Summary{N: 1, Mean: 42.5, StdDev: 0, Min: 42.5, Max: 42.5, Median: 42.5, CI95: 0},
+		},
+		{
+			name: "two identical samples",
+			xs:   []float64{7, 7},
+			want: Summary{N: 2, Mean: 7, StdDev: 0, Min: 7, Max: 7, Median: 7, CI95: 0},
+		},
+		{
+			name: "zero-variance series",
+			xs:   []float64{3, 3, 3, 3, 3},
+			want: Summary{N: 5, Mean: 3, StdDev: 0, Min: 3, Max: 3, Median: 3, CI95: 0},
+		},
+		{
+			name: "all zeros",
+			xs:   []float64{0, 0, 0},
+			want: Summary{N: 3, Mean: 0, StdDev: 0, Min: 0, Max: 0, Median: 0, CI95: 0},
+		},
+		{
+			name: "negative levels",
+			xs:   []float64{-2, -4},
+			want: Summary{N: 2, Mean: -3, StdDev: math.Sqrt2, Min: -4, Max: -2, Median: -3, CI95: 1.96 * math.Sqrt2 / math.Sqrt2},
+		},
+		{
+			name: "even count median interpolates",
+			xs:   []float64{1, 2, 3, 4},
+			want: Summary{N: 4, Mean: 2.5, StdDev: math.Sqrt(5.0 / 3.0), Min: 1, Max: 4, Median: 2.5, CI95: 1.96 * math.Sqrt(5.0/3.0) / 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Summarize(tc.xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fields := []struct {
+				name      string
+				got, want float64
+			}{
+				{"Mean", got.Mean, tc.want.Mean},
+				{"StdDev", got.StdDev, tc.want.StdDev},
+				{"Min", got.Min, tc.want.Min},
+				{"Max", got.Max, tc.want.Max},
+				{"Median", got.Median, tc.want.Median},
+				{"CI95", got.CI95, tc.want.CI95},
+			}
+			if got.N != tc.want.N {
+				t.Errorf("N = %d, want %d", got.N, tc.want.N)
+			}
+			for _, f := range fields {
+				if math.IsNaN(f.got) || math.Abs(f.got-f.want) > 1e-12 {
+					t.Errorf("%s = %v, want %v", f.name, f.got, f.want)
+				}
+			}
+		})
+	}
+}
+
+func TestSummarizeEmptyIsErrEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Summarize(nil) error = %v, want ErrEmpty", err)
+	}
+	if _, err := Summarize([]float64{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Summarize([]) error = %v, want ErrEmpty", err)
+	}
+}
+
+// TestQuantileEdges covers the interpolation boundaries: empty input,
+// single sample, q outside [0,1], and exact order-statistic hits.
+func TestQuantileEdges(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty sample is not NaN")
+	}
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"single sample any q", []float64{9}, 0.5, 9},
+		{"single sample q=0", []float64{9}, 0, 9},
+		{"single sample q=1", []float64{9}, 1, 9},
+		{"q below zero clamps to min", []float64{1, 2, 3}, -0.5, 1},
+		{"q above one clamps to max", []float64{1, 2, 3}, 1.5, 3},
+		{"exact order statistic", []float64{10, 20, 30}, 0.5, 20},
+		{"interpolated quartile", []float64{0, 10}, 0.25, 2.5},
+		{"unsorted input", []float64{30, 10, 20}, 0.5, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Quantile(tc.xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%v, %v) = %v, want %v", tc.xs, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMeanEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty sample is not NaN")
+	}
+}
