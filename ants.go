@@ -352,7 +352,8 @@ type (
 	// stop with Service.Close.
 	Service = service.Service
 	// ServiceConfig parameterizes a Service (worker count, queue depth,
-	// sweep cache directory, durable-artifact directory).
+	// sweep cache directory, durable data directory, tenant set, stream
+	// keepalive cadence).
 	ServiceConfig = service.Config
 	// ServiceStats is the aggregate state served at /v1/stats (queue
 	// depth, jobs by state, points/sec, cache hit rate).
@@ -417,6 +418,41 @@ func NewServiceClient(baseURL string) *ServiceClient {
 // ServiceRoutes returns the service's HTTP route table — the endpoints
 // documented in docs/API.md.
 func ServiceRoutes() []ServiceRoute { return service.RouteTable() }
+
+// Tenancy and durability (DESIGN.md §7): a Service with ServiceConfig.
+// DataDir replays its write-ahead log on restart to a byte-identical
+// job table; one with ServiceConfig.Tenants requires per-tenant bearer
+// keys (ServiceClient.SetAPIKey) and enforces quotas.
+type (
+	// ServiceTenant is one API tenant: a name, its bearer key, and its
+	// quotas (max concurrent active jobs, submissions per minute).
+	ServiceTenant = service.Tenant
+	// ServiceTenantStats is one tenant's slice of /v1/stats: live quota
+	// state plus the tenant's job counts by state.
+	ServiceTenantStats = service.TenantStats
+	// ServiceQuotaError reports which tenant hit which quota; the HTTP
+	// layer serializes it into the structured 429 envelope.
+	ServiceQuotaError = service.QuotaError
+)
+
+// LoadServiceTenants reads and validates a tenant set from a JSON file
+// ({"tenants": [{"name": ..., "key": ..., ...}]}) — what `antsimd
+// -tenants` loads and ServiceConfig.Tenants accepts.
+func LoadServiceTenants(path string) ([]ServiceTenant, error) {
+	return service.LoadTenants(path)
+}
+
+// LoadOrCreateWorkerID returns the stable worker identity persisted in
+// dir (creating it on first use): the id a restarting worker rejoins a
+// coordinator's fleet under, displacing its stale registration
+// immediately instead of waiting out the TTL.
+func LoadOrCreateWorkerID(dir string) (string, error) {
+	return service.LoadOrCreateWorkerID(dir)
+}
+
+// NewWorkerID returns a fresh random worker identity ("w-" plus 16 hex
+// digits) without persisting it.
+func NewWorkerID() (string, error) { return service.NewWorkerID() }
 
 // Distributed sweep execution (the cluster layer): a coordinator shards a
 // registered sweep across a fleet of antsimd workers, survives worker

@@ -19,6 +19,15 @@
 // federated content-addressed cache — with artifacts byte-identical to a
 // local run.
 //
+// With -data DIR the control plane is durable: every submission and event
+// lands in a write-ahead log (with periodic snapshot compaction) before
+// clients observe it, finished artifacts are persisted atomically, and a
+// restarted daemon replays the directory so job ids, event logs and
+// artifacts come back byte-identical — queued jobs re-enter the queue and
+// jobs that were running at crash time re-execute from the cache. With
+// -tenants FILE the API requires per-tenant bearer keys and enforces
+// max-concurrent and rate quotas with fair-share scheduling.
+//
 // See docs/API.md for the full endpoint reference and DESIGN.md §7 for the
 // service architecture. On SIGINT/SIGTERM the daemon drains: new
 // submissions are rejected, queued jobs are cancelled, and running jobs
@@ -62,7 +71,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 2, "job worker pool size (concurrent jobs)")
 		queue     = fs.Int("queue", 64, "queued-job capacity; submissions beyond it get HTTP 503")
 		cacheDir  = fs.String("cache", "", "content-addressed sweep-point cache directory (shared with antsim -cache)")
-		dataDir   = fs.String("data", "", "write every finished job's artifacts to this directory")
+		dataDir   = fs.String("data", "", "durable state directory: WAL + snapshot of the job store (replayed on restart) and every finished job's artifacts")
+		tenants   = fs.String("tenants", "", "tenant file (JSON {\"tenants\": [...]}): turns on Authorization: Bearer API keys, per-tenant quotas and fair-share scheduling")
 		shutdown  = fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget for running jobs")
 		routes    = fs.Bool("routes", false, "print the HTTP route table and exit")
 		join      = fs.String("join", "", "join a coordinator antsimd's worker fleet (base URL); heartbeats keep the membership alive")
@@ -88,11 +98,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-advertise only applies with -join")
 	}
 
+	var tenantSet []service.Tenant
+	if *tenants != "" {
+		var err error
+		if tenantSet, err = service.LoadTenants(*tenants); err != nil {
+			return fmt.Errorf("-tenants: %w", err)
+		}
+	}
+
 	svc, err := service.New(service.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheDir:   *cacheDir,
 		DataDir:    *dataDir,
+		Tenants:    tenantSet,
 	})
 	if err != nil {
 		return err
@@ -139,8 +158,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	if coordinator != "" {
-		fmt.Fprintf(out, "antsimd: joining fleet of %s as %s\n", coordinator, selfURL)
-		go joinLoop(ctx, coordinator, selfURL)
+		// With a data directory the worker identity survives restarts, so
+		// a worker that comes back on a new ephemeral port displaces its
+		// stale fleet entry immediately instead of waiting out the TTL.
+		var workerID string
+		if *dataDir != "" {
+			workerID, err = service.LoadOrCreateWorkerID(*dataDir)
+		} else {
+			workerID, err = service.NewWorkerID()
+		}
+		if err != nil {
+			ln.Close()
+			_ = svc.Close(context.Background())
+			return err
+		}
+		fmt.Fprintf(out, "antsimd: joining fleet of %s as %s (id %s)\n", coordinator, selfURL, workerID)
+		go joinLoop(ctx, coordinator, selfURL, workerID)
 	}
 
 	select {
@@ -196,14 +229,15 @@ func advertisedURL(advertise, actual string) (string, error) {
 // joinLoop keeps this worker's fleet membership alive: an immediate join,
 // then heartbeats at a third of the coordinator's TTL until ctx ends.
 // Failures are retried on the same cadence — a coordinator restart simply
-// re-admits the worker on its next beat.
-func joinLoop(ctx context.Context, coordinator, self string) {
+// re-admits the worker on its next beat, and a worker restart under the
+// same persisted id displaces its stale entry on the first beat.
+func joinLoop(ctx context.Context, coordinator, self, id string) {
 	client := service.NewClient(coordinator)
 	beat := service.DefaultWorkerTTL / 3
 	join := func() {
 		jctx, cancel := context.WithTimeout(ctx, beat)
 		defer cancel()
-		_, _ = client.Join(jctx, self)
+		_, _ = client.Join(jctx, self, id)
 	}
 	join()
 	ticker := time.NewTicker(beat)

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/service"
+)
+
+// buildDaemonBinary compiles the daemon into dir and returns the binary
+// path. Kill-and-restart chaos needs a real process — SIGKILL cannot be
+// delivered to an in-process run().
+func buildDaemonBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "antsimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemonProc launches the daemon binary and waits for it to publish
+// its listen address.
+func startDaemonProc(t *testing.T, bin, addrFile string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+	}, args...)...)
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			return cmd, "http://" + strings.TrimSpace(string(data))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatal("daemon process never wrote its address")
+	return nil, ""
+}
+
+// TestKillRestartReplaysByteIdentically is the chaos acceptance test:
+// SIGKILL a daemon mid-sweep, restart it on the same data directory, and
+// every observable — the job id, the events a client already streamed,
+// and the final artifact — must be byte-identical to an uninterrupted
+// run. A fresh submission after the restart must not reuse a
+// pre-restart id.
+func TestKillRestartReplaysByteIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon process")
+	}
+	dir := t.TempDir()
+	bin := buildDaemonBinary(t, dir)
+	dataDir := filepath.Join(dir, "data")
+	cacheDir := filepath.Join(dir, "cache")
+	ctx := context.Background()
+
+	proc1, url1 := startDaemonProc(t, bin, filepath.Join(dir, "addr1"),
+		"-workers", "1", "-data", dataDir, "-cache", cacheDir)
+	client1 := service.NewClient(url1)
+
+	job, err := client1.Submit(ctx, service.JobSpec{Kind: service.KindSweep, Sweep: "s1", Quick: true, Seed: 1})
+	if err != nil {
+		_ = proc1.Process.Kill()
+		t.Fatal(err)
+	}
+	// Stream events until the first grid point lands, so the kill strikes
+	// mid-sweep; everything streamed by then is durable by contract.
+	es, err := client1.Events(ctx, job.ID)
+	if err != nil {
+		_ = proc1.Process.Kill()
+		t.Fatal(err)
+	}
+	var preKill []service.Event
+	for {
+		ev, err := es.Next()
+		if err != nil {
+			_ = proc1.Process.Kill()
+			t.Fatalf("pre-kill stream: %v", err)
+		}
+		preKill = append(preKill, ev)
+		if ev.Type == service.EventPoint {
+			break
+		}
+	}
+	es.Close()
+	if err := proc1.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		t.Fatal(err)
+	}
+	_ = proc1.Wait()
+
+	proc2, url2 := startDaemonProc(t, bin, filepath.Join(dir, "addr2"),
+		"-workers", "1", "-data", dataDir, "-cache", cacheDir)
+	defer func() {
+		_ = proc2.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- proc2.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("restarted daemon exit: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			_ = proc2.Process.Kill()
+			t.Error("restarted daemon did not shut down on SIGTERM")
+		}
+	}()
+	client2 := service.NewClient(url2)
+
+	// The killed job came back under its id and runs to completion.
+	final, err := client2.Wait(ctx, job.ID)
+	if err != nil || final.State != service.StateDone {
+		t.Fatalf("post-restart wait: %v, state %s (%s)", err, final.State, final.Error)
+	}
+
+	// Byte-identity 1: everything a client streamed before the kill is a
+	// verbatim prefix of the replayed event log, Seq numbers included.
+	es2, err := client2.Events(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed []service.Event
+	for {
+		ev, err := es2.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed = append(replayed, ev)
+	}
+	es2.Close()
+	if len(replayed) < len(preKill) {
+		t.Fatalf("replayed log has %d events, client saw %d before the kill", len(replayed), len(preKill))
+	}
+	for i, ev := range preKill {
+		if replayed[i] != ev {
+			t.Errorf("event %d differs after restart:\npre-kill: %+v\nreplayed: %+v", i, ev, replayed[i])
+		}
+	}
+
+	// Byte-identity 2: the artifact equals an uninterrupted run's.
+	gotCSV, err := client2.Result(ctx, job.ID, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := experiment.LookupSweep("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := experiment.RunSweep(sp, experiment.Config{Seed: 1, Quick: true, Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rep.Summary().CSV(); string(gotCSV) != want {
+		t.Errorf("post-restart CSV differs from an uninterrupted run:\n%s\nvs\n%s", gotCSV, want)
+	}
+
+	// No id collisions: the restarted daemon's id counter continues past
+	// every replayed job.
+	fresh, err := client2.Submit(ctx, service.JobSpec{
+		Kind: service.KindScenario, Scenario: "open", D: 8, N: 4, Trials: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == job.ID {
+		t.Errorf("post-restart submission reused id %s", fresh.ID)
+	}
+	if fresh.ID <= job.ID { // ids are zero-padded, so string order is numeric order
+		t.Errorf("post-restart id %s does not continue past %s", fresh.ID, job.ID)
+	}
+}

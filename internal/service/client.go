@@ -13,10 +13,11 @@ import (
 
 // Client is the Go client of the antsimd HTTP API. The zero value is not
 // usable; construct one with NewClient. All methods are safe for
-// concurrent use.
+// concurrent use once configured (SetAPIKey before the first request).
 type Client struct {
 	base string
 	http *http.Client
+	key  string
 }
 
 // NewClient returns a client for the daemon at baseURL (e.g.
@@ -24,6 +25,18 @@ type Client struct {
 // streaming calls hold their connection until the stream ends.
 func NewClient(baseURL string) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: &http.Client{}}
+}
+
+// SetAPIKey makes every subsequent request carry
+// "Authorization: Bearer <key>" — required against a daemon started with
+// -tenants. Call it once, before the client is shared across goroutines.
+func (c *Client) SetAPIKey(key string) { c.key = key }
+
+// authorize stamps the bearer token onto a request, when configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
 }
 
 // APIError is a non-2xx response from the daemon: the HTTP status code and
@@ -58,6 +71,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -74,9 +88,14 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 }
 
 // decodeAPIError turns a non-2xx response into an *APIError, falling back
-// to the raw body when it is not the JSON error envelope.
+// to the raw body when it is not the JSON error envelope. A transport
+// failure while reading the body surfaces in the message instead of
+// masquerading as an empty server error.
 func decodeAPIError(resp *http.Response) error {
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
+	if rerr != nil {
+		return &APIError{Status: resp.StatusCode, Message: fmt.Sprintf("(error body unreadable: %v)", rerr)}
+	}
 	var eb errorBody
 	if err := json.Unmarshal(data, &eb); err == nil && eb.Error != "" {
 		return &APIError{Status: resp.StatusCode, Message: eb.Error}
@@ -138,6 +157,7 @@ func (c *Client) Result(ctx context.Context, id, format string) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -177,6 +197,7 @@ func (c *Client) Events(ctx context.Context, id string) (*EventStream, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -246,11 +267,17 @@ func (c *Client) Wait(ctx context.Context, id string) (Job, error) {
 }
 
 // Join registers (or refreshes) a worker's membership in the daemon's
-// cluster fleet; addr is the worker's base URL. Workers call it on a
-// heartbeat interval — membership expires when the heartbeats stop.
-func (c *Client) Join(ctx context.Context, addr string) (WorkerInfo, error) {
+// cluster fleet; addr is the worker's base URL and id its stable identity
+// (may be empty). Workers call it on a heartbeat interval — membership
+// expires when the heartbeats stop, and a re-join under the same id from
+// a new address displaces the stale entry immediately.
+func (c *Client) Join(ctx context.Context, addr, id string) (WorkerInfo, error) {
 	var info WorkerInfo
-	err := c.do(ctx, http.MethodPost, "/v1/cluster/join", map[string]string{"addr": addr}, &info)
+	body := map[string]string{"addr": addr}
+	if id != "" {
+		body["id"] = id
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/join", body, &info)
 	return info, err
 }
 

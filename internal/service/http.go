@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -58,9 +59,20 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// errorBody is the uniform JSON error envelope: {"error": "..."}.
+// errorBody is the uniform JSON error envelope: {"error": "..."}. Quota
+// violations (HTTP 429) additionally carry the structured fields naming
+// the tenant, the exhausted quota and its limit, so clients can back off
+// programmatically instead of parsing the message.
 type errorBody struct {
+	// Error is the human-readable error message.
 	Error string `json:"error"`
+	// Tenant names the tenant that hit a quota (429 only).
+	Tenant string `json:"tenant,omitempty"`
+	// Quota names the exhausted quota, "max_concurrent" or
+	// "rate_per_min" (429 only).
+	Quota string `json:"quota,omitempty"`
+	// Limit is the configured quota value (429 only).
+	Limit int `json:"limit,omitempty"`
 }
 
 // writeError maps a service error to its HTTP status and writes the JSON
@@ -76,8 +88,46 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadFormat), errors.Is(err, ErrInvalidSpec):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrUnauthorized):
+		status = http.StatusUnauthorized
+	case errors.Is(err, ErrQuota):
+		status = http.StatusTooManyRequests
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	body := errorBody{Error: err.Error()}
+	var qe *QuotaError
+	if errors.As(err, &qe) {
+		body.Tenant, body.Quota, body.Limit = qe.Tenant, qe.Quota, qe.Limit
+	}
+	writeJSON(w, status, body)
+}
+
+// tenantForRequest authenticates a job-endpoint request. Without
+// configured tenants every request passes with the empty tenant; with
+// them, the request must carry "Authorization: Bearer <key>" matching a
+// tenant, and the tenant's name comes back for quota enforcement and
+// visibility scoping. tenantKeys is immutable after New, so no lock.
+func (s *Service) tenantForRequest(r *http.Request) (string, error) {
+	if len(s.tenantKeys) == 0 {
+		return "", nil
+	}
+	tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	tok = strings.TrimSpace(tok)
+	if !ok || tok == "" {
+		return "", ErrUnauthorized
+	}
+	name, known := s.tenantKeys[tok]
+	if !known {
+		return "", ErrUnauthorized
+	}
+	return name, nil
+}
+
+// visibleTo reports whether a job is visible to the authenticated tenant:
+// everything without tenant auth, only the tenant's own jobs with it. A
+// foreign job reads as ErrNotFound, not 403 — ids must not leak across
+// tenants.
+func visibleTo(tenant string, job Job) bool {
+	return tenant == "" || job.Tenant == tenant
 }
 
 // writeJSON writes v as an indented JSON response with the given status.
@@ -112,6 +162,11 @@ func (s *Service) handleMonitor(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantForRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
@@ -119,7 +174,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode job spec: %v", err)})
 		return
 	}
-	job, err := s.Submit(spec)
+	job, err := s.SubmitAs(tenant, spec)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -128,19 +183,50 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]Job{"jobs": s.Jobs()})
+	tenant, err := s.tenantForRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	jobs := s.Jobs()
+	if tenant != "" {
+		scoped := make([]Job, 0, len(jobs))
+		for _, j := range jobs {
+			if visibleTo(tenant, j) {
+				scoped = append(scoped, j)
+			}
+		}
+		jobs = scoped
+	}
+	writeJSON(w, http.StatusOK, map[string][]Job{"jobs": jobs})
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
-	job, err := s.Job(r.PathValue("id"))
+	tenant, err := s.tenantForRequest(r)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	job, err := s.Job(r.PathValue("id"))
+	if err != nil || !visibleTo(tenant, job) {
+		writeError(w, ErrNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantForRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if tenant != "" {
+		if job, err := s.Job(r.PathValue("id")); err != nil || !visibleTo(tenant, job) {
+			writeError(w, ErrNotFound)
+			return
+		}
+	}
 	job, err := s.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
@@ -150,6 +236,17 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantForRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if tenant != "" {
+		if job, err := s.Job(r.PathValue("id")); err != nil || !visibleTo(tenant, job) {
+			writeError(w, ErrNotFound)
+			return
+		}
+	}
 	format := r.URL.Query().Get("format")
 	data, err := s.Artifact(r.PathValue("id"), format)
 	if err != nil {
@@ -165,12 +262,16 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
-// handleClusterJoin registers a worker heartbeat: body {"addr": "..."}.
-// Joining is idempotent and doubles as the heartbeat — workers re-post on
-// an interval and fall out of the fleet when they stop.
+// handleClusterJoin registers a worker heartbeat: body {"addr": "...",
+// "id": "..."} (id optional). Joining is idempotent and doubles as the
+// heartbeat — workers re-post on an interval and fall out of the fleet
+// when they stop. A stable id lets a restarted worker that comes back on
+// a new port displace its stale registration immediately instead of the
+// coordinator waiting out the TTL.
 func (s *Service) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Addr string `json:"addr"`
+		ID   string `json:"id"`
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
@@ -178,7 +279,7 @@ func (s *Service) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode join request: %v", err)})
 		return
 	}
-	info, err := s.JoinWorker(body.Addr)
+	info, err := s.JoinWorker(body.Addr, body.ID)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
@@ -191,14 +292,30 @@ func (s *Service) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]WorkerInfo{"workers": s.ClusterWorkers()})
 }
 
+// DefaultEventKeepalive is the idle-stream keepalive cadence of
+// /v1/jobs/{id}/events: how often a stream with no new events emits a
+// comment frame (SSE) or blank line (NDJSON) so proxies and load
+// balancers do not reap the connection as idle (Config.EventKeepalive
+// overrides).
+const DefaultEventKeepalive = 15 * time.Second
+
 // handleEvents streams a job's event log: the full history replays first,
 // then new events follow live until the job reaches a terminal state or
 // the client goes away. The format is NDJSON (one Event JSON object per
 // line) by default, or SSE ("data: <event JSON>\n\n" frames) when the
-// request's Accept header names text/event-stream.
+// request's Accept header names text/event-stream. Idle streams emit
+// keepalive frames — ": keepalive\n\n" comments for SSE, a blank line for
+// NDJSON (whitespace to any JSON decoder) — and the handler exits on the
+// first write error, so a dead connection releases its goroutine at the
+// next event or keepalive instead of spinning until the job ends.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantForRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	rec, ok := s.store.get(r.PathValue("id"))
-	if !ok {
+	if !ok || !visibleTo(tenant, rec.snapshot()) {
 		writeError(w, ErrNotFound)
 		return
 	}
@@ -211,6 +328,8 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	keep := time.NewTicker(s.cfg.EventKeepalive)
+	defer keep.Stop()
 
 	next := 0
 	for {
@@ -221,9 +340,12 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if sse {
-				fmt.Fprintf(w, "data: %s\n\n", data)
+				_, err = fmt.Fprintf(w, "data: %s\n\n", data)
 			} else {
-				fmt.Fprintf(w, "%s\n", data)
+				_, err = fmt.Fprintf(w, "%s\n", data)
+			}
+			if err != nil {
+				return // dead connection
 			}
 			next = ev.Seq + 1
 		}
@@ -238,6 +360,19 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-wait:
+		case <-keep.C:
+			var err error
+			if sse {
+				_, err = io.WriteString(w, ": keepalive\n\n")
+			} else {
+				_, err = io.WriteString(w, "\n")
+			}
+			if err != nil {
+				return // dead connection
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		case <-r.Context().Done():
 			return
 		}

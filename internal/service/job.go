@@ -227,6 +227,9 @@ func (s JobSpec) Validate() error {
 type Job struct {
 	// ID is the service-assigned job id ("j000001", ...).
 	ID string `json:"id"`
+	// Tenant names the tenant that submitted the job (empty when the
+	// daemon runs without tenant authentication).
+	Tenant string `json:"tenant,omitempty"`
 	// Spec is the normalized job spec.
 	Spec JobSpec `json:"spec"`
 	// State is the lifecycle state at snapshot time.
@@ -261,6 +264,11 @@ const (
 	// EventPoint announces one finished work unit (a sweep grid point),
 	// with Done/Total progress counters.
 	EventPoint = "point"
+	// EventTotal announces the job's total work units as soon as the
+	// executor knows them — before the first point finishes — so stream
+	// consumers (and log replay) learn the denominator even for a job
+	// that fails before producing any point.
+	EventTotal = "total"
 )
 
 // Event is one entry of a job's append-only event log. Streams replay the
@@ -271,7 +279,7 @@ type Event struct {
 	Seq int `json:"seq"`
 	// Job is the owning job's id.
 	Job string `json:"job"`
-	// Type is EventState or EventPoint.
+	// Type is EventState, EventPoint or EventTotal.
 	Type string `json:"type"`
 	// State carries the new lifecycle state for EventState events.
 	State JobState `json:"state,omitempty"`
@@ -282,7 +290,8 @@ type Event struct {
 	// Under parallel sweep shards, consecutive log entries may carry
 	// out-of-order counters; the job record's Done is monotonic.
 	Done int `json:"done,omitempty"`
-	// Total carries the total-work-unit counter for EventPoint events.
+	// Total carries the total-work-unit counter for EventPoint and
+	// EventTotal events.
 	Total int `json:"total,omitempty"`
 	// Point renders the finished grid point ("D=8 n=4") for EventPoint
 	// events.

@@ -75,7 +75,7 @@ func TestMonitorTracksWorkerHeartbeats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = svc.Close(context.Background()) }()
-	if _, err := svc.JoinWorker("127.0.0.1:9999"); err != nil {
+	if _, err := svc.JoinWorker("127.0.0.1:9999", "w-monitor"); err != nil {
 		t.Fatal(err)
 	}
 	st := waitMonitor(t, svc, func(st MonitorState) bool {

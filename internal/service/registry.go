@@ -1,8 +1,12 @@
 package service
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"net/url"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -19,28 +23,50 @@ const DefaultWorkerTTL = 10 * time.Second
 type WorkerInfo struct {
 	// Addr is the worker's base URL ("http://127.0.0.1:8081").
 	Addr string `json:"addr"`
+	// ID is the worker's stable identity, when it presented one on join.
+	// A restarted worker that comes back on a new address under the same
+	// id displaces its stale entry immediately instead of the coordinator
+	// waiting out the TTL.
+	ID string `json:"id,omitempty"`
 	// AgeSec is the seconds since the worker's last heartbeat.
 	AgeSec float64 `json:"age_sec"`
 }
 
+// workerSeen is one registry entry: last heartbeat and the worker's
+// self-declared identity.
+type workerSeen struct {
+	last time.Time
+	id   string
+}
+
 // workerRegistry tracks the antsimd workers that joined this daemon as a
-// coordinator: base URL → last heartbeat. Entries expire after the TTL;
-// expired entries are pruned on every read, so the registry never needs a
-// background sweeper.
+// coordinator: base URL → last heartbeat + identity. Entries expire after
+// the TTL; expired entries are pruned on every read, so the registry
+// never needs a background sweeper.
 type workerRegistry struct {
 	mu   sync.Mutex
 	ttl  time.Duration
-	seen map[string]time.Time
+	seen map[string]workerSeen
 }
 
-// join records a heartbeat for addr.
-func (r *workerRegistry) join(addr string, now time.Time) {
+// join records a heartbeat for addr. When the worker declares a stable
+// id, any stale entry for the same id at a different address is dropped
+// on the spot — a restarted worker re-registers cleanly instead of the
+// fleet carrying its dead previous incarnation until the TTL strikes.
+func (r *workerRegistry) join(addr, id string, now time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.seen == nil {
-		r.seen = make(map[string]time.Time)
+		r.seen = make(map[string]workerSeen)
 	}
-	r.seen[addr] = now
+	if id != "" {
+		for a, ws := range r.seen {
+			if a != addr && ws.id == id {
+				delete(r.seen, a)
+			}
+		}
+	}
+	r.seen[addr] = workerSeen{last: now, id: id}
 }
 
 // live prunes expired entries and returns the remaining workers sorted by
@@ -53,12 +79,12 @@ func (r *workerRegistry) live(now time.Time) []WorkerInfo {
 		ttl = DefaultWorkerTTL
 	}
 	out := make([]WorkerInfo, 0, len(r.seen))
-	for addr, last := range r.seen {
-		if now.Sub(last) > ttl {
+	for addr, ws := range r.seen {
+		if now.Sub(ws.last) > ttl {
 			delete(r.seen, addr)
 			continue
 		}
-		out = append(out, WorkerInfo{Addr: addr, AgeSec: now.Sub(last).Seconds()})
+		out = append(out, WorkerInfo{Addr: addr, ID: ws.id, AgeSec: now.Sub(ws.last).Seconds()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
@@ -66,14 +92,16 @@ func (r *workerRegistry) live(now time.Time) []WorkerInfo {
 
 // JoinWorker registers (or refreshes) a worker's membership in this
 // daemon's fleet. The address must be a base URL the coordinator can dial
-// back; scheme-less host:port addresses get "http://" prepended.
-func (s *Service) JoinWorker(addr string) (WorkerInfo, error) {
+// back; scheme-less host:port addresses get "http://" prepended. id is
+// the worker's stable identity (may be empty): a re-join under the same
+// id from a new address immediately displaces the old entry.
+func (s *Service) JoinWorker(addr, id string) (WorkerInfo, error) {
 	norm, err := NormalizeWorkerURL(addr)
 	if err != nil {
 		return WorkerInfo{}, err
 	}
-	s.registry.join(norm, time.Now())
-	return WorkerInfo{Addr: norm, AgeSec: 0}, nil
+	s.registry.join(norm, id, time.Now())
+	return WorkerInfo{Addr: norm, ID: id, AgeSec: 0}, nil
 }
 
 // ClusterWorkers returns the live worker fleet: every joined worker whose
@@ -104,4 +132,36 @@ func NormalizeWorkerURL(addr string) (string, error) {
 		return "", fmt.Errorf("service: worker address %q has no host", addr)
 	}
 	return strings.TrimRight(u.String(), "/"), nil
+}
+
+// NewWorkerID returns a fresh random worker identity ("w-" + 16 hex
+// digits), for daemons without a data directory to persist one in.
+func NewWorkerID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("service: generate worker id: %w", err)
+	}
+	return "w-" + hex.EncodeToString(b[:]), nil
+}
+
+// LoadOrCreateWorkerID returns the worker identity persisted at
+// <dir>/worker.id, creating (and atomically publishing) a fresh one on
+// first use — so a daemon restarted with the same -data directory rejoins
+// its coordinator under the same identity and displaces its stale fleet
+// entry immediately.
+func LoadOrCreateWorkerID(dir string) (string, error) {
+	path := filepath.Join(dir, "worker.id")
+	if data, err := os.ReadFile(path); err == nil {
+		if id := strings.TrimSpace(string(data)); id != "" {
+			return id, nil
+		}
+	}
+	id, err := NewWorkerID()
+	if err != nil {
+		return "", err
+	}
+	if err := writeFileAtomic(path, []byte(id+"\n")); err != nil {
+		return "", fmt.Errorf("service: persist worker id: %w", err)
+	}
+	return id, nil
 }

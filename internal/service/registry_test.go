@@ -41,9 +41,9 @@ func TestNormalizeWorkerURL(t *testing.T) {
 func TestRegistryJoinHeartbeatExpiry(t *testing.T) {
 	r := &workerRegistry{ttl: 50 * time.Millisecond}
 	t0 := time.Now()
-	r.join("http://b:1", t0)
-	r.join("http://a:1", t0)
-	r.join("http://b:1", t0.Add(10*time.Millisecond)) // heartbeat refresh
+	r.join("http://b:1", "", t0)
+	r.join("http://a:1", "", t0)
+	r.join("http://b:1", "", t0.Add(10*time.Millisecond)) // heartbeat refresh
 
 	live := r.live(t0.Add(20 * time.Millisecond))
 	if len(live) != 2 || live[0].Addr != "http://a:1" || live[1].Addr != "http://b:1" {
@@ -62,6 +62,71 @@ func TestRegistryJoinHeartbeatExpiry(t *testing.T) {
 	}
 }
 
+// TestRegistryStableIDDisplacesStaleEntry: a worker that restarts on a
+// new address under its persisted id replaces its old registration on
+// the first heartbeat, instead of the fleet carrying the dead entry
+// until the TTL strikes.
+func TestRegistryStableIDDisplacesStaleEntry(t *testing.T) {
+	r := &workerRegistry{ttl: time.Hour}
+	t0 := time.Now()
+	r.join("http://old:1", "w1", t0)
+	r.join("http://other:1", "w2", t0)
+	r.join("http://anon:1", "", t0)
+
+	// w1 comes back on a new port: its old address vanishes immediately.
+	r.join("http://new:2", "w1", t0.Add(time.Millisecond))
+	live := r.live(t0.Add(2 * time.Millisecond))
+	addrs := make(map[string]string, len(live))
+	for _, w := range live {
+		addrs[w.Addr] = w.ID
+	}
+	if _, stale := addrs["http://old:1"]; stale {
+		t.Errorf("stale entry survived the same-id rejoin: %+v", live)
+	}
+	if addrs["http://new:2"] != "w1" {
+		t.Errorf("rejoined worker missing or misidentified: %+v", live)
+	}
+	// Other workers — identified or anonymous — are untouched.
+	if addrs["http://other:1"] != "w2" {
+		t.Errorf("unrelated identified worker disturbed: %+v", live)
+	}
+	if id, ok := addrs["http://anon:1"]; !ok || id != "" {
+		t.Errorf("anonymous worker disturbed: %+v", live)
+	}
+	// An id-less rejoin of the same address is a plain heartbeat refresh.
+	r.join("http://anon:1", "", t0.Add(2*time.Millisecond))
+	if live = r.live(t0.Add(3 * time.Millisecond)); len(live) != 3 {
+		t.Errorf("fleet size after heartbeats = %d, want 3: %+v", len(live), live)
+	}
+}
+
+// TestLoadOrCreateWorkerID: the persisted identity is created once and
+// stable across restarts with the same data directory.
+func TestLoadOrCreateWorkerID(t *testing.T) {
+	dir := t.TempDir()
+	id1, err := LoadOrCreateWorkerID(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id1, "w-") || len(id1) != 18 {
+		t.Errorf("worker id = %q, want w- plus 16 hex digits", id1)
+	}
+	id2, err := LoadOrCreateWorkerID(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id1 {
+		t.Errorf("reloaded id = %q, want the persisted %q", id2, id1)
+	}
+	fresh, err := NewWorkerID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == id1 {
+		t.Errorf("NewWorkerID repeated a persisted id: %q", fresh)
+	}
+}
+
 // TestClusterJoinEndpoints exercises the HTTP surface: join, list, bad
 // joins, and TTL-driven disappearance through the client.
 func TestClusterJoinEndpoints(t *testing.T) {
@@ -71,14 +136,17 @@ func TestClusterJoinEndpoints(t *testing.T) {
 	svc, client := newTestServer(t, Config{Workers: 1, WorkerTTL: 2 * time.Second})
 	ctx := context.Background()
 
-	info, err := client.Join(ctx, "127.0.0.1:9001")
+	info, err := client.Join(ctx, "127.0.0.1:9001", "w-reg-1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Addr != "http://127.0.0.1:9001" {
 		t.Errorf("join normalized addr = %q", info.Addr)
 	}
-	if _, err := client.Join(ctx, "http://127.0.0.1:9002"); err != nil {
+	if info.ID != "w-reg-1" {
+		t.Errorf("join echoed id = %q, want w-reg-1", info.ID)
+	}
+	if _, err := client.Join(ctx, "http://127.0.0.1:9002", ""); err != nil {
 		t.Fatal(err)
 	}
 	workers, err := client.ClusterWorkers(ctx)
@@ -89,7 +157,7 @@ func TestClusterJoinEndpoints(t *testing.T) {
 		t.Fatalf("workers = %+v, want 2", workers)
 	}
 
-	_, err = client.Join(ctx, "")
+	_, err = client.Join(ctx, "", "")
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
 		t.Errorf("empty join err = %v, want 400", err)

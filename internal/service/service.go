@@ -66,6 +66,20 @@ type Config struct {
 	// DefaultMonitorInterval). Tests shrink it to drive the monitor
 	// quickly.
 	MonitorInterval time.Duration
+	// Tenants, when non-empty, turns on tenant authentication: the
+	// /v1/jobs endpoints require "Authorization: Bearer <key>", job
+	// visibility is scoped to the owning tenant, quotas are enforced on
+	// submission, and queued jobs are claimed fair-share across tenants.
+	// Load a set from disk with LoadTenants.
+	Tenants []Tenant
+	// EventKeepalive is the idle-stream keepalive cadence of
+	// /v1/jobs/{id}/events (default DefaultEventKeepalive). Tests shrink
+	// it to observe keepalive frames quickly.
+	EventKeepalive time.Duration
+	// SnapshotEvery is how many WAL records accumulate before the durable
+	// store compacts them into a snapshot (default DefaultSnapshotEvery;
+	// only meaningful with a DataDir).
+	SnapshotEvery int
 }
 
 // Stats is the service's aggregate state, served at /v1/stats.
@@ -96,6 +110,13 @@ type Stats struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// Draining reports that Close has begun: no new jobs are accepted.
 	Draining bool `json:"draining"`
+	// WALErrors counts write-ahead-log append/compaction failures since
+	// start. Non-zero means durability is degraded (a restart may lose
+	// recent records) while the in-memory store keeps serving.
+	WALErrors int64 `json:"wal_errors,omitempty"`
+	// Tenants is the per-tenant view — quota state and job-state counts —
+	// present only when tenant authentication is configured.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // Service is the daemon core: a bounded job queue, a worker pool that
@@ -106,18 +127,24 @@ type Service struct {
 	cfg   Config
 	store *store
 
-	// The queue is a FIFO deque guarded by qmu rather than a buffered
+	// The queue is a deque guarded by qmu rather than a buffered
 	// channel: cancelling a queued job must free its capacity slot
 	// immediately, which a channel cannot do (the tombstone would occupy
 	// the buffer until a worker drains it). qlive counts the queued,
 	// not-yet-terminal records — the number capacity checks and
 	// Stats.QueueDepth report; qitems may additionally hold tombstones
-	// of jobs cancelled while queued, which workers skip.
-	qmu     sync.Mutex
-	qcond   *sync.Cond
-	qitems  []*record
-	qlive   int
-	qclosed bool
+	// of jobs cancelled while queued, which workers skip. Without
+	// tenants the claim order is FIFO; with tenants, pop picks
+	// fair-share across tenants (qrunning/lastPop track per-tenant
+	// claims, all under qmu) and FIFO within each tenant.
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	qitems   []qitem
+	qlive    int
+	qclosed  bool
+	qrunning map[string]int   // claimed-and-unfinished jobs per tenant
+	lastPop  map[string]int64 // popSeq of each tenant's most recent claim
+	popSeq   int64
 
 	sealMu sync.RWMutex // guards sealed vs. submissions
 	sealed bool
@@ -140,11 +167,32 @@ type Service struct {
 	registry workerRegistry
 
 	// mon control-charts the daemon's own gauges (points/sec, cache hit
-	// rate, queue depth, worker heartbeat ages); monitorLoop feeds it and
-	// monOnce/monStop stop the loop exactly once on Close.
+	// rate, queue depth, worker heartbeat ages, tenant active counts);
+	// monitorLoop feeds it and monOnce/monStop stop the loop — and the
+	// WAL compaction loop — exactly once on Close.
 	mon     *monitor.Monitor
 	monStop chan struct{}
 	monOnce sync.Once
+
+	// wal is the durable store's write-ahead log (nil without a DataDir);
+	// compactCh kicks the compaction loop when enough records accumulate.
+	wal       *wal
+	compactCh chan struct{}
+
+	// Tenant enforcement state: tenants (by name, guarded by tenMu) holds
+	// the mutable quota counters; tenantKeys (key → name) is immutable
+	// after New and read lock-free by the HTTP auth check.
+	tenMu      sync.Mutex
+	tenants    map[string]*tenantState
+	tenantKeys map[string]string
+}
+
+// qitem is one queue entry: the record plus its tenant, denormalized so
+// fair-share selection under qmu never needs a record lock (Cancel locks
+// a record and then takes qmu, so the reverse order would deadlock).
+type qitem struct {
+	rec    *record
+	tenant string
 }
 
 // Distributor runs a sweep job across a remote worker fleet instead of
@@ -172,7 +220,13 @@ func (s *Service) getDistributor() Distributor {
 }
 
 // New builds and starts a Service: the worker pool is running and Submit
-// is immediately usable.
+// is immediately usable. With a DataDir, New first replays the write-ahead
+// log on top of the last snapshot — restoring every job's id, event log
+// (Seq numbers included) and artifacts byte-identically — then re-enqueues
+// jobs that were queued at shutdown and re-executes jobs that were running
+// at crash time (their artifacts stay byte-identical by construction:
+// execution is deterministic and previously computed points come from the
+// cache).
 func New(cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
@@ -185,27 +239,70 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
+	if cfg.MonitorInterval <= 0 {
+		cfg.MonitorInterval = DefaultMonitorInterval
+	}
+	if cfg.EventKeepalive <= 0 {
+		cfg.EventKeepalive = DefaultEventKeepalive
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := validateTenants(cfg.Tenants); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	st := newStore()
+	var w *wal
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("service: create data dir: %w", err)
 		}
-	}
-	if cfg.MonitorInterval <= 0 {
-		cfg.MonitorInterval = DefaultMonitorInterval
+		lastSeg, err := st.replayDurable(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		w, err = openWAL(cfg.DataDir, lastSeg, cfg.SnapshotEvery)
+		if err != nil {
+			return nil, err
+		}
+		st.attachWAL(w)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
-		store:      newStore(),
+		store:      st,
+		qrunning:   make(map[string]int),
+		lastPop:    make(map[string]int64),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		start:      time.Now(),
 		mon:        monitor.New(monitor.Config{Mode: monitor.Linear}),
 		monStop:    make(chan struct{}),
+		wal:        w,
+		compactCh:  make(chan struct{}, 1),
 	}
 	s.qcond = sync.NewCond(&s.qmu)
 	s.registry.ttl = cfg.WorkerTTL
 	s.execute = s.executeJob
+	if len(cfg.Tenants) > 0 {
+		s.tenants = make(map[string]*tenantState, len(cfg.Tenants))
+		s.tenantKeys = make(map[string]string, len(cfg.Tenants))
+		for _, t := range cfg.Tenants {
+			s.tenants[t.Name] = &tenantState{cfg: t}
+			s.tenantKeys[t.Key] = t.Name
+		}
+	}
+	if w != nil {
+		w.notify = func() {
+			select {
+			case s.compactCh <- struct{}{}:
+			default:
+			}
+		}
+		s.recoverDurable()
+		s.wg.Add(1)
+		go s.compactLoop()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -215,11 +312,94 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
+// recoverDurable re-enqueues replayed jobs that still need a worker:
+// queued jobs re-enter the queue as they were, jobs that were running at
+// crash time get a fresh queued state event (durably logged) and run
+// again, and a done job whose artifact files went missing is re-executed
+// rather than served a hole. Runs before the worker pool starts.
+func (s *Service) recoverDurable() {
+	now := time.Now()
+	for _, job := range s.store.list() {
+		rec, ok := s.store.get(job.ID)
+		if !ok {
+			continue
+		}
+		requeue := false
+		rec.mu.Lock()
+		switch rec.job.State {
+		case StateQueued:
+			requeue = true
+		case StateRunning:
+			rec.setStateLocked(StateQueued, "", now)
+			requeue = true
+		case StateDone:
+			jsonB, jerr := os.ReadFile(filepath.Join(s.cfg.DataDir, rec.job.ID+".json"))
+			csvB, cerr := os.ReadFile(filepath.Join(s.cfg.DataDir, rec.job.ID+".csv"))
+			if jerr == nil && cerr == nil {
+				rec.artifactJSON, rec.artifactCSV = jsonB, csvB
+			} else {
+				rec.setStateLocked(StateQueued, "", now)
+				requeue = true
+			}
+		}
+		tenant := rec.job.Tenant
+		rec.mu.Unlock()
+		if requeue {
+			s.qmu.Lock()
+			s.qitems = append(s.qitems, qitem{rec: rec, tenant: tenant})
+			s.qlive++
+			s.qmu.Unlock()
+			s.tenantRecover(tenant)
+		}
+	}
+}
+
+// compactLoop runs WAL compactions kicked by append volume until Close.
+func (s *Service) compactLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.monStop:
+			return
+		case <-s.compactCh:
+			s.compactWAL()
+		}
+	}
+}
+
+// compactWAL bounds replay cost: rotate to a fresh segment, snapshot the
+// in-memory store (a superset of everything in the rotated-out segments —
+// WAL appends happen under the record locks the snapshot takes), publish
+// it atomically, and only then delete the old segments. A crash anywhere
+// in between is safe: replay applies the snapshot first and skips
+// whatever the surviving segments duplicate.
+func (s *Service) compactWAL() {
+	defer s.wal.compactionDone()
+	old := s.wal.rotate()
+	snap := s.store.snapshotAll()
+	if err := writeSnapshot(s.wal.dir, snap); err != nil {
+		s.wal.errs.Add(1)
+		return // keep the old segments: they still cover the un-snapshotted state
+	}
+	for _, p := range old {
+		_ = os.Remove(p)
+	}
+}
+
 // Submit normalizes and validates the spec, registers a queued job, and
 // hands it to the worker pool. It returns the job snapshot (state queued),
 // an ErrInvalidSpec-wrapped validation error, ErrClosed when the service
 // is draining, or ErrQueueFull at capacity.
 func (s *Service) Submit(spec JobSpec) (Job, error) {
+	return s.SubmitAs("", spec)
+}
+
+// SubmitAs is Submit on behalf of a named tenant: the job records the
+// tenant, the tenant's quotas are enforced (an ErrQuota-wrapped
+// *QuotaError when exhausted), and the queue serves its jobs fair-share
+// against other tenants'. An empty tenant bypasses quota enforcement
+// (internal submissions and daemons without tenant auth).
+func (s *Service) SubmitAs(tenant string, spec JobSpec) (Job, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return Job{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
@@ -236,8 +416,11 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	if s.qlive >= s.cfg.QueueDepth {
 		return Job{}, ErrQueueFull
 	}
-	rec := s.store.add(spec, time.Now())
-	s.qitems = append(s.qitems, rec)
+	if err := s.tenantAdmit(tenant, time.Now()); err != nil {
+		return Job{}, err
+	}
+	rec := s.store.add(spec, tenant, time.Now())
+	s.qitems = append(s.qitems, qitem{rec: rec, tenant: tenant})
 	s.qlive++
 	s.qcond.Signal()
 	return rec.snapshot(), nil
@@ -251,22 +434,67 @@ func (s *Service) queuedGone() {
 	s.qmu.Unlock()
 }
 
-// pop blocks until a record is available (possibly a tombstone of a job
-// cancelled while queued, which the caller skips) or the queue is closed
-// and drained.
-func (s *Service) pop() (*record, bool) {
+// pop blocks until a queue entry is available (possibly a tombstone of a
+// job cancelled while queued, which the caller skips) or the queue is
+// closed and drained. Without tenants the order is plain FIFO. With
+// tenants it is fair-share: among tenants with queued work, claim from
+// the one with the fewest claimed-and-unfinished jobs, breaking ties
+// toward the tenant served longest ago, FIFO within the tenant — so one
+// tenant's burst cannot starve another's steady trickle.
+func (s *Service) pop() (qitem, bool) {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
 	for len(s.qitems) == 0 {
 		if s.qclosed {
-			return nil, false
+			return qitem{}, false
 		}
 		s.qcond.Wait()
 	}
-	rec := s.qitems[0]
-	s.qitems[0] = nil
-	s.qitems = s.qitems[1:]
-	return rec, true
+	i := 0
+	if s.tenants != nil {
+		i = s.fairPickLocked()
+	}
+	it := s.qitems[i]
+	copy(s.qitems[i:], s.qitems[i+1:])
+	s.qitems[len(s.qitems)-1] = qitem{}
+	s.qitems = s.qitems[:len(s.qitems)-1]
+	s.popSeq++
+	s.lastPop[it.tenant] = s.popSeq
+	s.qrunning[it.tenant]++
+	return it, true
+}
+
+// fairPickLocked chooses the queue index to claim next under the
+// fair-share policy. Callers hold qmu and guarantee the queue is
+// non-empty.
+func (s *Service) fairPickLocked() int {
+	best := -1
+	var bestRun int
+	var bestLast int64
+	seen := make(map[string]bool)
+	for i, it := range s.qitems {
+		if seen[it.tenant] {
+			continue // a later entry can never beat the tenant's first (FIFO within tenant)
+		}
+		seen[it.tenant] = true
+		run, last := s.qrunning[it.tenant], s.lastPop[it.tenant]
+		if best == -1 || run < bestRun || (run == bestRun && last < bestLast) {
+			best, bestRun, bestLast = i, run, last
+		}
+	}
+	return best
+}
+
+// claimDone retires one claimed queue entry: the worker finished (or
+// skipped) the job, so the tenant's claimed-and-unfinished count drops.
+func (s *Service) claimDone(tenant string) {
+	s.qmu.Lock()
+	if s.qrunning[tenant] > 1 {
+		s.qrunning[tenant]--
+	} else {
+		delete(s.qrunning, tenant)
+	}
+	s.qmu.Unlock()
 }
 
 // Job returns a snapshot of the job with the given id.
@@ -291,10 +519,12 @@ func (s *Service) Cancel(id string) (Job, error) {
 		return Job{}, ErrNotFound
 	}
 	rec.mu.Lock()
+	cancelledQueued := false
 	switch {
 	case rec.job.State == StateQueued:
 		rec.setStateLocked(StateCancelled, "cancelled while queued", time.Now())
 		s.queuedGone() // free the capacity slot right away
+		cancelledQueued = true
 	case rec.job.State == StateRunning:
 		if rec.cancelFn != nil {
 			rec.cancelFn()
@@ -305,6 +535,9 @@ func (s *Service) Cancel(id string) (Job, error) {
 	}
 	job := rec.job
 	rec.mu.Unlock()
+	if cancelledQueued {
+		s.tenantDone(job.Tenant)
+	}
 	return job, nil
 }
 
@@ -344,7 +577,11 @@ func (s *Service) Stats() Stats {
 		CacheHits:  s.pointsCached.Load(),
 	}
 	st.Draining = s.draining()
-	for _, j := range s.store.list() {
+	if s.wal != nil {
+		st.WALErrors = s.wal.errs.Load()
+	}
+	jobs := s.store.list()
+	for _, j := range jobs {
 		switch j.State {
 		case StateQueued:
 			st.Queued++
@@ -358,6 +595,7 @@ func (s *Service) Stats() Stats {
 			st.Cancelled++
 		}
 	}
+	st.Tenants = s.tenantStats(jobs, time.Now())
 	if st.UptimeSec > 0 {
 		st.PointsPerSec = float64(st.PointsDone) / st.UptimeSec
 	}
@@ -391,11 +629,17 @@ func (s *Service) Close(ctx context.Context) error {
 		if j.State == StateQueued {
 			if rec, ok := s.store.get(j.ID); ok {
 				rec.mu.Lock()
+				cancelled := false
 				if rec.job.State == StateQueued {
 					rec.setStateLocked(StateCancelled, "cancelled by shutdown", time.Now())
 					s.queuedGone()
+					cancelled = true
 				}
+				tenant := rec.job.Tenant
 				rec.mu.Unlock()
+				if cancelled {
+					s.tenantDone(tenant)
+				}
 			}
 		}
 	}
@@ -414,11 +658,13 @@ func (s *Service) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.wal.close()
 		return nil
 	case <-ctx.Done():
 	}
 	s.baseCancel()
 	<-done
+	s.wal.close()
 	return ctx.Err()
 }
 
@@ -426,11 +672,12 @@ func (s *Service) Close(ctx context.Context) error {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for {
-		rec, ok := s.pop()
+		it, ok := s.pop()
 		if !ok {
 			return
 		}
-		s.runOne(rec)
+		s.runOne(it.rec)
+		s.claimDone(it.tenant)
 	}
 }
 
@@ -447,10 +694,25 @@ func (s *Service) runOne(rec *record) {
 	rec.cancelFn = cancel
 	rec.setStateLocked(StateRunning, "", time.Now())
 	id := rec.job.ID
+	tenant := rec.job.Tenant
 	rec.mu.Unlock()
 	defer cancel()
 
 	jsonB, csvB, err := s.execute(ctx, rec)
+
+	// Durability ordering: the artifacts land on disk (atomically, via
+	// temp+rename) before the done event enters the WAL, so a replayed
+	// done job always finds its files; a crash between the two replays as
+	// still-running and re-executes. An artifact write failure fails the
+	// job — a durable daemon must not claim done for results it cannot
+	// serve after a restart.
+	if err == nil && s.cfg.DataDir != "" {
+		if werr := writeFileAtomic(filepath.Join(s.cfg.DataDir, id+".json"), jsonB); werr != nil {
+			err = fmt.Errorf("service: persist artifact: %w", werr)
+		} else if werr := writeFileAtomic(filepath.Join(s.cfg.DataDir, id+".csv"), csvB); werr != nil {
+			err = fmt.Errorf("service: persist artifact: %w", werr)
+		}
+	}
 
 	rec.mu.Lock()
 	switch {
@@ -462,15 +724,8 @@ func (s *Service) runOne(rec *record) {
 		rec.artifactJSON, rec.artifactCSV = jsonB, csvB
 		rec.setStateLocked(StateDone, "", time.Now())
 	}
-	st := rec.job.State
 	rec.mu.Unlock()
-
-	if st == StateDone && s.cfg.DataDir != "" {
-		// Durability is best-effort: the in-memory artifact already
-		// serves /result, so a full disk only costs the on-disk copy.
-		_ = os.WriteFile(filepath.Join(s.cfg.DataDir, id+".json"), jsonB, 0o644)
-		_ = os.WriteFile(filepath.Join(s.cfg.DataDir, id+".csv"), csvB, 0o644)
-	}
+	s.tenantDone(tenant)
 }
 
 // executeJob is the real executor: it dispatches on the spec kind and

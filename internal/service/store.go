@@ -9,13 +9,15 @@ import (
 
 // record is the service-internal state of one job: the mutable Job
 // snapshot, the append-only event log with its waiters, the artifacts, and
-// the running job's cancel function. All fields are guarded by mu.
+// the running job's cancel function. All fields are guarded by mu except
+// w, which is set before the record is shared.
 type record struct {
 	mu       sync.Mutex
 	job      Job
 	events   []Event
 	waiters  []chan struct{} // closed and cleared on every append
 	cancelFn context.CancelFunc
+	w        *wal // nil when the store is not durable
 
 	artifactJSON []byte
 	artifactCSV  []byte
@@ -28,12 +30,16 @@ func (r *record) snapshot() Job {
 	return r.job
 }
 
-// appendLocked adds an event to the log (stamping Seq and Job) and wakes
-// every stream waiting for new entries. Callers hold r.mu.
-func (r *record) appendLocked(ev Event) {
+// appendLocked adds an event to the log (stamping Seq and Job), persists
+// it to the WAL, and only then wakes every stream waiting for new
+// entries — so any event a client has streamed is already durable. now
+// stamps state events in the WAL (replay restores StartedAt/FinishedAt
+// from it); point and total events pass the zero time. Callers hold r.mu.
+func (r *record) appendLocked(ev Event, now time.Time) {
 	ev.Seq = len(r.events)
 	ev.Job = r.job.ID
 	r.events = append(r.events, ev)
+	r.w.append(walRecord{Kind: walKindEvent, Job: r.job.ID, Time: now, Event: &ev})
 	for _, w := range r.waiters {
 		close(w)
 	}
@@ -52,16 +58,18 @@ func (r *record) setStateLocked(st JobState, errMsg string, now time.Time) {
 	case st.Terminal():
 		r.job.FinishedAt = now
 	}
-	r.appendLocked(Event{Type: EventState, State: st, Error: errMsg})
+	r.appendLocked(Event{Type: EventState, State: st, Error: errMsg}, now)
 }
 
-// setTotal records the job's total work units, announced as soon as the
-// job starts so pollers can render done/total before the first unit
-// finishes.
+// setTotal records the job's total work units and announces them with an
+// EventTotal log entry, so stream consumers (and durable replay) learn
+// the denominator before the first point finishes — even for a job that
+// fails before producing any point.
 func (r *record) setTotal(total int) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.job.Total = total
-	r.mu.Unlock()
+	r.appendLocked(Event{Type: EventTotal, Total: total}, time.Time{})
 }
 
 // progress logs one finished work unit and updates the job's counters.
@@ -78,7 +86,7 @@ func (r *record) progress(done, total int, point string, cached bool) {
 	if cached {
 		r.job.CacheHits++
 	}
-	r.appendLocked(Event{Type: EventPoint, Done: done, Total: total, Point: point, Cached: cached})
+	r.appendLocked(Event{Type: EventPoint, Done: done, Total: total, Point: point, Cached: cached}, time.Time{})
 }
 
 // eventsFrom returns the log entries at index ≥ from, whether the job is
@@ -100,28 +108,35 @@ func (r *record) eventsFrom(from int) (evs []Event, terminal bool, wait <-chan s
 
 // store is the concurrency-safe job table: id allocation, lookup, and
 // ordered listing. Records are never removed — the daemon's job history is
-// its in-memory log for the life of the process.
+// its in-memory log, durable across restarts when a WAL is attached.
 type store struct {
 	mu     sync.RWMutex
 	jobs   map[string]*record
 	order  []string
 	nextID int
+	w      *wal // nil when the store is not durable
 }
 
 func newStore() *store {
 	return &store{jobs: make(map[string]*record)}
 }
 
-// add allocates an id, registers a queued record for spec, and returns it.
-func (st *store) add(spec JobSpec, now time.Time) *record {
+// add allocates an id, registers a queued record for spec owned by
+// tenant, persists the submission to the WAL, and returns the record.
+// The id counter survives restarts: replay seeds it past every replayed
+// job (see seedNextID), so post-restart ids never collide.
+func (st *store) add(spec JobSpec, tenant string, now time.Time) *record {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.nextID++
 	id := fmt.Sprintf("j%06d", st.nextID)
-	rec := &record{job: Job{ID: id, Spec: spec, State: StateQueued, CreatedAt: now}}
+	rec := &record{job: Job{ID: id, Tenant: tenant, Spec: spec, State: StateQueued, CreatedAt: now}, w: st.w}
 	rec.events = append(rec.events, Event{Seq: 0, Job: id, Type: EventState, State: StateQueued})
 	st.jobs[id] = rec
 	st.order = append(st.order, id)
+	// The submit record implies the Seq-0 queued event above; replay
+	// synthesizes it, so it is not logged separately.
+	st.w.append(walRecord{Kind: walKindSubmit, Job: id, Time: now, Tenant: tenant, Spec: &spec})
 	return rec
 }
 

@@ -1,0 +1,248 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Tenant auth/quota errors. The HTTP layer maps ErrUnauthorized to 401
+// and ErrQuota to 429 (see writeError in http.go).
+var (
+	// ErrUnauthorized: the request carried no API key, or an unknown one.
+	ErrUnauthorized = errors.New("service: missing or unknown API key")
+	// ErrQuota: the tenant is at a quota; the concrete *QuotaError wraps
+	// this sentinel and names the quota and its limit.
+	ErrQuota = errors.New("service: tenant quota exceeded")
+)
+
+// Tenant is one API tenant: a name, its bearer key, and its quotas. Load
+// a tenant set from disk with LoadTenants and pass it via Config.Tenants;
+// a non-empty set turns on Authorization checks for the /v1/jobs
+// endpoints and scopes job visibility to the owning tenant.
+type Tenant struct {
+	// Name identifies the tenant in job records, stats and errors.
+	Name string `json:"name"`
+	// Key is the bearer token presented as "Authorization: Bearer <key>".
+	Key string `json:"key"`
+	// MaxConcurrent caps the tenant's active (queued + running) jobs;
+	// 0 means unlimited.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// RatePerMin caps the tenant's accepted submissions per sliding
+	// 60-second window; 0 means unlimited.
+	RatePerMin int `json:"rate_per_min,omitempty"`
+}
+
+// QuotaError reports which tenant hit which quota. It wraps ErrQuota, so
+// errors.Is(err, ErrQuota) selects it; the HTTP layer serializes the
+// fields into the 429 error envelope.
+type QuotaError struct {
+	// Tenant is the tenant that hit the quota.
+	Tenant string
+	// Quota names the exhausted quota: "max_concurrent" or "rate_per_min".
+	Quota string
+	// Limit is the configured quota value.
+	Limit int
+}
+
+// Error renders the quota violation.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("service: tenant %q over %s quota (limit %d)", e.Tenant, e.Quota, e.Limit)
+}
+
+// Unwrap makes errors.Is(err, ErrQuota) true.
+func (e *QuotaError) Unwrap() error { return ErrQuota }
+
+// tenantState is the service-internal enforcement state of one tenant,
+// guarded by Service.tenMu: the active-job counter behind MaxConcurrent
+// and the sliding submission window behind RatePerMin.
+type tenantState struct {
+	cfg    Tenant
+	active int // queued + running jobs
+	window []time.Time
+}
+
+// tenantsFile is the on-disk tenant set: {"tenants": [...]}.
+type tenantsFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// LoadTenants reads a tenant set from a JSON file of the form
+//
+//	{"tenants": [{"name": "acme", "key": "s3cret",
+//	              "max_concurrent": 2, "rate_per_min": 60}]}
+//
+// and validates it (non-empty unique names and keys, non-negative
+// quotas). cmd/antsimd's -tenants flag loads its file through this.
+func LoadTenants(path string) ([]Tenant, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: read tenants file: %w", err)
+	}
+	var tf tenantsFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tf); err != nil {
+		return nil, fmt.Errorf("service: decode tenants file %s: %w", path, err)
+	}
+	if err := validateTenants(tf.Tenants); err != nil {
+		return nil, fmt.Errorf("service: tenants file %s: %w", path, err)
+	}
+	return tf.Tenants, nil
+}
+
+// validateTenants checks a tenant set for empty or duplicate names and
+// keys and negative quotas.
+func validateTenants(tenants []Tenant) error {
+	names := make(map[string]bool, len(tenants))
+	keys := make(map[string]bool, len(tenants))
+	for i, t := range tenants {
+		if t.Name == "" {
+			return fmt.Errorf("tenant %d has no name", i)
+		}
+		if t.Key == "" {
+			return fmt.Errorf("tenant %q has no key", t.Name)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("duplicate tenant name %q", t.Name)
+		}
+		if keys[t.Key] {
+			return fmt.Errorf("tenant %q reuses another tenant's key", t.Name)
+		}
+		if t.MaxConcurrent < 0 || t.RatePerMin < 0 {
+			return fmt.Errorf("tenant %q has a negative quota", t.Name)
+		}
+		names[t.Name] = true
+		keys[t.Key] = true
+	}
+	return nil
+}
+
+// tenantAdmit enforces the named tenant's quotas for one submission and,
+// on success, charges it: the active counter rises and the submission
+// lands in the rate window. Callers hold no locks ordered after tenMu.
+func (s *Service) tenantAdmit(name string, now time.Time) error {
+	if name == "" {
+		return nil
+	}
+	s.tenMu.Lock()
+	defer s.tenMu.Unlock()
+	ts := s.tenants[name]
+	if ts == nil {
+		return nil
+	}
+	if ts.cfg.MaxConcurrent > 0 && ts.active >= ts.cfg.MaxConcurrent {
+		return &QuotaError{Tenant: name, Quota: "max_concurrent", Limit: ts.cfg.MaxConcurrent}
+	}
+	if ts.cfg.RatePerMin > 0 {
+		cut := now.Add(-time.Minute)
+		for len(ts.window) > 0 && !ts.window[0].After(cut) {
+			ts.window = ts.window[1:]
+		}
+		if len(ts.window) >= ts.cfg.RatePerMin {
+			return &QuotaError{Tenant: name, Quota: "rate_per_min", Limit: ts.cfg.RatePerMin}
+		}
+		ts.window = append(ts.window, now)
+	}
+	ts.active++
+	return nil
+}
+
+// tenantDone releases one active-job slot when a tenant's job reaches a
+// terminal state.
+func (s *Service) tenantDone(name string) {
+	if name == "" {
+		return
+	}
+	s.tenMu.Lock()
+	if ts := s.tenants[name]; ts != nil && ts.active > 0 {
+		ts.active--
+	}
+	s.tenMu.Unlock()
+}
+
+// tenantRecover re-charges one active-job slot for a job re-entering the
+// queue during durable replay (no quota check — the job was already
+// admitted before the restart).
+func (s *Service) tenantRecover(name string) {
+	if name == "" {
+		return
+	}
+	s.tenMu.Lock()
+	if ts := s.tenants[name]; ts != nil {
+		ts.active++
+	}
+	s.tenMu.Unlock()
+}
+
+// TenantStats is one tenant's slice of /v1/stats.
+type TenantStats struct {
+	// Active counts the tenant's queued + running jobs — the number the
+	// MaxConcurrent quota compares against.
+	Active int `json:"active"`
+	// Queued counts the tenant's jobs waiting for a worker.
+	Queued int `json:"queued"`
+	// Running counts the tenant's jobs currently executing.
+	Running int `json:"running"`
+	// Done counts the tenant's successfully finished jobs.
+	Done int `json:"done"`
+	// Failed counts the tenant's failed jobs.
+	Failed int `json:"failed"`
+	// Cancelled counts the tenant's cancelled jobs.
+	Cancelled int `json:"cancelled"`
+	// RateInWindow counts the tenant's accepted submissions in the
+	// current sliding 60-second window.
+	RateInWindow int `json:"rate_in_window"`
+	// MaxConcurrent echoes the tenant's configured concurrency quota
+	// (0 = unlimited).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// RatePerMin echoes the tenant's configured rate quota
+	// (0 = unlimited).
+	RatePerMin int `json:"rate_per_min,omitempty"`
+}
+
+// tenantStats snapshots every configured tenant's enforcement state and
+// folds in the per-tenant job-state counts from the job table.
+func (s *Service) tenantStats(jobs []Job, now time.Time) map[string]TenantStats {
+	if s.tenants == nil {
+		return nil
+	}
+	out := make(map[string]TenantStats, len(s.tenants))
+	s.tenMu.Lock()
+	for name, ts := range s.tenants {
+		cut := now.Add(-time.Minute)
+		for len(ts.window) > 0 && !ts.window[0].After(cut) {
+			ts.window = ts.window[1:]
+		}
+		out[name] = TenantStats{
+			Active:        ts.active,
+			RateInWindow:  len(ts.window),
+			MaxConcurrent: ts.cfg.MaxConcurrent,
+			RatePerMin:    ts.cfg.RatePerMin,
+		}
+	}
+	s.tenMu.Unlock()
+	for _, j := range jobs {
+		t, ok := out[j.Tenant]
+		if !ok {
+			continue
+		}
+		switch j.State {
+		case StateQueued:
+			t.Queued++
+		case StateRunning:
+			t.Running++
+		case StateDone:
+			t.Done++
+		case StateFailed:
+			t.Failed++
+		case StateCancelled:
+			t.Cancelled++
+		}
+		out[j.Tenant] = t
+	}
+	return out
+}

@@ -1,0 +1,409 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testTenants is the two-tenant fixture most tests share: acme has tight
+// quotas, bcorp none.
+func testTenants() []Tenant {
+	return []Tenant{
+		{Name: "acme", Key: "key-acme", MaxConcurrent: 1, RatePerMin: 60},
+		{Name: "bcorp", Key: "key-bcorp"},
+	}
+}
+
+func TestLoadTenantsValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := write("good.json",
+		`{"tenants": [{"name": "acme", "key": "k1", "max_concurrent": 2, "rate_per_min": 60}, {"name": "bcorp", "key": "k2"}]}`)
+	tenants, err := LoadTenants(good)
+	if err != nil {
+		t.Fatalf("LoadTenants(good) = %v", err)
+	}
+	if len(tenants) != 2 || tenants[0].Name != "acme" || tenants[0].MaxConcurrent != 2 {
+		t.Errorf("tenants = %+v", tenants)
+	}
+
+	bad := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown-field.json", `{"tenants": [{"name": "a", "key": "k", "bogus": 1}]}`, "unknown field"},
+		{"no-name.json", `{"tenants": [{"key": "k"}]}`, "has no name"},
+		{"no-key.json", `{"tenants": [{"name": "a"}]}`, "has no key"},
+		{"dup-name.json", `{"tenants": [{"name": "a", "key": "k1"}, {"name": "a", "key": "k2"}]}`, "duplicate tenant name"},
+		{"dup-key.json", `{"tenants": [{"name": "a", "key": "k"}, {"name": "b", "key": "k"}]}`, "reuses another tenant's key"},
+		{"neg-quota.json", `{"tenants": [{"name": "a", "key": "k", "max_concurrent": -1}]}`, "negative quota"},
+		{"not-json.json", `{nope`, "decode"},
+	}
+	for _, tc := range bad {
+		if _, err := LoadTenants(write(tc.name, tc.body)); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("LoadTenants(%s) err = %v, want %q", tc.name, err, tc.wantErr)
+		}
+	}
+	if _, err := LoadTenants(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadTenants(missing file) = nil, want error")
+	}
+	// New rejects an invalid tenant set the same way.
+	if _, err := New(Config{Workers: 1, Tenants: []Tenant{{Name: "a"}}}); err == nil {
+		t.Error("New with a keyless tenant = nil, want error")
+	}
+}
+
+// newTenantServer starts a tenant-enabled service behind a real HTTP
+// server and returns the service, its base URL, and a keyed client maker.
+func newTenantServer(t *testing.T, cfg Config) (*Service, string, func(key string) *Client) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = svc.Close(ctx)
+		srv.Close()
+	})
+	return svc, srv.URL, func(key string) *Client {
+		c := NewClient(srv.URL)
+		c.SetAPIKey(key)
+		return c
+	}
+}
+
+// TestTenantAuthRequired: with tenants configured the job endpoints
+// demand a known bearer key (401 otherwise) while the operational
+// endpoints stay open.
+func TestTenantAuthRequired(t *testing.T) {
+	_, baseURL, keyed := newTenantServer(t, Config{Workers: 1, Tenants: testTenants()})
+	ctx := context.Background()
+
+	assert401 := func(err error) {
+		t.Helper()
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+			t.Errorf("err = %v, want 401", err)
+		}
+	}
+	anon := NewClient(baseURL)
+	_, err := anon.Submit(ctx, scenarioSpec(1))
+	assert401(err)
+	_, err = anon.Jobs(ctx)
+	assert401(err)
+	wrong := keyed("nope")
+	_, err = wrong.Submit(ctx, scenarioSpec(1))
+	assert401(err)
+
+	// Liveness, stats and monitor need no key — probes and dashboards
+	// keep working.
+	if err := anon.Healthz(ctx); err != nil {
+		t.Errorf("healthz without key: %v", err)
+	}
+	if _, err := anon.Stats(ctx); err != nil {
+		t.Errorf("stats without key: %v", err)
+	}
+
+	acme := keyed("key-acme")
+	job, err := acme.Submit(ctx, scenarioSpec(1))
+	if err != nil {
+		t.Fatalf("keyed submit: %v", err)
+	}
+	if job.Tenant != "acme" {
+		t.Errorf("job tenant = %q, want acme", job.Tenant)
+	}
+	if _, err := acme.Wait(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// submitRaw posts a spec with the given key and returns the status and
+// decoded error envelope (zero-valued on success).
+func submitRaw(t *testing.T, baseURL, key string, spec JobSpec) (int, errorBody) {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/jobs", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eb errorBody
+	if resp.StatusCode/100 != 2 {
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("error body does not decode: %v", err)
+		}
+	}
+	return resp.StatusCode, eb
+}
+
+// TestTenantMaxConcurrentQuota is the acceptance scenario: a tenant at
+// its concurrency quota gets a structured 429 while another tenant's
+// submissions proceed, and finishing a job frees the slot.
+func TestTenantMaxConcurrentQuota(t *testing.T) {
+	svc, baseURL, keyed := newTenantServer(t, Config{Workers: 1, QueueDepth: 8, Tenants: testTenants()})
+	release := make(chan struct{})
+	svc.execute = func(ctx context.Context, rec *record) ([]byte, []byte, error) {
+		select {
+		case <-release:
+			return []byte("{}\n"), []byte("csv\n"), nil
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	ctx := context.Background()
+
+	acme := keyed("key-acme")
+	blocker, err := acme.Submit(ctx, scenarioSpec(1)) // fills acme's single slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, eb := submitRaw(t, baseURL, "key-acme", scenarioSpec(2))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit status = %d, want 429", status)
+	}
+	if eb.Tenant != "acme" || eb.Quota != "max_concurrent" || eb.Limit != 1 {
+		t.Errorf("429 envelope = %+v, want tenant=acme quota=max_concurrent limit=1", eb)
+	}
+	if eb.Error == "" {
+		t.Error("429 envelope has no error message")
+	}
+
+	// The other tenant is unaffected by acme's saturation.
+	bcorp := keyed("key-bcorp")
+	bjob, err := bcorp.Submit(ctx, scenarioSpec(3))
+	if err != nil {
+		t.Fatalf("bcorp submit while acme is at quota: %v", err)
+	}
+
+	close(release)
+	if _, err := acme.Wait(ctx, blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bcorp.Wait(ctx, bjob.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The finished job released acme's slot (the release lands just after
+	// the terminal state becomes observable, hence the wait).
+	waitFor(t, func() bool { return svc.Stats().Tenants["acme"].Active == 0 })
+	job, err := acme.Submit(ctx, scenarioSpec(4))
+	if err != nil {
+		t.Fatalf("submit after slot freed: %v", err)
+	}
+	if _, err := acme.Wait(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantRateQuota: the sliding-window rate quota rejects the N+1th
+// submission inside the window with a structured 429, even though every
+// prior job already finished.
+func TestTenantRateQuota(t *testing.T) {
+	tenants := []Tenant{{Name: "acme", Key: "key-acme", RatePerMin: 2}}
+	_, baseURL, keyed := newTenantServer(t, Config{Workers: 1, Tenants: tenants})
+	ctx := context.Background()
+	acme := keyed("key-acme")
+	for seed := uint64(1); seed <= 2; seed++ {
+		job, err := acme.Submit(ctx, scenarioSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := acme.Wait(ctx, job.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	status, eb := submitRaw(t, baseURL, "key-acme", scenarioSpec(3))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submit status = %d, want 429", status)
+	}
+	if eb.Tenant != "acme" || eb.Quota != "rate_per_min" || eb.Limit != 2 {
+		t.Errorf("429 envelope = %+v, want tenant=acme quota=rate_per_min limit=2", eb)
+	}
+}
+
+// TestFairShareClaimOrder pins the scheduling policy: with one worker
+// and a backlog of acme jobs, a late bcorp submission is claimed before
+// acme's remaining backlog — fewest claimed-and-unfinished jobs first —
+// while acme's own jobs stay FIFO.
+func TestFairShareClaimOrder(t *testing.T) {
+	tenants := []Tenant{
+		{Name: "acme", Key: "key-acme"},
+		{Name: "bcorp", Key: "key-bcorp"},
+	}
+	svc, err := New(Config{Workers: 1, QueueDepth: 8, Tenants: tenants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan string, 8)
+	svc.execute = func(ctx context.Context, rec *record) ([]byte, []byte, error) {
+		started <- rec.snapshot().ID
+		select {
+		case <-release:
+			return []byte("{}\n"), []byte("csv\n"), nil
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Close(ctx)
+	}()
+
+	submit := func(tenant string, seed uint64) string {
+		t.Helper()
+		job, err := svc.SubmitAs(tenant, scenarioSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return job.ID
+	}
+	a0 := submit("acme", 1)
+	first := <-started // the worker claimed acme's head-of-line job
+	if first != a0 {
+		t.Fatalf("first claim = %s, want %s", first, a0)
+	}
+	a1 := submit("acme", 2)
+	a2 := submit("acme", 3)
+	b0 := submit("bcorp", 4)
+
+	close(release)
+	want := []string{b0, a1, a2} // bcorp jumps acme's backlog, acme stays FIFO
+	for i, w := range want {
+		got := <-started
+		if got != w {
+			t.Fatalf("claim %d = %s, want %s (full expectation %v)", i+1, got, w, want)
+		}
+	}
+	for _, id := range []string{a0, a1, a2, b0} {
+		waitTerminal(t, svc, id)
+	}
+}
+
+// TestTenantScopedVisibility: one tenant's jobs are invisible to
+// another — list excludes them and direct reads come back 404, not 403,
+// so ids do not leak.
+func TestTenantScopedVisibility(t *testing.T) {
+	_, _, keyed := newTenantServer(t, Config{Workers: 1, Tenants: testTenants()})
+	ctx := context.Background()
+	acme, bcorp := keyed("key-acme"), keyed("key-bcorp")
+
+	job, err := acme.Submit(ctx, scenarioSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acme.Wait(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	assert404 := func(err error) {
+		t.Helper()
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+			t.Errorf("cross-tenant access err = %v, want 404", err)
+		}
+	}
+	_, err = bcorp.Job(ctx, job.ID)
+	assert404(err)
+	_, err = bcorp.Result(ctx, job.ID, "csv")
+	assert404(err)
+	_, err = bcorp.Cancel(ctx, job.ID)
+	assert404(err)
+	_, err = bcorp.Events(ctx, job.ID)
+	assert404(err)
+	jobs, err := bcorp.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Errorf("bcorp sees acme's jobs: %+v", jobs)
+	}
+
+	// The owner still has full access.
+	if _, err := acme.Job(ctx, job.ID); err != nil {
+		t.Errorf("owner read: %v", err)
+	}
+	if _, err := acme.Result(ctx, job.ID, "csv"); err != nil {
+		t.Errorf("owner result: %v", err)
+	}
+	jobs, err = acme.Jobs(ctx)
+	if err != nil || len(jobs) != 1 {
+		t.Errorf("owner list = %+v, %v", jobs, err)
+	}
+}
+
+// TestStatsAndMonitorCarryTenantDimension: /v1/stats grows a per-tenant
+// section and the health monitor tracks each tenant's active-job gauge.
+func TestStatsAndMonitorCarryTenantDimension(t *testing.T) {
+	svc, err := New(Config{Workers: 1, Tenants: testTenants(), MonitorInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = svc.Close(context.Background()) }()
+
+	job, err := svc.SubmitAs("acme", scenarioSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, svc, job.ID)
+	// The active slot is released just after the terminal state becomes
+	// observable.
+	waitFor(t, func() bool { return svc.Stats().Tenants["acme"].Active == 0 })
+
+	st := svc.Stats()
+	ts, ok := st.Tenants["acme"]
+	if !ok {
+		t.Fatalf("stats have no acme tenant: %+v", st.Tenants)
+	}
+	if ts.Done != 1 || ts.Active != 0 || ts.MaxConcurrent != 1 || ts.RatePerMin != 60 || ts.RateInWindow != 1 {
+		t.Errorf("acme tenant stats = %+v", ts)
+	}
+	if _, ok := st.Tenants["bcorp"]; !ok {
+		t.Errorf("idle tenant missing from stats: %+v", st.Tenants)
+	}
+
+	found := waitMonitor(t, svc, func(ms MonitorState) bool {
+		for _, s := range ms.Series {
+			if s.Name == "tenant_active:acme" {
+				return true
+			}
+		}
+		return false
+	})
+	ok = false
+	for _, s := range found.Series {
+		if s.Name == "tenant_active:acme" {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("no tenant_active:acme series in the monitor: %+v", found.Series)
+	}
+}

@@ -1,0 +1,500 @@
+package service
+
+// The write-ahead log makes the job store durable. Every submission and
+// every event-log append lands in an append-only, checksummed segment
+// file under the data directory before any client observes it (the WAL
+// write happens inside the same critical section that wakes event-stream
+// waiters), so a daemon killed at any instant replays on restart to a
+// store whose job IDs, event logs — including their Seq numbers — and
+// artifacts are byte-identical to what clients already saw.
+//
+// Frame layout (little-endian):
+//
+//	[uint32 payload length][uint32 CRC-32 (IEEE) of payload][payload]
+//
+// where the payload is one JSON-encoded walRecord. A crash tears at most
+// the tail of the final segment; replay verifies length and checksum and
+// stops cleanly at the last intact record.
+//
+// Compaction bounds replay cost: after SnapshotEvery appended records the
+// service rotates to a fresh segment, snapshots the in-memory store (which
+// by then is a superset of everything in the rotated-out segments) to
+// snapshot.json via temp+rename — the same atomic-publish idiom as the
+// sweep cache — and deletes the old segments. Replay applies the snapshot
+// first and then the surviving segments idempotently (a record whose job
+// already exists, or whose event Seq is already present, is skipped), so
+// a crash anywhere inside compaction loses nothing.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WAL record kinds.
+const (
+	// walKindSubmit records a job submission: id, spec, tenant and
+	// creation time. It implies the job's Seq-0 queued state event.
+	walKindSubmit = "submit"
+	// walKindEvent records one event-log append, verbatim.
+	walKindEvent = "event"
+)
+
+// snapshotSchemaVersion versions the snapshot.json layout.
+const snapshotSchemaVersion = 1
+
+// maxWALRecordBytes bounds a single WAL payload; a longer length prefix
+// marks a torn or corrupt frame and stops replay of that segment.
+const maxWALRecordBytes = 16 << 20
+
+// DefaultSnapshotEvery is how many WAL records accumulate before the
+// service compacts them into a snapshot (Config.SnapshotEvery overrides).
+const DefaultSnapshotEvery = 1024
+
+// walSnapshotName is the snapshot file name inside the data directory.
+const walSnapshotName = "snapshot.json"
+
+// walRecord is one WAL entry: a submission or an event-log append.
+type walRecord struct {
+	Kind   string    `json:"kind"`
+	Job    string    `json:"job"`
+	Time   time.Time `json:"time,omitzero"` // CreatedAt (submit) / lifecycle stamp (state events)
+	Tenant string    `json:"tenant,omitempty"`
+	Spec   *JobSpec  `json:"spec,omitempty"`
+	Event  *Event    `json:"event,omitempty"`
+}
+
+// walSnapshot is the snapshot.json payload: the full job table at
+// compaction time plus the id counter.
+type walSnapshot struct {
+	SchemaVersion int           `json:"schema_version"`
+	NextID        int           `json:"next_id"`
+	Jobs          []snapshotJob `json:"jobs"`
+}
+
+// snapshotJob is one job's snapshot: the record and its whole event log.
+type snapshotJob struct {
+	Job    Job     `json:"job"`
+	Events []Event `json:"events"`
+}
+
+// wal is the append half of the write-ahead log: a current segment file,
+// rotation, and the compaction trigger. Replay is a package function
+// (replayDurable) because it runs before any wal exists.
+type wal struct {
+	dir    string
+	every  int    // records between compaction triggers
+	notify func() // non-blocking kick of the service's compaction loop
+
+	mu         sync.Mutex
+	f          *os.File
+	seg        int
+	sinceSnap  int
+	compacting bool
+
+	errs atomic.Int64 // append/compaction failures (durability degraded, service keeps running)
+}
+
+// segmentPath names segment n inside dir.
+func segmentPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", n))
+}
+
+// segmentIndex parses a segment file name back to its index.
+func segmentIndex(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".log")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment indexes present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, e := range entries {
+		if n, ok := segmentIndex(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// openWAL starts a fresh segment after the highest replayed one. A new
+// segment per boot means a torn tail from the previous crash can never be
+// appended over.
+func openWAL(dir string, lastSeg, every int) (*wal, error) {
+	w := &wal{dir: dir, every: every, seg: lastSeg + 1}
+	f, err := os.OpenFile(segmentPath(dir, w.seg), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: open wal segment: %w", err)
+	}
+	w.f = f
+	return w, nil
+}
+
+// frame encodes one payload as a length-prefixed, checksummed frame.
+func frame(payload []byte) []byte {
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	return buf
+}
+
+// append writes one record to the current segment. Failures are counted
+// (Stats.WALErrors) rather than propagated — the in-memory store stays
+// authoritative and the daemon keeps serving — and a failed segment is
+// rotated out so later records land on a fresh, readable file.
+func (w *wal) append(rec walRecord) {
+	if w == nil {
+		return
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		w.errs.Add(1)
+		return
+	}
+	buf := frame(payload)
+	var fire bool
+	w.mu.Lock()
+	if w.f == nil {
+		w.errs.Add(1)
+		w.mu.Unlock()
+		return
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		w.errs.Add(1)
+		w.rotateLocked() // the torn tail poisons this segment; move on
+	} else {
+		w.sinceSnap++
+		if w.every > 0 && w.sinceSnap >= w.every && !w.compacting {
+			w.compacting = true
+			w.sinceSnap = 0
+			fire = true
+		}
+	}
+	w.mu.Unlock()
+	if fire && w.notify != nil {
+		w.notify()
+	}
+}
+
+// rotateLocked closes the current segment and opens the next. Callers
+// hold w.mu.
+func (w *wal) rotateLocked() {
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+	w.seg++
+	f, err := os.OpenFile(segmentPath(w.dir, w.seg), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		w.errs.Add(1)
+		return
+	}
+	w.f = f
+}
+
+// rotate switches appends to a fresh segment and returns the paths of the
+// now-frozen older segments, ready to be deleted once a snapshot covering
+// them has been published.
+func (w *wal) rotate() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotateLocked()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		w.errs.Add(1)
+		return nil
+	}
+	var old []string
+	for _, n := range segs {
+		if n < w.seg {
+			old = append(old, segmentPath(w.dir, n))
+		}
+	}
+	return old
+}
+
+// compactionDone re-arms the compaction trigger.
+func (w *wal) compactionDone() {
+	w.mu.Lock()
+	w.compacting = false
+	w.mu.Unlock()
+}
+
+// close closes the current segment file.
+func (w *wal) close() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+	w.mu.Unlock()
+}
+
+// readSegment streams the intact frames of one segment through apply. It
+// stops cleanly — no error — at the first torn or corrupt frame (short
+// header, absurd length, truncated payload, checksum mismatch, non-JSON
+// payload): a single-writer append-only file can only be damaged at the
+// point of the crash, so everything before it is trustworthy and nothing
+// after it exists. Errors from apply itself (a replay inconsistency) do
+// propagate.
+func readSegment(path string, apply func(walRecord) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for off := 0; ; {
+		if len(data)-off < 8 {
+			return nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxWALRecordBytes || off+8+n > len(data) {
+			return nil
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return nil
+		}
+		if err := apply(rec); err != nil {
+			return err
+		}
+		off += 8 + n
+	}
+}
+
+// replayDurable rebuilds the store from dir: snapshot first, then every
+// surviving WAL segment in order, idempotently. It returns the highest
+// segment index seen so the live WAL can start on the next one. Callers
+// run it before the store is shared, so no locking is needed.
+func (st *store) replayDurable(dir string) (lastSeg int, err error) {
+	if err := st.loadSnapshot(dir); err != nil {
+		return 0, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, n := range segs {
+		if err := readSegment(segmentPath(dir, n), st.applyWALRecord); err != nil {
+			return 0, fmt.Errorf("service: replay %s: %w", segmentPath(dir, n), err)
+		}
+		lastSeg = n
+	}
+	return lastSeg, nil
+}
+
+// loadSnapshot installs snapshot.json into the store, when present.
+func (st *store) loadSnapshot(dir string) error {
+	data, err := os.ReadFile(filepath.Join(dir, walSnapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: read snapshot: %w", err)
+	}
+	var snap walSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("service: decode snapshot: %w", err)
+	}
+	if snap.SchemaVersion != snapshotSchemaVersion {
+		return fmt.Errorf("service: snapshot schema %d (want %d)", snap.SchemaVersion, snapshotSchemaVersion)
+	}
+	for _, sj := range snap.Jobs {
+		rec := &record{job: sj.Job, events: append([]Event(nil), sj.Events...)}
+		st.jobs[sj.Job.ID] = rec
+		st.order = append(st.order, sj.Job.ID)
+		st.seedNextID(sj.Job.ID)
+	}
+	if snap.NextID > st.nextID {
+		st.nextID = snap.NextID
+	}
+	return nil
+}
+
+// applyWALRecord replays one record into the store. Submissions of known
+// jobs and events at already-present Seq numbers are skipped — the
+// snapshot may overlap the surviving segments by design — while a Seq gap
+// means the snapshot and segments disagree and replay fails loudly.
+func (st *store) applyWALRecord(wr walRecord) error {
+	switch wr.Kind {
+	case walKindSubmit:
+		if _, ok := st.jobs[wr.Job]; ok {
+			return nil
+		}
+		if wr.Spec == nil {
+			return fmt.Errorf("submit record for %s has no spec", wr.Job)
+		}
+		rec := &record{job: Job{
+			ID:        wr.Job,
+			Tenant:    wr.Tenant,
+			Spec:      *wr.Spec,
+			State:     StateQueued,
+			CreatedAt: wr.Time,
+		}}
+		rec.events = append(rec.events, Event{Seq: 0, Job: wr.Job, Type: EventState, State: StateQueued})
+		st.jobs[wr.Job] = rec
+		st.order = append(st.order, wr.Job)
+		st.seedNextID(wr.Job)
+		return nil
+	case walKindEvent:
+		rec, ok := st.jobs[wr.Job]
+		if !ok {
+			return fmt.Errorf("event record for unknown job %s", wr.Job)
+		}
+		if wr.Event == nil {
+			return fmt.Errorf("event record for %s has no event", wr.Job)
+		}
+		ev := *wr.Event
+		switch {
+		case ev.Seq < len(rec.events):
+			return nil // already in the snapshot
+		case ev.Seq > len(rec.events):
+			return fmt.Errorf("job %s event seq %d leaves a gap (log has %d)", wr.Job, ev.Seq, len(rec.events))
+		}
+		rec.events = append(rec.events, ev)
+		switch ev.Type {
+		case EventState:
+			rec.job.State = ev.State
+			rec.job.Error = ev.Error
+			switch {
+			case ev.State == StateRunning:
+				rec.job.StartedAt = wr.Time
+			case ev.State.Terminal():
+				rec.job.FinishedAt = wr.Time
+			}
+		case EventPoint:
+			if ev.Done > rec.job.Done {
+				rec.job.Done = ev.Done
+			}
+			rec.job.Total = ev.Total
+			if ev.Cached {
+				rec.job.CacheHits++
+			}
+		case EventTotal:
+			rec.job.Total = ev.Total
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown wal record kind %q", wr.Kind)
+	}
+}
+
+// seedNextID bumps the id counter past a replayed job id, so post-restart
+// submissions never collide with pre-restart ones.
+func (st *store) seedNextID(id string) {
+	rest, ok := strings.CutPrefix(id, "j")
+	if !ok {
+		return
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return
+	}
+	if n > st.nextID {
+		st.nextID = n
+	}
+}
+
+// attachWAL wires the live WAL into the store and every replayed record,
+// so subsequent submissions and event appends are persisted.
+func (st *store) attachWAL(w *wal) {
+	st.w = w
+	for _, rec := range st.jobs {
+		rec.w = w
+	}
+}
+
+// snapshotAll copies the whole job table for a snapshot. It takes each
+// record's lock in turn but never the WAL lock, so compaction cannot
+// deadlock against appendLocked (which holds a record lock while writing
+// to the WAL).
+func (st *store) snapshotAll() walSnapshot {
+	st.mu.RLock()
+	ids := append([]string(nil), st.order...)
+	recs := make([]*record, len(ids))
+	for i, id := range ids {
+		recs[i] = st.jobs[id]
+	}
+	nextID := st.nextID
+	st.mu.RUnlock()
+	snap := walSnapshot{SchemaVersion: snapshotSchemaVersion, NextID: nextID, Jobs: make([]snapshotJob, len(recs))}
+	for i, rec := range recs {
+		rec.mu.Lock()
+		snap.Jobs[i] = snapshotJob{Job: rec.job, Events: append([]Event(nil), rec.events...)}
+		rec.mu.Unlock()
+	}
+	return snap
+}
+
+// writeSnapshot publishes a snapshot atomically: write to a temp file in
+// the same directory, then rename over snapshot.json.
+func writeSnapshot(dir string, snap walSnapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, walSnapshotName), append(data, '\n'))
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file and
+// rename, so readers (and replay after a crash) see either the old
+// content or the new — never a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
