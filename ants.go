@@ -19,6 +19,8 @@
 package ants
 
 import (
+	"context"
+
 	"repro/internal/automata"
 	"repro/internal/baseline"
 	"repro/internal/cluster"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/synth"
 )
 
 // Grid substrate.
@@ -400,6 +403,7 @@ const (
 const (
 	JobKindSweep    = service.KindSweep
 	JobKindScenario = service.KindScenario
+	JobKindSynth    = service.KindSynth
 )
 
 // NewService builds and starts a simulation service: the worker pool is
@@ -493,6 +497,65 @@ type (
 // distributed sweep runs.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return cluster.New(cfg)
+}
+
+// Automata synthesis (internal/synth, DESIGN.md §11): an annealing search
+// over machine specs, one independent run per state budget, every
+// candidate scored through the sweep layer against the D²/n + D lower
+// bound — deterministic by seed, cache-addressed by candidate identity,
+// resumable with zero re-executed kernels, and distributable across a
+// fleet with an identical trajectory (`antsim -synthesize`).
+type (
+	// MachineSpec is the JSON-serializable machine description
+	// (automata.Spec): the synthesis genome and the format of the
+	// per-budget artifact files.
+	MachineSpec = automata.Spec
+	// SynthConfig parameterizes one synthesis search (state-budget range,
+	// generations, population, seed, scoring).
+	SynthConfig = synth.Config
+	// SynthEvalConfig parameterizes candidate scoring (curve distances,
+	// colony size, trials, move-budget factor).
+	SynthEvalConfig = synth.EvalConfig
+	// SynthProgress is one generation-boundary progress event.
+	SynthProgress = synth.Progress
+	// SynthResult is a search outcome: the best machine per state budget,
+	// byte-stable across reruns, shard counts, fleets, and resumes.
+	SynthResult = synth.Result
+	// SynthBudgetResult is one state budget's winner.
+	SynthBudgetResult = synth.BudgetResult
+	// SynthCurve is one candidate's hit-time curve and scalar score.
+	SynthCurve = synth.Curve
+	// SynthCurvePoint is one distance of a candidate's curve.
+	SynthCurvePoint = synth.CurvePoint
+	// SynthEvaluator scores candidate batches; the search is agnostic to
+	// where the kernels run.
+	SynthEvaluator = synth.Evaluator
+	// SynthLocalEvaluator scores candidates in-process through the sweep
+	// layer and its cache.
+	SynthLocalEvaluator = synth.LocalEvaluator
+	// ClusterSynthEvaluator fans candidate batches across an antsimd
+	// fleet as synth jobs.
+	ClusterSynthEvaluator = cluster.SynthEvaluator
+)
+
+// Synthesize runs the design-space search: per state budget, a (1+λ)
+// annealing loop over mutated machine specs, batch-scored by ev.
+func Synthesize(ctx context.Context, cfg SynthConfig, ev SynthEvaluator) (*SynthResult, error) {
+	return synth.Search(ctx, cfg, ev)
+}
+
+// MutateSpec applies one random mutation operator (add/remove state,
+// rewire edge, perturb weights, toggle grid action) to a valid spec,
+// returning a canonical spec that builds, round-trips, and respects the
+// state budget.
+func MutateSpec(s *MachineSpec, budget int, seed uint64) (*MachineSpec, error) {
+	return synth.Mutate(s, budget, rngNew(seed))
+}
+
+// ReadMachineSpec loads and builds a machine from a JSON spec file (the
+// per-budget artifacts of `antsim -synthesize`).
+func ReadMachineSpec(path string) (*Machine, error) {
+	return automata.ReadSpecFile(path)
 }
 
 // NewClusterDistributor adapts the cluster coordinator to the service

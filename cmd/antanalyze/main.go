@@ -69,11 +69,7 @@ func run(args []string, out io.Writer) error {
 
 func loadMachine(name, specPath string) (*automata.Machine, error) {
 	if specPath != "" {
-		data, err := os.ReadFile(specPath)
-		if err != nil {
-			return nil, fmt.Errorf("read spec: %w", err)
-		}
-		return automata.ParseSpec(data)
+		return automata.ReadSpecFile(specPath)
 	}
 	switch name {
 	case "random-walk":

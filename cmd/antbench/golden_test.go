@@ -1,0 +1,58 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// The experiment registry listing (`antbench -list`) is scripting
+// surface: deterministic byte-for-byte across invocations and pinned
+// against a golden file. Regenerate after a deliberate registry change:
+//
+//	go test ./cmd/antbench -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden listing file under testdata/")
+
+// TestRegistryListGolden pins the `-list` output: stable across
+// invocations, every registered experiment present, bytes matching the
+// committed golden file.
+func TestRegistryListGolden(t *testing.T) {
+	render := func() string {
+		t.Helper()
+		var out strings.Builder
+		if err := run([]string{"-list"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("-list is nondeterministic across invocations:\n%s\nvs\n%s", first, second)
+	}
+	for _, e := range experiment.Registry() {
+		if !strings.Contains(first, e.ID) {
+			t.Errorf("-list output missing experiment %q:\n%s", e.ID, first)
+		}
+	}
+
+	path := filepath.Join("testdata", "registry_list.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(first), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if first != string(want) {
+		t.Errorf("-list drifted from its golden file (deliberate change? regenerate with -update):\ngot:\n%s\nwant:\n%s", first, want)
+	}
+}

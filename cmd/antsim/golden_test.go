@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The registry listings users script against (`antsim -scenario list`)
+// are part of the CLI contract: deterministic byte-for-byte across
+// invocations, pinned here against golden files. Regenerate after a
+// deliberate registry change with:
+//
+//	go test ./cmd/antsim -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden listing files under testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden file (deliberate change? regenerate with -update):\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestScenarioListGolden pins the scenario registry listing: two
+// invocations must agree byte-for-byte (no map-order leaks), and the
+// bytes must match the committed golden file.
+func TestScenarioListGolden(t *testing.T) {
+	render := func() string {
+		t.Helper()
+		var out strings.Builder
+		if err := run([]string{"-scenario", "list"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("-scenario list is nondeterministic across invocations:\n%s\nvs\n%s", first, second)
+	}
+	checkGolden(t, "scenario_list.golden", first)
+}

@@ -34,6 +34,18 @@
 // local run. Ctrl-C drains the fleet at grid-point boundaries:
 //
 //	antsim -sweep s2 -fleet 127.0.0.1:8081,127.0.0.1:8082 -cache .sweepcache -out s2_results
+//
+// Synthesis mode searches the automata design space itself: per state
+// budget, an annealing loop over machine specs (internal/synth), each
+// candidate scored through the sweep layer against the D²/n + D lower
+// bound — so every evaluation is a content-addressed cache point, the
+// search is deterministic by seed, and a cancelled run resumes without
+// re-executing finished evaluations. -fleet fans candidate batches out
+// across antsimd workers with an identical trajectory:
+//
+//	antsim -synthesize -states 2-5 -generations 12 -cache .synthcache -out synth
+//	antsim -synthesize -quick -seed 7
+//	antsim -synthesize -states 3 -fleet 127.0.0.1:8081,127.0.0.1:8082 -cache .synthcache -resume -out synth
 package main
 
 import (
@@ -82,19 +94,51 @@ func run(args []string, out io.Writer) error {
 		scnSpec = fs.String("scenario", "", "run on a scenario preset (name[:key=val,...]) instead of a placed target; \"list\" prints the registry")
 
 		sweepID  = fs.String("sweep", "", "run an experiment grid instead of a single configuration: e1, e5, s1 or s2")
-		quick    = fs.Bool("quick", false, "sweep mode: smaller grid and trial counts")
-		cacheDir = fs.String("cache", "", "sweep mode: content-addressed result cache directory")
-		resume   = fs.Bool("resume", false, "sweep mode: serve cached grid points instead of recomputing (requires -cache)")
-		outPfx   = fs.String("out", "", "sweep mode: write summary artifacts to <prefix>.json and <prefix>.csv")
-		fleet    = fs.String("fleet", "", "sweep mode: comma-separated antsimd worker URLs; distributes the grid across them with this process as coordinator")
+		quick    = fs.Bool("quick", false, "sweep/synthesize mode: smaller grids and trial counts")
+		cacheDir = fs.String("cache", "", "sweep/synthesize mode: content-addressed result cache directory")
+		resume   = fs.Bool("resume", false, "sweep/synthesize mode: serve cached grid points instead of recomputing (requires -cache)")
+		outPfx   = fs.String("out", "", "sweep/synthesize mode: write summary artifacts to <prefix>.json and <prefix>.csv")
+		fleet    = fs.String("fleet", "", "sweep/synthesize mode: comma-separated antsimd worker URLs; distributes evaluation across them with this process as coordinator")
+
+		synthesize  = fs.Bool("synthesize", false, "search the automata design space: anneal machine specs per state budget against the D²/n + D bound")
+		states      = fs.String("states", "2-5", "synthesize mode: state-budget range \"min-max\" (or a single count)")
+		generations = fs.Int("generations", 0, "synthesize mode: annealing generations per budget (0 = default)")
 	)
-	cliutil.SetUsage(fs, "Runs one multi-agent search configuration (algorithm, D, n, placement) and prints M_moves statistics plus the χ audit; -scenario re-runs it on any registered world/fault preset; -sweep runs a whole experiment grid with progress, caching and resume; -fleet distributes the grid across antsimd workers; -trace writes a JSONL event log",
+	cliutil.SetUsage(fs, "Runs one multi-agent search configuration (algorithm, D, n, placement) and prints M_moves statistics plus the χ audit; -scenario re-runs it on any registered world/fault preset; -sweep runs a whole experiment grid with progress, caching and resume; -synthesize searches the automata design space against the lower bound; -fleet distributes either across antsimd workers; -trace writes a JSONL event log",
 		"antsim -algo non-uniform -d 64 -n 16 -trials 20",
 		"antsim -scenario torus:l=48 -d 16 -n 8",
 		"antsim -sweep e1 -cache .sweepcache -resume -out e1_results",
-		"antsim -sweep s2 -fleet 127.0.0.1:8081,127.0.0.1:8082")
+		"antsim -sweep s2 -fleet 127.0.0.1:8081,127.0.0.1:8082",
+		"antsim -synthesize -states 2-5 -cache .synthcache -out synth")
 	if ok, err := cliutil.Parse(fs, args); !ok {
 		return err // nil after -h: usage already printed, clean exit
+	}
+	// -trials and -n double as synthesis scoring overrides, but only when
+	// given explicitly — otherwise the quick-aware defaults apply.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *synthesize {
+		if *sweepID != "" || *scnSpec != "" {
+			return fmt.Errorf("-synthesize is its own mode; drop -sweep/-scenario")
+		}
+		return runSynthesize(synthOptions{
+			states:      *states,
+			generations: *generations,
+			seed:        *seed,
+			quick:       *quick,
+			workers:     *workers,
+			trials:      *trials,
+			trialsSet:   explicit["trials"],
+			agents:      *n,
+			agentsSet:   explicit["n"],
+			cacheDir:    *cacheDir,
+			resume:      *resume,
+			outPrefix:   *outPfx,
+			fleet:       *fleet,
+		}, out)
+	}
+	if *states != "2-5" || *generations != 0 {
+		return fmt.Errorf("-states/-generations apply to synthesize mode only (set -synthesize)")
 	}
 	if *sweepID != "" {
 		if *scnSpec != "" {
@@ -109,7 +153,7 @@ func run(args []string, out io.Writer) error {
 		}, *fleet, *outPfx, out)
 	}
 	if *resume || *cacheDir != "" || *outPfx != "" || *quick || *fleet != "" {
-		return fmt.Errorf("-cache/-resume/-out/-quick/-fleet apply to sweep mode only (set -sweep)")
+		return fmt.Errorf("-cache/-resume/-out/-quick/-fleet apply to sweep and synthesize modes only (set -sweep or -synthesize)")
 	}
 	if *scnSpec == "list" {
 		return listScenarios(out)

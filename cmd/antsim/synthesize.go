@@ -1,0 +1,176 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/sweep"
+	"repro/internal/synth"
+)
+
+// synthOptions collects the flag values that drive one -synthesize run.
+type synthOptions struct {
+	states      string // "min-max" state-budget range, or a single budget
+	generations int    // annealing generations per budget (0 = default)
+	seed        uint64
+	quick       bool
+	workers     int
+	trials      int  // eval trials per grid point; only applied when set
+	trialsSet   bool // whether -trials was given explicitly
+	agents      int  // colony size for scoring; only applied when set
+	agentsSet   bool // whether -n was given explicitly
+	cacheDir    string
+	resume      bool
+	outPrefix   string
+	fleet       string
+}
+
+// parseStateRange parses the -states flag: "2-5" or a single "3".
+func parseStateRange(s string) (minStates, maxStates int, err error) {
+	lo, hi, ok := strings.Cut(s, "-")
+	if !ok {
+		hi = lo
+	}
+	minStates, err = strconv.Atoi(strings.TrimSpace(lo))
+	if err == nil {
+		maxStates, err = strconv.Atoi(strings.TrimSpace(hi))
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("-states wants \"min-max\" or a single count, got %q", s)
+	}
+	return minStates, maxStates, nil
+}
+
+// runSynthesize runs the automata design-space search (internal/synth):
+// per state budget, an annealing loop over machine specs, each candidate
+// scored through the sweep layer — so every evaluation is a cache point
+// and a -resume rerun recomputes only what the cancelled run never
+// finished. With a fleet, candidate batches are fanned out as synth jobs
+// across antsimd workers; the search trajectory and artifacts are
+// byte-identical either way. Ctrl-C cancels at evaluation boundaries.
+func runSynthesize(o synthOptions, out io.Writer) error {
+	if o.resume && o.cacheDir == "" {
+		return fmt.Errorf("-resume needs -cache")
+	}
+	minStates, maxStates, err := parseStateRange(o.states)
+	if err != nil {
+		return err
+	}
+	cfg := synth.Config{
+		MinStates:   minStates,
+		MaxStates:   maxStates,
+		Generations: o.generations,
+		Seed:        o.seed,
+	}
+	if o.trialsSet {
+		cfg.Eval.Trials = o.trials
+	}
+	if o.agentsSet {
+		cfg.Eval.Agents = o.agents
+	}
+	cfg = cfg.WithDefaults(o.quick)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ds := make([]string, len(cfg.Eval.Ds))
+	for i, d := range cfg.Eval.Ds {
+		ds[i] = strconv.FormatInt(d, 10)
+	}
+	fmt.Fprintf(out, "synthesize:  state budgets %d–%d, %d generations × %d mutants per budget\n",
+		cfg.MinStates, cfg.MaxStates, cfg.Generations, cfg.Population)
+	fmt.Fprintf(out, "scoring:     D ∈ {%s}, n=%d, %d trials/point, budget %g·D², seed %d\n",
+		strings.Join(ds, ", "), cfg.Eval.Agents, cfg.Eval.Trials, cfg.Eval.BudgetFactor, cfg.Seed)
+	if o.cacheDir != "" {
+		mode := "recompute (cache write-only)"
+		if o.resume {
+			mode = "resume"
+		}
+		fmt.Fprintf(out, "cache:       %s (%s)\n", o.cacheDir, mode)
+	}
+
+	// Progress events arrive from worker goroutines; serialize the writes.
+	var mu sync.Mutex
+	cfg.Progress = func(p synth.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(out, "  [budget %d] generation %*d/%d — best ratio %.3f\n",
+			p.Budget, len(fmt.Sprint(p.Generations)), p.Generation, p.Generations, p.BestScore)
+	}
+
+	var ev synth.Evaluator
+	var local *synth.LocalEvaluator
+	var remote *cluster.SynthEvaluator
+	if o.fleet != "" {
+		c, err := cluster.New(cluster.Config{
+			Workers:  strings.Split(o.fleet, ","),
+			CacheDir: o.cacheDir,
+			Resume:   o.resume,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "fleet:       %s\n", strings.Join(c.Workers(), ", "))
+		remote = &cluster.SynthEvaluator{
+			Cluster: c,
+			Eval:    cfg.Eval,
+			Seed:    cfg.Seed,
+			Workers: o.workers,
+		}
+		ev = remote
+	} else {
+		var cache *sweep.Cache
+		if o.cacheDir != "" {
+			if cache, err = sweep.NewCache(o.cacheDir); err != nil {
+				return err
+			}
+		}
+		local = &synth.LocalEvaluator{
+			Eval:   cfg.Eval,
+			Seed:   cfg.Seed,
+			Shards: o.workers,
+			Cache:  cache,
+			Resume: o.resume,
+		}
+		ev = local
+	}
+
+	res, err := synth.Search(ctx, cfg, ev)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, experiment.SynthTable(res).Render())
+	if local != nil {
+		fmt.Fprintf(out, "kernels:     %d executed (cache served the rest)\n", local.KernelCalls())
+	}
+	if remote != nil {
+		st := remote.Stats()
+		fmt.Fprintf(out, "dispatch:    %d shards over %d workers: %d shipped, %d local hits, %d remote hits, %d reassigned, %d stolen\n",
+			st.Shards, st.Workers, st.Shipped, st.LocalHits, st.RemoteHits, st.Reassigned, st.Stolen)
+		if len(st.Failed) > 0 {
+			fmt.Fprintf(out, "failed:      %s\n", strings.Join(st.Failed, ", "))
+		}
+	}
+	if o.outPrefix != "" {
+		paths, err := res.WriteArtifacts(o.outPrefix)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "artifacts:   %s\n", strings.Join(paths, ", "))
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package automata
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 )
@@ -101,6 +102,21 @@ func ParseSpec(data []byte) (*Machine, error) {
 		return nil, fmt.Errorf("automata: decode spec: %w", err)
 	}
 	return s.Build()
+}
+
+// ReadSpecFile loads and builds a machine from a JSON spec file — the
+// format MarshalSpec writes and `antsim -synthesize` emits for each
+// winning state budget.
+func ReadSpecFile(path string) (*Machine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("automata: read spec: %w", err)
+	}
+	m, err := ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("automata: %s: %w", path, err)
+	}
+	return m, nil
 }
 
 // ToSpec exports the machine back to a serializable spec (inverse of

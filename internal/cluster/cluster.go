@@ -54,6 +54,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/service"
 	"repro/internal/sweep"
+	"repro/internal/synth"
 )
 
 // Config parameterizes a Cluster.
@@ -237,26 +238,122 @@ type dispatcher struct {
 	st Stats
 }
 
+// plan is the kind-agnostic description of one distributed run: the grid
+// whose points are dispatched, how to build the worker job for a set of
+// point indexes, and the run's identity for cache keys and messages. The
+// dispatcher below is generic over it — sweep shards (Dispatch) and
+// synthesis evaluations (DispatchSynth) share every mechanism: heartbeat
+// failure detection, requeue, backpressure, work stealing, cache
+// federation, and the exactly-once merge.
+type plan struct {
+	// label names the run in error messages ("sweep \"e1\"", "synth eval").
+	label string
+	// grid is the expanded grid; points its expansion.
+	grid   sweep.Grid
+	points []sweep.Point
+	// seed keys the coordinator cache.
+	seed uint64
+	// makeSpec builds the worker job computing the given point indexes.
+	makeSpec func(idxs []int) service.JobSpec
+	// progress, when non-nil, receives one event per merged point.
+	progress func(Progress)
+}
+
 // Dispatch runs one registered sweep across the fleet and returns the
 // merged report plus distribution accounting. Cancellation via ctx drains
 // the fleet: in-flight shard jobs are cancelled remotely at their next
 // grid-point boundary before Dispatch returns ctx's error.
 func (c *Cluster) Dispatch(ctx context.Context, req Request) (*Dispatch, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	sp, err := experiment.LookupSweep(req.Sweep)
 	if err != nil {
 		return nil, err
 	}
 	g := sp.Grid(experiment.Config{Seed: req.Seed, Quick: req.Quick})
+	return c.dispatch(ctx, plan{
+		label:  fmt.Sprintf("sweep %q", req.Sweep),
+		grid:   g,
+		points: g.Points(),
+		seed:   req.Seed,
+		makeSpec: func(idxs []int) service.JobSpec {
+			return service.JobSpec{
+				Kind:    service.KindShard,
+				Sweep:   req.Sweep,
+				Quick:   req.Quick,
+				Seed:    req.Seed,
+				Workers: req.Workers,
+				Points:  idxs,
+			}
+		},
+		progress: req.Progress,
+	})
+}
+
+// SynthRequest names one distributed synthesis evaluation: a batch of
+// candidate machine specs (canonical compact JSON, no duplicates) scored
+// on the synth evaluation grid across the fleet.
+type SynthRequest struct {
+	// Specs are the candidates, as synth.CompactJSON strings.
+	Specs []string
+	// Eval is the fully explicit scoring configuration (apply
+	// synth.EvalConfig.WithDefaults first); coordinator and workers must
+	// expand identical grids.
+	Eval synth.EvalConfig
+	// Seed is the evaluation seed (the search seed).
+	Seed uint64
+	// Workers bounds each job's internal concurrency on its worker.
+	// Results never depend on it.
+	Workers int
+	// Progress, when non-nil, receives one event per merged point.
+	Progress func(Progress)
+}
+
+// DispatchSynth scores one candidate batch across the fleet as KindSynth
+// jobs and returns the merged per-point report — byte-identical to what
+// a local synth.LocalEvaluator run of the same (batch, seed) computes —
+// plus distribution accounting. All of Dispatch's fault handling and
+// cache federation applies unchanged.
+func (c *Cluster) DispatchSynth(ctx context.Context, req SynthRequest) (*Dispatch, error) {
+	if err := req.Eval.Validate(); err != nil {
+		return nil, err
+	}
+	g := synth.EvalGrid(req.Specs, req.Eval)
+	return c.dispatch(ctx, plan{
+		label:  "synth eval",
+		grid:   g,
+		points: g.Points(),
+		seed:   req.Seed,
+		makeSpec: func(idxs []int) service.JobSpec {
+			return service.JobSpec{
+				Kind:              service.KindSynth,
+				Seed:              req.Seed,
+				Workers:           req.Workers,
+				Points:            idxs,
+				SynthSpecs:        req.Specs,
+				SynthDs:           req.Eval.Ds,
+				SynthAgents:       req.Eval.Agents,
+				Trials:            req.Eval.Trials,
+				SynthBudgetFactor: req.Eval.BudgetFactor,
+			}
+		},
+		progress: req.Progress,
+	})
+}
+
+// dispatch is the shared coordinator core: phase-1 local cache consult,
+// phase-2 shard fan-out over the fleet, exactly-once merge.
+func (c *Cluster) dispatch(ctx context.Context, pl plan) (*Dispatch, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g := pl.grid
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	points := g.Points()
+	points := pl.points
 
 	var cache *sweep.Cache
 	if c.cfg.CacheDir != "" {
+		var err error
 		cache, err = sweep.NewCache(c.cfg.CacheDir)
 		if err != nil {
 			return nil, err
@@ -276,13 +373,13 @@ func (c *Cluster) Dispatch(ctx context.Context, req Request) (*Dispatch, error) 
 	var pending []int
 	for i, p := range points {
 		if cache != nil && c.cfg.Resume {
-			if res, ok := cache.Get(sweep.KeyFor(g, p, req.Seed)); ok {
+			if res, ok := cache.Get(sweep.KeyFor(g, p, pl.seed)); ok {
 				d.results[i] = sweep.PointResult{Point: p, Cached: true, Result: res}
 				d.filled[i] = true
 				d.st.LocalHits++
 				d.done++
-				if req.Progress != nil {
-					req.Progress(Progress{Done: d.done, Total: len(points), Point: p, Cached: true})
+				if pl.progress != nil {
+					pl.progress(Progress{Done: d.done, Total: len(points), Point: p, Cached: true})
 				}
 				continue
 			}
@@ -327,7 +424,7 @@ func (c *Cluster) Dispatch(ctx context.Context, req Request) (*Dispatch, error) 
 			wg.Add(1)
 			go func(addr string) {
 				defer wg.Done()
-				c.runWorker(ctx, d, addr, req, g, points, cache)
+				c.runWorker(ctx, d, addr, pl, cache)
 			}(w)
 		}
 		wg.Wait()
@@ -337,7 +434,7 @@ func (c *Cluster) Dispatch(ctx context.Context, req Request) (*Dispatch, error) 
 			return nil, d.abort
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("cluster: dispatch of sweep %q cancelled: %w", req.Sweep, err)
+			return nil, fmt.Errorf("cluster: dispatch of %s cancelled: %w", pl.label, err)
 		}
 	}
 
@@ -352,7 +449,7 @@ func (c *Cluster) Dispatch(ctx context.Context, req Request) (*Dispatch, error) 
 	sort.Strings(d.st.Failed)
 	rep := &sweep.Report{
 		Grid:       g,
-		Seed:       req.Seed,
+		Seed:       pl.seed,
 		Points:     d.results,
 		CacheHits:  d.st.LocalHits + d.st.RemoteHits,
 		Computed:   len(points) - d.st.LocalHits - d.st.RemoteHits,
@@ -371,7 +468,7 @@ const backpressureLimit = 40
 // until the run completes, the worker dies, or the dispatch aborts. A
 // worker answering 503 is busy, not dead: its shard is requeued for the
 // fleet and this loop backs off briefly before claiming again.
-func (c *Cluster) runWorker(ctx context.Context, d *dispatcher, addr string, req Request, g sweep.Grid, points []sweep.Point, cache *sweep.Cache) {
+func (c *Cluster) runWorker(ctx context.Context, d *dispatcher, addr string, pl plan, cache *sweep.Cache) {
 	client := service.NewClient(addr)
 	busy := 0
 	for {
@@ -379,7 +476,7 @@ func (c *Cluster) runWorker(ctx context.Context, d *dispatcher, addr string, req
 		if at == nil {
 			return
 		}
-		dead, backpressure := c.runAttempt(ctx, d, client, at, req, g, points, cache)
+		dead, backpressure := c.runAttempt(ctx, d, client, at, pl, cache)
 		if backpressure {
 			if busy++; busy < backpressureLimit {
 				time.Sleep(c.cfg.Heartbeat / 8)
@@ -502,7 +599,7 @@ func dropAttemptLocked(at *attempt) {
 // runAttempt executes one shard attempt end to end: submit the shard job,
 // watch the worker's liveness, wait for the terminal state, fetch and
 // merge the artifact. It reports whether the worker must be declared dead.
-func (c *Cluster) runAttempt(ctx context.Context, d *dispatcher, client *service.Client, at *attempt, req Request, g sweep.Grid, points []sweep.Point, cache *sweep.Cache) (dead, backpressure bool) {
+func (c *Cluster) runAttempt(ctx context.Context, d *dispatcher, client *service.Client, at *attempt, pl plan, cache *sweep.Cache) (dead, backpressure bool) {
 	defer at.cancel()
 
 	// Heartbeat watchdog: probe liveness while the shard is in flight;
@@ -540,15 +637,7 @@ func (c *Cluster) runAttempt(ctx context.Context, d *dispatcher, client *service
 		}
 	}()
 
-	spec := service.JobSpec{
-		Kind:    service.KindShard,
-		Sweep:   req.Sweep,
-		Quick:   req.Quick,
-		Seed:    req.Seed,
-		Workers: req.Workers,
-		Points:  at.shard.indexes,
-	}
-	job, err := client.Submit(at.ctx, spec)
+	job, err := client.Submit(at.ctx, pl.makeSpec(at.shard.indexes))
 	if err == nil {
 		d.mu.Lock()
 		at.jobID = job.ID
@@ -571,14 +660,14 @@ func (c *Cluster) runAttempt(ctx context.Context, d *dispatcher, client *service
 	}
 	art, err := service.ParseShardArtifact(data)
 	if err == nil {
-		err = verifyShardArtifact(art, at.shard.indexes, g, points)
+		err = verifyShardArtifact(art, at.shard.indexes, pl.grid, pl.points)
 	}
 	if err != nil {
 		// A malformed or mismatched artifact is indistinguishable from a
 		// corrupt worker; requeue the shard elsewhere.
 		return d.attemptFailed(ctx, client, at, err)
 	}
-	d.commit(at, art, g, points, cache, req)
+	d.commit(at, art, pl, cache)
 	return false, false
 }
 
@@ -685,8 +774,8 @@ func verifyShardArtifact(art *service.ShardArtifact, idxs []int, g sweep.Grid, p
 // commit merges a completed shard into the run: fill-once per point,
 // write-back to the coordinator cache, progress events, and cancellation
 // of any losing duplicate attempts.
-func (d *dispatcher) commit(at *attempt, art *service.ShardArtifact, g sweep.Grid, points []sweep.Point, cache *sweep.Cache, req Request) {
-	total := len(points)
+func (d *dispatcher) commit(at *attempt, art *service.ShardArtifact, pl plan, cache *sweep.Cache) {
+	total := len(pl.points)
 	type merged struct {
 		pr   sweep.PointResult
 		done int
@@ -711,7 +800,7 @@ func (d *dispatcher) commit(at *attempt, art *service.ShardArtifact, g sweep.Gri
 			continue // impossible for disjoint shards; guarded anyway
 		}
 		d.filled[sp.Index] = true
-		pr := sweep.PointResult{Point: points[sp.Index], Cached: sp.Cached, Result: sp.Result}
+		pr := sweep.PointResult{Point: pl.points[sp.Index], Cached: sp.Cached, Result: sp.Result}
 		d.results[sp.Index] = pr
 		if sp.Cached {
 			d.st.RemoteHits++
@@ -731,10 +820,10 @@ func (d *dispatcher) commit(at *attempt, art *service.ShardArtifact, g sweep.Gri
 		if cache != nil {
 			// Write-back keeps the federation warm; a full disk costs only
 			// the warmth, never the run.
-			_ = cache.Put(sweep.KeyFor(g, m.pr.Point, req.Seed), m.pr.Result)
+			_ = cache.Put(sweep.KeyFor(pl.grid, m.pr.Point, pl.seed), m.pr.Result)
 		}
-		if req.Progress != nil {
-			req.Progress(Progress{Done: m.done, Total: total, Point: m.pr.Point, Worker: at.worker, Cached: m.pr.Cached})
+		if pl.progress != nil {
+			pl.progress(Progress{Done: m.done, Total: total, Point: m.pr.Point, Worker: at.worker, Cached: m.pr.Cached})
 		}
 	}
 }

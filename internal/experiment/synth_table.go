@@ -1,0 +1,30 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/synth"
+)
+
+// SynthTable renders a synthesis result as the standard experiment
+// table: one row per (state budget, distance) pair of each winner's
+// hit-time curve against the D²/n + D lower bound, with the per-budget
+// verdict line — which budgets' best machines come within 2× of the
+// bound — as a note.
+func SynthTable(r *synth.Result) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Synthesis: best machine per state budget %d–%d vs. lower bound", r.MinStates, r.MaxStates),
+		Columns: []string{"budget", "states", "chi", "score", "D", "found", "E[moves]", "bound", "ratio"},
+	}
+	within := 0
+	for _, br := range r.Budgets {
+		for _, cp := range br.Curve {
+			t.AddRow(br.Budget, br.States, br.Chi, br.Score, cp.D, cp.FoundFrac, cp.ExpectedMoves, cp.Bound, cp.Ratio)
+		}
+		if br.Score <= 2 {
+			within++
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d of %d budgets reach a mean ratio ≤ 2 over the D²/n + D bound", within, len(r.Budgets)))
+	return t
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/scenario"
+	"repro/internal/synth"
 )
 
 // JobState is one station of the job lifecycle state machine.
@@ -73,6 +74,13 @@ const (
 	// points, the worker computes exactly those points (serving its own
 	// cache hits without recomputing) and returns per-point results.
 	KindShard = "shard"
+	// KindSynth scores a batch of candidate machine specs on the
+	// synthesis evaluation grid (internal/synth): the worker half of
+	// distributed machine synthesis. Like KindShard it computes the
+	// requested grid points — here (candidate, distance) cells — through
+	// its local cache and returns a shard artifact the coordinator
+	// merges.
+	KindSynth = "synth"
 )
 
 // JobSpec describes one experiment job. Kind selects which of the three
@@ -109,9 +117,24 @@ type JobSpec struct {
 	// Budget is the per-agent move budget (default 512·D²); KindScenario
 	// only.
 	Budget uint64 `json:"budget,omitempty"`
-	// Trials is the number of independent trials (default 20);
-	// KindScenario only.
+	// Trials is the number of independent trials (scenario default 20,
+	// synth default 32); KindScenario and KindSynth.
 	Trials int `json:"trials,omitempty"`
+
+	// SynthSpecs are the candidate machine specs to score, as canonical
+	// compact JSON (synth.CompactJSON), no duplicates; KindSynth only.
+	// Points, when set, selects (candidate, distance) cells of the
+	// evaluation grid by expansion index; empty means every cell.
+	SynthSpecs []string `json:"synth_specs,omitempty"`
+	// SynthDs are the hit-time curve distances (default {8, 16});
+	// KindSynth only.
+	SynthDs []int64 `json:"synth_ds,omitempty"`
+	// SynthAgents is the colony size n the bound compares against
+	// (default 4); KindSynth only.
+	SynthAgents int `json:"synth_agents,omitempty"`
+	// SynthBudgetFactor caps each agent at factor·D² moves (default 8);
+	// KindSynth only.
+	SynthBudgetFactor float64 `json:"synth_budget_factor,omitempty"`
 
 	// Seed is the root random seed (default 0; pass the CLI's -seed value
 	// to reproduce a CLI run).
@@ -128,6 +151,15 @@ type JobSpec struct {
 // valid seed and stays 0 (the CLI's -seed flag defaults to 1), so
 // reproducing a CLI run requires passing its seed explicitly.
 func (s *JobSpec) Normalize() {
+	if s.Kind == KindSynth {
+		// One source of truth for the synthesis defaults: the stored spec
+		// matches what synth.EvalConfig.WithDefaults would compute.
+		ec := s.synthEval().WithDefaults(false)
+		s.SynthDs = ec.Ds
+		s.SynthAgents = ec.Agents
+		s.Trials = ec.Trials
+		s.SynthBudgetFactor = ec.BudgetFactor
+	}
 	if s.Kind == KindScenario {
 		if s.Algo == "" {
 			s.Algo = "non-uniform"
@@ -167,6 +199,9 @@ func (s JobSpec) Validate() error {
 		if s.Scenario != "" || s.Algo != "" || s.D != 0 || s.N != 0 || s.Ell != 0 || s.Budget != 0 || s.Trials != 0 {
 			return fmt.Errorf("service: %s job sets scenario-only fields", s.Kind)
 		}
+		if len(s.SynthSpecs) != 0 || len(s.SynthDs) != 0 || s.SynthAgents != 0 || s.SynthBudgetFactor != 0 {
+			return fmt.Errorf("service: %s job sets synth-only fields", s.Kind)
+		}
 		if s.Kind == KindSweep {
 			if len(s.Points) != 0 {
 				return fmt.Errorf("service: sweep job sets shard-only field points (use kind %q)", KindShard)
@@ -187,12 +222,50 @@ func (s JobSpec) Validate() error {
 			}
 			seen[idx] = true
 		}
+	case KindSynth:
+		if s.Sweep != "" || s.Quick {
+			return fmt.Errorf("service: synth job sets sweep-only fields")
+		}
+		if s.Scenario != "" || s.Algo != "" || s.D != 0 || s.N != 0 || s.Ell != 0 || s.Budget != 0 {
+			return fmt.Errorf("service: synth job sets scenario-only fields")
+		}
+		if len(s.SynthSpecs) == 0 {
+			return fmt.Errorf("service: synth job needs at least one candidate spec")
+		}
+		seenSpec := make(map[string]bool, len(s.SynthSpecs))
+		for i, cs := range s.SynthSpecs {
+			if seenSpec[cs] {
+				return fmt.Errorf("service: synth candidate %d listed twice", i)
+			}
+			seenSpec[cs] = true
+			spec, err := synth.SpecFromJSON(cs)
+			if err != nil {
+				return err
+			}
+			if _, err := spec.Build(); err != nil {
+				return fmt.Errorf("service: synth candidate %d: %w", i, err)
+			}
+		}
+		if err := s.synthEval().Validate(); err != nil {
+			return err
+		}
+		size := synth.EvalGrid(s.SynthSpecs, s.synthEval()).Size()
+		seen := make(map[int]bool, len(s.Points))
+		for _, idx := range s.Points {
+			if idx < 0 || idx >= size {
+				return fmt.Errorf("service: synth point index %d out of range [0,%d)", idx, size)
+			}
+			if seen[idx] {
+				return fmt.Errorf("service: synth point index %d listed twice", idx)
+			}
+			seen[idx] = true
+		}
 	case KindScenario:
 		if s.Scenario == "" {
 			return fmt.Errorf("service: scenario job needs a scenario spec (e.g. %q)", "open")
 		}
-		if s.Sweep != "" || s.Quick || len(s.Points) != 0 {
-			return fmt.Errorf("service: scenario job sets sweep-only fields")
+		if s.Sweep != "" || s.Quick || len(s.Points) != 0 || len(s.SynthSpecs) != 0 || len(s.SynthDs) != 0 || s.SynthAgents != 0 || s.SynthBudgetFactor != 0 {
+			return fmt.Errorf("service: scenario job sets sweep-only or synth-only fields")
 		}
 		if s.D < 1 {
 			return fmt.Errorf("service: scenario job needs d ≥ 1, got %d", s.D)
@@ -210,14 +283,25 @@ func (s JobSpec) Validate() error {
 			return err
 		}
 	case "":
-		return fmt.Errorf("service: job spec needs a kind (%q, %q or %q)", KindSweep, KindScenario, KindShard)
+		return fmt.Errorf("service: job spec needs a kind (%q, %q, %q or %q)", KindSweep, KindScenario, KindShard, KindSynth)
 	default:
-		return fmt.Errorf("service: unknown job kind %q (valid: %q, %q, %q)", s.Kind, KindSweep, KindScenario, KindShard)
+		return fmt.Errorf("service: unknown job kind %q (valid: %q, %q, %q, %q)", s.Kind, KindSweep, KindScenario, KindShard, KindSynth)
 	}
 	if s.Workers < 0 {
 		return fmt.Errorf("service: workers must be ≥ 0, got %d", s.Workers)
 	}
 	return nil
+}
+
+// synthEval assembles the synth evaluation config a KindSynth spec
+// describes.
+func (s JobSpec) synthEval() synth.EvalConfig {
+	return synth.EvalConfig{
+		Ds:           s.SynthDs,
+		Agents:       s.SynthAgents,
+		Trials:       s.Trials,
+		BudgetFactor: s.SynthBudgetFactor,
+	}
 }
 
 // Job is the public record of one submitted job: the normalized spec, the

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+
+	"repro/internal/sweep"
+	"repro/internal/synth"
+)
+
+// executeSynth scores a batch of candidate machine specs on the synthesis
+// evaluation grid — the KindSynth worker half of distributed machine
+// synthesis. It mirrors executeShard exactly: the requested grid points
+// run through sweep.RunPoints against the daemon's content-addressed
+// cache (candidates the worker has scored before are served without a
+// kernel call) and come back as a shard artifact for the coordinator
+// (internal/cluster) to verify and merge.
+func (s *Service) executeSynth(ctx context.Context, rec *record, spec JobSpec) ([]byte, []byte, error) {
+	g := synth.EvalGrid(spec.SynthSpecs, spec.synthEval())
+	idxs := spec.Points
+	if len(idxs) == 0 {
+		idxs = make([]int, g.Size())
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	rec.setTotal(len(idxs))
+	opts := sweep.Options{
+		Seed: spec.Seed,
+		// Mirror the sweep execution convention: point-level sharding is
+		// the parallelism, each point runs its engines single-threaded.
+		Shards:  spec.Workers,
+		Workers: 1,
+		Progress: func(p sweep.Progress) {
+			s.pointsDone.Add(1)
+			if p.Cached {
+				s.pointsCached.Add(1)
+			}
+			rec.progress(p.Done, p.Total, p.Point.String(), p.Cached)
+		},
+	}
+	if s.cfg.CacheDir != "" {
+		cache, err := sweep.NewCache(s.cfg.CacheDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Cache = cache
+		opts.Resume = true
+	}
+	prs, err := sweep.RunPointsContext(ctx, g, idxs, synth.Kernel, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	art := &ShardArtifact{
+		SchemaVersion: ShardArtifactSchemaVersion,
+		Sweep:         KindSynth,
+		Grid:          g.Name,
+		GridVersion:   g.Version,
+		Seed:          spec.Seed,
+		Trials:        g.Trials,
+		Points:        make([]ShardPoint, len(prs)),
+	}
+	for i, pr := range prs {
+		art.Points[i] = ShardPoint{
+			Index:  pr.Point.Index,
+			Params: pr.Point.Params,
+			Cached: pr.Cached,
+			Result: pr.Result,
+		}
+	}
+	jsonB, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return nil, nil, err
+	}
+	jsonB = append(jsonB, '\n')
+	rep := &sweep.Report{Grid: g, Seed: spec.Seed, Points: prs}
+	return jsonB, []byte(rep.Summary().CSV()), nil
+}

@@ -83,6 +83,17 @@ func StringAxis(name string, vs ...string) Axis {
 	return Axis{Name: name, Values: append([]string(nil), vs...)}
 }
 
+// Float64Axis builds an axis over float64 values, rendered in the same
+// shortest-round-trip form CSVFloat uses so a value's canonical string
+// (and therefore its cache keys) is unique.
+func Float64Axis(name string, vs ...float64) Axis {
+	a := Axis{Name: name, Values: make([]string, len(vs))}
+	for i, v := range vs {
+		a.Values[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return a
+}
+
 // Uint64ListParam renders a []uint64 (e.g. checkpoint rounds) as one
 // canonical axis value, recovered by Binder.Uint64List.
 func Uint64ListParam(vs []uint64) string {
@@ -262,6 +273,20 @@ func (b *Binder) Uint(name string) uint {
 		b.err = fmt.Errorf("sweep: parameter %s=%q is not a uint", name, v)
 	}
 	return uint(n)
+}
+
+// Float64 returns the named parameter as a float64 (the inverse of
+// Float64Axis).
+func (b *Binder) Float64(name string) float64 {
+	v, ok := b.raw(name)
+	if !ok {
+		return 0
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil && b.err == nil {
+		b.err = fmt.Errorf("sweep: parameter %s=%q is not a float64", name, v)
+	}
+	return f
 }
 
 // Uint64List returns the named parameter as a []uint64 (the inverse of

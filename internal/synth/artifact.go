@@ -1,0 +1,70 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// JSON renders the result as indented JSON. Every field is a
+// deterministic function of the search config, so the bytes are stable
+// across reruns, shard counts, fleets, and resumes.
+func (r *Result) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("synth: marshal result: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// CSV renders the best-machine-per-budget table: one row per (budget,
+// distance) pair of each winner's curve, numbers in the repository's
+// shared shortest-round-trip form.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("budget,states,chi,score,d,found_frac,mean_moves,expected_moves,bound,ratio\n")
+	for _, br := range r.Budgets {
+		for _, cp := range br.Curve {
+			fmt.Fprintf(&b, "%d,%d,%s,%s,%d,%s,%s,%s,%s,%s\n",
+				br.Budget, br.States, sweep.CSVFloat(br.Chi), sweep.CSVFloat(br.Score),
+				cp.D, sweep.CSVFloat(cp.FoundFrac), sweep.CSVFloat(cp.MeanMoves),
+				sweep.CSVFloat(cp.ExpectedMoves), sweep.CSVFloat(cp.Bound), sweep.CSVFloat(cp.Ratio))
+		}
+	}
+	return b.String()
+}
+
+// WriteArtifacts writes the byte-stable artifacts: <prefix>.json (the
+// full result), <prefix>.csv (the per-budget curve table), and one
+// loadable machine spec per state budget at <prefix>-s<budget>.json
+// (indented JSON accepted by automata.ParseSpec and cmd/antanalyze). It
+// returns every path written, specs last.
+func (r *Result) WriteArtifacts(prefix string) ([]string, error) {
+	data, err := r.JSON()
+	if err != nil {
+		return nil, err
+	}
+	paths := []string{prefix + ".json", prefix + ".csv"}
+	if err := os.WriteFile(paths[0], data, 0o644); err != nil {
+		return nil, fmt.Errorf("synth: write %s: %w", paths[0], err)
+	}
+	if err := os.WriteFile(paths[1], []byte(r.CSV()), 0o644); err != nil {
+		return nil, fmt.Errorf("synth: write %s: %w", paths[1], err)
+	}
+	for _, br := range r.Budgets {
+		sd, err := json.MarshalIndent(br.Spec, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("synth: marshal budget %d spec: %w", br.Budget, err)
+		}
+		p := prefix + "-s" + strconv.Itoa(br.Budget) + ".json"
+		if err := os.WriteFile(p, append(sd, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("synth: write %s: %w", p, err)
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -1,0 +1,403 @@
+package synth
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// This file is the synthesis conformance suite: the best machines a
+// pinned search finds live as fixtures under testdata/ — the full result
+// artifact, one loadable spec per state budget, and reference hit-time
+// samples per winner. The tests hold three lines: the pinned search
+// replays to the fixture bytes exactly, the winning machines' scores
+// replay exactly through the evaluation pipeline, and each winner's
+// freshly simulated hit-time distribution is statistically equivalent
+// (chi-square at α = 0.001, Chernoff bands on found counts) to the
+// reference samples. Regenerate deliberately with:
+//
+//	go test ./internal/synth -run TestConformance -update
+var update = flag.Bool("update", false, "regenerate the synthesis conformance fixtures under testdata/")
+
+// fixtureSearchConfig is the pinned search the fixtures answer. Changing
+// it (or anything that changes search trajectories or kernel semantics)
+// requires regenerating the fixtures — which is the point: such changes
+// must be deliberate and reviewed.
+func fixtureSearchConfig() Config {
+	return Config{
+		MinStates:   2,
+		MaxStates:   4,
+		Generations: 6,
+		Population:  4,
+		Seed:        42,
+		Eval:        EvalConfig{Ds: []int64{4, 8}, Agents: 3, Trials: 16, BudgetFactor: 6},
+	}
+}
+
+// Reference hit-time sampling parameters: one agent chasing a
+// per-trial uniform-ball target (placed targets reach drifting machines
+// in every direction, keeping found fractions high enough for the
+// distribution test), generously budgeted so most trials terminate by
+// discovery rather than censoring.
+const (
+	hitD       = 6
+	hitBudget  = 4096
+	hitTrials  = 1200
+	hitObs     = 400
+	hitRefSeed = 5000
+	hitObsSeed = 991000 // disjoint from the reference seed space
+)
+
+// hitFixture is the stored reference hit-time sample of one budget winner.
+type hitFixture struct {
+	Budget     int       `json:"budget"`
+	Spec       string    `json:"spec"`
+	D          int64     `json:"d"`
+	MoveBudget uint64    `json:"move_budget"`
+	Trials     int       `json:"trials"`
+	Seed       uint64    `json:"seed"`
+	FoundFrac  float64   `json:"found_frac"`
+	Moves      []float64 `json:"moves"`
+}
+
+// simulateHits runs the single-agent placed-target hit-time experiment
+// for one spec: each trial draws a fresh uniform-ball target at nominal
+// distance hitD.
+func simulateHits(t *testing.T, specJSON string, trials int, seed uint64) *sim.TrialStats {
+	t.Helper()
+	spec, err := SpecFromJSON(specJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := sim.MachineFactory(m, 4*hitBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunPlacedTrials(sim.Config{
+		NumAgents:  1,
+		MoveBudget: hitBudget,
+	}, sim.PlaceUniformBall, hitD, factory, trials, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+var fixtureOnce sync.Once
+
+// regenerateFixtures runs the pinned search and rewrites testdata/.
+func regenerateFixtures(t *testing.T) {
+	t.Helper()
+	cfg := fixtureSearchConfig()
+	ev := &LocalEvaluator{Eval: cfg.Eval, Seed: cfg.Seed, Shards: 1}
+	res, err := Search(context.Background(), cfg, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.WriteArtifacts(filepath.Join("testdata", "best")); err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range res.Budgets {
+		cj, err := CompactJSON(br.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := simulateHits(t, cj, hitTrials, hitRefSeed)
+		hf := hitFixture{
+			Budget:     br.Budget,
+			Spec:       cj,
+			D:          hitD,
+			MoveBudget: hitBudget,
+			Trials:     hitTrials,
+			Seed:       hitRefSeed,
+			FoundFrac:  st.FoundFrac,
+			Moves:      st.Moves,
+		}
+		data, err := json.MarshalIndent(&hf, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", fmt.Sprintf("hits-s%d.json", br.Budget))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("budget %d: score %.3f, reference found %.0f%%", br.Budget, br.Score, st.FoundFrac*100)
+	}
+}
+
+// loadResultFixture returns the pinned search result, regenerating the
+// fixtures first under -update.
+func loadResultFixture(t *testing.T) *Result {
+	t.Helper()
+	if *update {
+		fixtureOnce.Do(func() { regenerateFixtures(t) })
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", "best.json"))
+	if err != nil {
+		t.Fatalf("missing conformance fixture (regenerate with -update): %v", err)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SchemaVersion != ResultSchemaVersion {
+		t.Fatalf("fixture schema version %d, code expects %d (regenerate with -update)", res.SchemaVersion, ResultSchemaVersion)
+	}
+	return &res
+}
+
+func loadHitFixture(t *testing.T, budget int) *hitFixture {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", fmt.Sprintf("hits-s%d.json", budget)))
+	if err != nil {
+		t.Fatalf("missing hit-time fixture (regenerate with -update): %v", err)
+	}
+	var hf hitFixture
+	if err := json.Unmarshal(data, &hf); err != nil {
+		t.Fatal(err)
+	}
+	return &hf
+}
+
+// TestConformanceSearchReplaysFixture replays the pinned search from its
+// config echo and requires the result bytes to equal the fixture exactly:
+// any drift in mutation operators, rng discipline, scoring, or artifact
+// rendering surfaces here as a diff.
+func TestConformanceSearchReplaysFixture(t *testing.T) {
+	res := loadResultFixture(t)
+	cfg := Config{
+		MinStates:   res.MinStates,
+		MaxStates:   res.MaxStates,
+		Generations: res.Generations,
+		Population:  res.Population,
+		Seed:        res.Seed,
+		Eval:        res.Eval,
+	}
+	want := fixtureSearchConfig()
+	if fmt.Sprintf("%+v", cfg) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("fixture was generated by config %+v, code pins %+v (regenerate with -update)", cfg, want)
+	}
+	ev := &LocalEvaluator{Eval: cfg.Eval, Seed: cfg.Seed}
+	replay, err := Search(context.Background(), cfg, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replay.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture, err := os.ReadFile(filepath.Join("testdata", "best.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fixture) {
+		t.Errorf("replayed search differs from pinned fixture (deliberate change? regenerate with -update):\n%s\nvs\n%s", got, fixture)
+	}
+}
+
+// TestConformanceSpecFixturesLoad checks the per-budget spec files: each
+// loads through automata.ReadSpecFile, agrees with the result fixture's
+// embedded spec, and rebuilds to the recorded state count and χ.
+func TestConformanceSpecFixturesLoad(t *testing.T) {
+	res := loadResultFixture(t)
+	for _, br := range res.Budgets {
+		path := filepath.Join("testdata", fmt.Sprintf("best-s%d.json", br.Budget))
+		m, err := automata.ReadSpecFile(path)
+		if err != nil {
+			t.Fatalf("budget %d: %v", br.Budget, err)
+		}
+		fromFile, err := CompactJSON(m.ToSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		embedded, err := CompactJSON(br.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fromFile != embedded {
+			t.Errorf("budget %d: spec file and result fixture disagree:\nfile:   %s\nresult: %s", br.Budget, fromFile, embedded)
+		}
+		if m.NumStates() != br.States {
+			t.Errorf("budget %d: fixture records %d states, machine has %d", br.Budget, br.States, m.NumStates())
+		}
+		if m.Chi() != br.Chi {
+			t.Errorf("budget %d: fixture records χ=%v, machine has %v", br.Budget, br.Chi, m.Chi())
+		}
+	}
+}
+
+// TestConformanceCurveExactReplay re-scores each pinned winner through
+// the evaluation pipeline at the fixture seed and requires the stored
+// hit-time curve bit-for-bit: same seed, same floats.
+func TestConformanceCurveExactReplay(t *testing.T) {
+	res := loadResultFixture(t)
+	for _, br := range res.Budgets {
+		cj, err := CompactJSON(br.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := &LocalEvaluator{Eval: res.Eval, Seed: res.Seed}
+		curves, err := ev.Evaluate(context.Background(), []string{cj})
+		if err != nil {
+			t.Fatalf("budget %d: %v", br.Budget, err)
+		}
+		if got, want := curves[0].Score, br.Score; got != want {
+			t.Errorf("budget %d: replayed score %v, fixture %v", br.Budget, got, want)
+		}
+		if len(curves[0].Points) != len(br.Curve) {
+			t.Fatalf("budget %d: replayed %d curve points, fixture has %d", br.Budget, len(curves[0].Points), len(br.Curve))
+		}
+		for i, p := range curves[0].Points {
+			if p != br.Curve[i] {
+				t.Errorf("budget %d D=%d: replayed %+v, fixture %+v", br.Budget, p.D, p, br.Curve[i])
+			}
+		}
+	}
+}
+
+// TestConformanceHitTimesExactReplay re-simulates each winner's
+// reference hit-time experiment at the fixture seed: the sample vector
+// must reproduce exactly.
+func TestConformanceHitTimesExactReplay(t *testing.T) {
+	res := loadResultFixture(t)
+	for _, br := range res.Budgets {
+		hf := loadHitFixture(t, br.Budget)
+		st := simulateHits(t, hf.Spec, hf.Trials, hf.Seed)
+		if st.FoundFrac != hf.FoundFrac {
+			t.Errorf("budget %d: found fraction %v, fixture %v", br.Budget, st.FoundFrac, hf.FoundFrac)
+		}
+		if len(st.Moves) != len(hf.Moves) {
+			t.Fatalf("budget %d: %d hit samples, fixture has %d", br.Budget, len(st.Moves), len(hf.Moves))
+		}
+		for i := range st.Moves {
+			if st.Moves[i] != hf.Moves[i] {
+				t.Fatalf("budget %d trial %d: hit time %v, fixture %v", br.Budget, i, st.Moves[i], hf.Moves[i])
+			}
+		}
+	}
+}
+
+// TestConformanceHitTimeChiSquare is the distributional pin: a freshly
+// simulated run of each pinned winner — disjoint seeds — must draw its
+// hit times from the same distribution as the stored reference sample.
+// The reference provides quantile-bin expected counts; the fresh run's
+// χ² statistic must stay below the α = 0.001 critical value, and its
+// found count within the 10⁻⁶ Chernoff band of the reference fraction.
+func TestConformanceHitTimeChiSquare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributional conformance needs thousands of trials")
+	}
+	res := loadResultFixture(t)
+	tested := 0
+	for _, br := range res.Budgets {
+		hf := loadHitFixture(t, br.Budget)
+		obs := simulateHits(t, hf.Spec, hitObs, hitObsSeed)
+
+		// Below μ ≈ 50 no δ ≤ 1 reaches the 10⁻⁶ tail bound, so small
+		// expected counts get no Chernoff check (χ² still applies when
+		// the sample is large enough).
+		mu := hf.FoundFrac * hitObs
+		if mu >= 50 {
+			delta := chernoffDelta(t, mu, 1e-6)
+			if d := math.Abs(float64(len(obs.Moves)) - mu); d > delta*mu {
+				t.Errorf("budget %d: fresh run found %d/%d, reference predicts %.1f ± %.1f",
+					br.Budget, len(obs.Moves), hitObs, mu, delta*mu)
+			}
+		}
+		if len(hf.Moves) < 300 || len(obs.Moves) < 100 {
+			t.Logf("budget %d: found fractions too low for a distribution test (ref %d, obs %d); Chernoff band only",
+				br.Budget, len(hf.Moves), len(obs.Moves))
+			continue
+		}
+		tested++
+
+		ref := append([]float64(nil), hf.Moves...)
+		sort.Float64s(ref)
+		const bins = 8
+		var edges []float64
+		for i := 1; i < bins; i++ {
+			e := ref[i*len(ref)/bins]
+			if len(edges) == 0 || e > edges[len(edges)-1] {
+				edges = append(edges, e)
+			}
+		}
+		if len(edges) < 3 {
+			t.Logf("budget %d: hit-time support too narrow for binning (%d edges); skipping χ²", br.Budget, len(edges))
+			continue
+		}
+		binOf := func(x float64) int {
+			b := sort.SearchFloat64s(edges, x)
+			if b < len(edges) && x == edges[b] {
+				b++ // edges are inclusive upper bounds
+			}
+			return b
+		}
+		refCounts := make([]int, len(edges)+1)
+		for _, x := range ref {
+			refCounts[binOf(x)]++
+		}
+		observed := make([]int, len(edges)+1)
+		for _, x := range obs.Moves {
+			observed[binOf(x)]++
+		}
+		expected := make([]float64, len(edges)+1)
+		for i, c := range refCounts {
+			expected[i] = float64(c) / float64(len(ref)) * float64(len(obs.Moves))
+		}
+		chi2, err := stats.ChiSquareUniform(observed, expected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// χ² critical values at α = 0.001 for df = bins−1 (df 3..7).
+		critical := map[int]float64{3: 16.27, 4: 18.47, 5: 20.52, 6: 22.46, 7: 24.32}
+		crit, ok := critical[len(observed)-1]
+		if !ok {
+			t.Fatalf("no critical value tabulated for df = %d", len(observed)-1)
+		}
+		if chi2 > crit {
+			t.Errorf("budget %d: fresh hit-time distribution differs from pinned machine's reference: χ² = %.2f > %.2f (df = %d)",
+				br.Budget, chi2, crit, len(observed)-1)
+		} else {
+			t.Logf("budget %d: χ² = %.2f (critical %.2f at α = 0.001, df = %d)", br.Budget, chi2, crit, len(observed)-1)
+		}
+	}
+	if tested == 0 {
+		t.Log("no budget winner had enough discoveries for a χ² comparison; Chernoff bands covered all")
+	}
+}
+
+// chernoffDelta returns the smallest relative deviation δ whose
+// two-sided Chernoff bound at mean mu is below pFail.
+func chernoffDelta(t *testing.T, mu, pFail float64) float64 {
+	t.Helper()
+	for delta := 0.01; delta <= 1.0; delta += 0.01 {
+		bound, err := stats.ChernoffTwoSided(mu, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound <= pFail {
+			return delta
+		}
+	}
+	t.Fatalf("no δ ≤ 1 achieves Chernoff bound %v at μ = %v (too few samples)", pFail, mu)
+	return 0
+}

@@ -1,0 +1,188 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/rng"
+)
+
+// Mutation operator identifiers, in selection order. Exported only
+// through Operators (documentation and tests); Mutate picks among the
+// operators applicable to the current genome.
+const (
+	opAddState = iota
+	opRemoveState
+	opRewireEdge
+	opPerturbWeights
+	opToggleLabel
+	numOps
+)
+
+// Operators names the mutation operators in selection order.
+func Operators() []string {
+	return []string{"add-state", "remove-state", "rewire-edge", "perturb-weights", "toggle-label"}
+}
+
+// Mutate applies one randomly chosen mutation operator to a valid spec
+// and returns the mutated spec in canonical form. The result always
+// passes Spec.Build, round-trips through MarshalSpec/ParseSpec to a
+// fixed point, and never has more than max(budget, current states)
+// states — growth is capped by the budget, but an oversized input is
+// mutated in place rather than rejected. Mutate never modifies its
+// argument. Randomness comes exclusively from r, so a replayed source
+// replays the mutation.
+func Mutate(s *automata.Spec, budget int, r *rng.Source) (*automata.Spec, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("synth: state budget %d must be positive", budget)
+	}
+	g, err := fromSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	ops := applicableOps(g, budget)
+	op := ops[int(r.Intn(int64(len(ops))))]
+	switch op {
+	case opAddState:
+		g.addState(r)
+	case opRemoveState:
+		g.removeState(r)
+	case opRewireEdge:
+		g.rewireEdge(r)
+	case opPerturbWeights:
+		g.perturbWeights(r)
+	case opToggleLabel:
+		g.toggleLabel(r)
+	}
+	return g.spec(), nil
+}
+
+// applicableOps lists the operators valid for the genome's current shape.
+// toggle-label is always applicable (there are six labels), so the list
+// is never empty.
+func applicableOps(g *genome, budget int) []int {
+	n := len(g.labels)
+	var ops []int
+	if n < budget {
+		ops = append(ops, opAddState)
+	}
+	if n > 1 {
+		// remove-state keeps the start state; rewire/perturb need a second
+		// state to move weight toward.
+		ops = append(ops, opRemoveState, opRewireEdge, opPerturbWeights)
+	}
+	ops = append(ops, opToggleLabel)
+	return ops
+}
+
+// addState appends a fresh state with a random label, gives it a full
+// row onto a random target (possibly itself), and redirects a random
+// slice of weight from an existing state into it so it is reachable.
+func (g *genome) addState(r *rng.Source) {
+	n := len(g.labels)
+	g.labels = append(g.labels, labelSet[int(r.Intn(int64(len(labelSet))))])
+	for i := range g.rows {
+		g.rows[i] = append(g.rows[i], 0)
+	}
+	row := make([]int, n+1)
+	row[int(r.Intn(int64(n+1)))] = WeightDenom
+	g.rows = append(g.rows, row)
+
+	src := int(r.Intn(int64(n)))
+	from := g.pickPositive(src, r)
+	d := 1 + int(r.Intn(int64(min(g.rows[src][from], WeightDenom/4))))
+	g.rows[src][from] -= d
+	g.rows[src][n] += d
+}
+
+// removeState deletes a random non-start state; weight that pointed at
+// the victim is folded into each row's self-loop, so rows keep summing
+// to WeightDenom.
+func (g *genome) removeState(r *rng.Source) {
+	n := len(g.labels)
+	v := int(r.Intn(int64(n - 1)))
+	if v >= g.start {
+		v++ // skip the start state
+	}
+	g.labels = append(g.labels[:v], g.labels[v+1:]...)
+	rows := make([][]int, 0, n-1)
+	for i, row := range g.rows {
+		if i == v {
+			continue
+		}
+		keep := make([]int, 0, n-1)
+		for j, w := range row {
+			if j != v {
+				keep = append(keep, w)
+			}
+		}
+		self := i
+		if self > v {
+			self--
+		}
+		keep[self] += row[v]
+		rows = append(rows, keep)
+	}
+	g.rows = rows
+	if g.start > v {
+		g.start--
+	}
+}
+
+// rewireEdge moves the entire weight of one random positive edge onto a
+// different target state.
+func (g *genome) rewireEdge(r *rng.Source) {
+	n := len(g.labels)
+	i := int(r.Intn(int64(n)))
+	from := g.pickPositive(i, r)
+	to := int(r.Intn(int64(n - 1)))
+	if to >= from {
+		to++
+	}
+	g.rows[i][to] += g.rows[i][from]
+	g.rows[i][from] = 0
+}
+
+// perturbWeights shifts a small random amount of weight (at most 16/64)
+// between two targets of one state's row.
+func (g *genome) perturbWeights(r *rng.Source) {
+	n := len(g.labels)
+	i := int(r.Intn(int64(n)))
+	from := g.pickPositive(i, r)
+	to := int(r.Intn(int64(n - 1)))
+	if to >= from {
+		to++
+	}
+	d := 1 + int(r.Intn(int64(min(g.rows[i][from], WeightDenom/4))))
+	g.rows[i][from] -= d
+	g.rows[i][to] += d
+}
+
+// toggleLabel replaces a random state's grid action with a different one.
+func (g *genome) toggleLabel(r *rng.Source) {
+	i := int(r.Intn(int64(len(g.labels))))
+	cur := g.labels[i]
+	pick := int(r.Intn(int64(len(labelSet) - 1)))
+	for _, l := range labelSet {
+		if l == cur {
+			continue
+		}
+		if pick == 0 {
+			g.labels[i] = l
+			return
+		}
+		pick--
+	}
+}
+
+// pickPositive returns a uniformly random column with positive weight in
+// row i. Rows always sum to WeightDenom, so one exists.
+func (g *genome) pickPositive(i int, r *rng.Source) int {
+	var pos []int
+	for j, w := range g.rows[i] {
+		if w > 0 {
+			pos = append(pos, j)
+		}
+	}
+	return pos[int(r.Intn(int64(len(pos))))]
+}

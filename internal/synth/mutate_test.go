@@ -1,0 +1,276 @@
+package synth
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/rng"
+)
+
+// checkMutant asserts the mutation contract on one produced spec: it
+// builds, its states respect the budget cap, every probability is a
+// positive multiple of 1/WeightDenom, and it is a MarshalSpec/ParseSpec
+// fixed point (parsing its own serialization reproduces the bytes).
+func checkMutant(t *testing.T, s *automata.Spec, maxStates int) {
+	t.Helper()
+	m, err := s.Build()
+	if err != nil {
+		t.Fatalf("mutant does not build: %v\nspec: %+v", err, s)
+	}
+	if got := m.NumStates(); got > maxStates {
+		t.Fatalf("mutant has %d states, budget caps it at %d", got, maxStates)
+	}
+	for _, e := range s.Edges {
+		w := e.P * WeightDenom
+		if w <= 0 || w != math.Trunc(w) {
+			t.Fatalf("edge %s->%s probability %v is not a positive multiple of 1/%d", e.From, e.To, e.P, WeightDenom)
+		}
+	}
+	data, err := m.MarshalSpec()
+	if err != nil {
+		t.Fatalf("marshal mutant: %v", err)
+	}
+	m2, err := automata.ParseSpec(data)
+	if err != nil {
+		t.Fatalf("reparse mutant: %v\n%s", err, data)
+	}
+	data2, err := m2.MarshalSpec()
+	if err != nil {
+		t.Fatalf("remarshal mutant: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("mutant is not a MarshalSpec/ParseSpec fixed point:\nfirst:  %s\nsecond: %s", data, data2)
+	}
+	// The canonical emission must already agree with the machine's own
+	// export — otherwise the spec's JSON identity and its cache identity
+	// would drift apart.
+	cj, err := CompactJSON(s)
+	if err != nil {
+		t.Fatalf("compact json: %v", err)
+	}
+	ej, err := CompactJSON(m.ToSpec())
+	if err != nil {
+		t.Fatalf("compact json of export: %v", err)
+	}
+	if cj != ej {
+		t.Fatalf("canonical spec differs from machine export:\nspec:   %s\nexport: %s", cj, ej)
+	}
+}
+
+// mutationSeeds are the starting points of the property tables: the
+// annealing seed machines, the library random walk, and a deliberately
+// awkward one-state machine.
+func mutationSeeds(t *testing.T) map[string]*automata.Spec {
+	t.Helper()
+	seeds := map[string]*automata.Spec{
+		"random-walk": mustCanonical(t, automata.RandomWalk().ToSpec()),
+	}
+	one := &automata.Spec{
+		States: []automata.StateSpec{{Name: "solo", Label: "up"}},
+		Start:  "solo",
+		Edges:  []automata.EdgeSpec{{From: "solo", To: "solo", P: 1}},
+	}
+	seeds["one-state"] = mustCanonical(t, one)
+	for _, budget := range []int{2, 3, 4, 6} {
+		c, err := seedCandidate(budget)
+		if err != nil {
+			t.Fatalf("seed candidate %d: %v", budget, err)
+		}
+		seeds[fmt.Sprintf("seed-%d", budget)] = c.spec
+	}
+	return seeds
+}
+
+func mustCanonical(t *testing.T, s *automata.Spec) *automata.Spec {
+	t.Helper()
+	c, err := Canonicalize(s)
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	return c
+}
+
+// TestMutateProperties drives long mutation chains from every seed
+// machine at several budgets and asserts the full contract at every
+// link: build validity, the state cap, quantization, and the round-trip
+// fixed point.
+func TestMutateProperties(t *testing.T) {
+	for name, seed := range mutationSeeds(t) {
+		for _, budget := range []int{1, 2, 3, 5, 8} {
+			r := rng.New(uint64(31*budget + len(name)))
+			cur := seed
+			maxStates := max(budget, len(seed.States))
+			for step := 0; step < 60; step++ {
+				next, err := Mutate(cur, budget, r)
+				if err != nil {
+					t.Fatalf("%s budget %d step %d: %v", name, budget, step, err)
+				}
+				checkMutant(t, next, maxStates)
+				cur = next
+			}
+		}
+	}
+}
+
+// TestMutateDoesNotModifyArgument pins that mutation is purely
+// functional: the input spec's JSON identity is untouched.
+func TestMutateDoesNotModifyArgument(t *testing.T) {
+	s := mustCanonical(t, automata.RandomWalk().ToSpec())
+	before, err := CompactJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for i := 0; i < 40; i++ {
+		if _, err := Mutate(s, 6, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := CompactJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("Mutate modified its argument:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// TestMutateDeterministic pins that a replayed rng source replays the
+// mutation chain exactly.
+func TestMutateDeterministic(t *testing.T) {
+	seed := mustCanonical(t, automata.RandomWalk().ToSpec())
+	chain := func() []string {
+		r := rng.New(99)
+		cur := seed
+		var out []string
+		for i := 0; i < 30; i++ {
+			next, err := Mutate(cur, 6, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := CompactJSON(next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, j)
+			cur = next
+		}
+		return out
+	}
+	a, b := chain(), chain()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chains diverge at step %d:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMutateCoversOperators checks that, across seeds, mutation actually
+// exercises every operator family: states grow, states shrink, labels
+// flip, and transition weights move.
+func TestMutateCoversOperators(t *testing.T) {
+	seed := mustCanonical(t, automata.RandomWalk().ToSpec()) // 5 states
+	var grew, shrank, relabeled, reweighted bool
+	r := rng.New(5)
+	for i := 0; i < 400; i++ {
+		next, err := Mutate(seed, 6, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case len(next.States) > len(seed.States):
+			grew = true
+		case len(next.States) < len(seed.States):
+			shrank = true
+		default:
+			same := true
+			for j := range next.States {
+				if next.States[j].Label != seed.States[j].Label {
+					same = false
+				}
+			}
+			if !same {
+				relabeled = true
+			} else {
+				reweighted = true
+			}
+		}
+	}
+	if !grew || !shrank || !relabeled || !reweighted {
+		t.Fatalf("operator coverage: grew=%v shrank=%v relabeled=%v reweighted=%v", grew, shrank, relabeled, reweighted)
+	}
+	if got, want := len(Operators()), numOps; got != want {
+		t.Fatalf("Operators() names %d operators, have %d", got, want)
+	}
+}
+
+// TestMutateBudgetValidation pins the error cases: non-positive budgets
+// and specs that do not build are rejected, and a budget below the
+// current state count mutates in place instead of growing.
+func TestMutateBudgetValidation(t *testing.T) {
+	s := mustCanonical(t, automata.RandomWalk().ToSpec())
+	if _, err := Mutate(s, 0, rng.New(1)); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+	if _, err := Mutate(&automata.Spec{}, 3, rng.New(1)); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	r := rng.New(2)
+	for i := 0; i < 50; i++ {
+		next, err := Mutate(s, 2, r) // budget below the 5 current states
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(next.States) > len(s.States) {
+			t.Fatalf("over-budget spec grew from %d to %d states", len(s.States), len(next.States))
+		}
+	}
+}
+
+// TestCanonicalizeIdempotent pins that canonical form is a fixed point
+// of Canonicalize itself.
+func TestCanonicalizeIdempotent(t *testing.T) {
+	for _, m := range []*automata.Machine{automata.RandomWalk(), automata.ZigZag(), automata.TwoClassMachine()} {
+		c1 := mustCanonical(t, m.ToSpec())
+		c2 := mustCanonical(t, c1)
+		j1, _ := CompactJSON(c1)
+		j2, _ := CompactJSON(c2)
+		if j1 != j2 {
+			t.Fatalf("Canonicalize is not idempotent:\nonce:  %s\ntwice: %s", j1, j2)
+		}
+	}
+}
+
+// FuzzMutateSpec feeds arbitrary spec JSON, budgets, and seeds through
+// Mutate: inputs the parser or builder rejects are fine, but any spec
+// Mutate accepts must yield a mutant that builds, respects the state
+// cap, and round-trips to a fixed point.
+func FuzzMutateSpec(f *testing.F) {
+	walk, _ := automata.RandomWalk().MarshalSpec()
+	f.Add(string(walk), 6, uint64(1))
+	f.Add(`{"states":[{"name":"a","label":"up"}],"start":"a","edges":[{"from":"a","to":"a","p":1}]}`, 1, uint64(7))
+	f.Add(`{"states":[{"name":"a","label":"up"},{"name":"b","label":"none"}],"start":"a","edges":[{"from":"a","to":"b","p":1},{"from":"b","to":"a","p":0.5},{"from":"b","to":"b","p":0.5}]}`, 4, uint64(3))
+	f.Add(`{}`, 2, uint64(0))
+	f.Add(`not json`, 3, uint64(2))
+	f.Fuzz(func(t *testing.T, specJSON string, budget int, seed uint64) {
+		s, err := SpecFromJSON(specJSON)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if budget < 1 || budget > 64 {
+			budget = 1 + (budget&0x7fffffff)%8
+		}
+		ms, err := Mutate(s, budget, rng.New(seed))
+		if err != nil {
+			return // specs that do not build (or quantize away) are rejected
+		}
+		m, err := s.Build()
+		if err != nil {
+			t.Fatalf("Mutate accepted a spec that does not build: %v", err)
+		}
+		checkMutant(t, ms, max(budget, m.NumStates()))
+	})
+}

@@ -1,0 +1,290 @@
+package synth
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/automata"
+	"repro/internal/rng"
+)
+
+// Config parameterizes one synthesis search.
+type Config struct {
+	// MinStates and MaxStates bound the state budgets searched: one
+	// independent annealing run per budget in [MinStates, MaxStates].
+	MinStates, MaxStates int
+	// Generations is the number of annealing steps per budget.
+	Generations int
+	// Population is λ: the mutants proposed per generation.
+	Population int
+	// Seed drives the whole search: mutation draws, acceptance draws,
+	// and (through the evaluator) every kernel seed.
+	Seed uint64
+	// Eval is the scoring configuration (use EvalConfig.WithDefaults).
+	Eval EvalConfig
+	// Progress, when non-nil, receives one event per finished
+	// generation.
+	Progress func(Progress)
+}
+
+// WithDefaults fills zero fields: budgets 2–5, 12 generations (4 with
+// quick), λ = 6 (4 with quick), and the eval defaults.
+func (c Config) WithDefaults(quick bool) Config {
+	if c.MinStates == 0 {
+		c.MinStates = 2
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 5
+	}
+	if c.Generations == 0 {
+		if quick {
+			c.Generations = 4
+		} else {
+			c.Generations = 12
+		}
+	}
+	if c.Population == 0 {
+		if quick {
+			c.Population = 4
+		} else {
+			c.Population = 6
+		}
+	}
+	c.Eval = c.Eval.WithDefaults(quick)
+	return c
+}
+
+// Validate rejects configs the search cannot run.
+func (c Config) Validate() error {
+	if c.MinStates < 1 {
+		return fmt.Errorf("synth: min states %d must be positive", c.MinStates)
+	}
+	if c.MaxStates < c.MinStates {
+		return fmt.Errorf("synth: state budget range %d-%d is empty", c.MinStates, c.MaxStates)
+	}
+	if c.Generations < 1 {
+		return fmt.Errorf("synth: generations %d must be positive", c.Generations)
+	}
+	if c.Population < 1 {
+		return fmt.Errorf("synth: population %d must be positive", c.Population)
+	}
+	return c.Eval.Validate()
+}
+
+// Progress is one generation-boundary progress event.
+type Progress struct {
+	// Budget is the state budget being searched.
+	Budget int
+	// Generation counts finished generations for this budget (0 after
+	// the seed evaluation).
+	Generation int
+	// Generations is the per-budget total.
+	Generations int
+	// BestScore is the best score found for this budget so far.
+	BestScore float64
+}
+
+// BudgetResult is the winner of one state budget's search.
+type BudgetResult struct {
+	// Budget is the state budget.
+	Budget int `json:"budget"`
+	// States is the winner's actual state count (≤ Budget).
+	States int `json:"states"`
+	// Chi is the winner's selection complexity χ = b + log₂ℓ.
+	Chi float64 `json:"chi"`
+	// Score is the winner's mean hit-moves/bound ratio (lower is
+	// better; 1 would meet the lower bound).
+	Score float64 `json:"score"`
+	// Curve is the winner's hit-time curve vs. the bound.
+	Curve []CurvePoint `json:"curve"`
+	// Spec is the winning machine, loadable by automata.ParseSpec.
+	Spec *automata.Spec `json:"spec"`
+}
+
+// ResultSchemaVersion versions the synthesis artifact layout.
+const ResultSchemaVersion = 1
+
+// Result is the outcome of one synthesis search: the best-found machine
+// per state budget. Every field is a deterministic function of the
+// Config, so the JSON artifact is byte-stable across reruns, shard
+// counts, fleets, and resumes.
+type Result struct {
+	SchemaVersion int `json:"schema_version"`
+	// Config echo (Progress excluded): the search this result answers.
+	MinStates   int        `json:"min_states"`
+	MaxStates   int        `json:"max_states"`
+	Generations int        `json:"generations"`
+	Population  int        `json:"population"`
+	Seed        uint64     `json:"seed"`
+	Eval        EvalConfig `json:"eval"`
+	// Budgets holds one winner per state budget, ascending.
+	Budgets []BudgetResult `json:"budgets"`
+}
+
+// candidate pairs a spec with its canonical JSON identity.
+type candidate struct {
+	spec *automata.Spec
+	json string
+}
+
+// Search runs the synthesis: for each state budget an independent
+// (1+λ) simulated-annealing loop — λ mutants of the incumbent per
+// generation, batch-scored through ev, the best mutant accepted when it
+// improves (or, early on, by the cooling Metropolis rule) — tracking
+// the best machine ever seen. The trajectory is a function of (cfg,
+// ev's scores) only; with a deterministic evaluator the whole search
+// replays bit-identically, and because candidate scores are cache
+// points keyed by candidate identity, a replay over a warm cache
+// executes zero kernels.
+func Search(ctx context.Context, cfg Config, ev Evaluator) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ev == nil {
+		return nil, fmt.Errorf("synth: nil evaluator")
+	}
+	res := &Result{
+		SchemaVersion: ResultSchemaVersion,
+		MinStates:     cfg.MinStates,
+		MaxStates:     cfg.MaxStates,
+		Generations:   cfg.Generations,
+		Population:    cfg.Population,
+		Seed:          cfg.Seed,
+		Eval:          cfg.Eval,
+	}
+	for budget := cfg.MinStates; budget <= cfg.MaxStates; budget++ {
+		br, err := searchBudget(ctx, cfg, ev, budget)
+		if err != nil {
+			return nil, err
+		}
+		res.Budgets = append(res.Budgets, *br)
+	}
+	return res, nil
+}
+
+// searchBudget anneals one state budget from its deterministic seed
+// machine. All randomness comes from the budget's own substream, so
+// budgets neither interact nor depend on evaluation internals.
+func searchBudget(ctx context.Context, cfg Config, ev Evaluator, budget int) (*BudgetResult, error) {
+	r := rng.New(cfg.Seed).Derive(uint64(budget))
+	cur, err := seedCandidate(budget)
+	if err != nil {
+		return nil, err
+	}
+	curves, err := ev.Evaluate(ctx, []string{cur.json})
+	if err != nil {
+		return nil, err
+	}
+	curScore := curves[0].Score
+	best, bestScore, bestCurve := cur, curScore, curves[0]
+
+	for gen := 1; gen <= cfg.Generations; gen++ {
+		// Propose λ mutants; duplicates (of each other or the incumbent)
+		// are deduplicated before scoring — the grid rejects repeated
+		// axis values, and their scores are already known anyway.
+		batch := make([]candidate, 0, cfg.Population)
+		seen := map[string]bool{cur.json: true}
+		for k := 0; k < cfg.Population; k++ {
+			ms, err := Mutate(cur.spec, budget, r)
+			if err != nil {
+				return nil, fmt.Errorf("synth: budget %d generation %d: %w", budget, gen, err)
+			}
+			mj, err := CompactJSON(ms)
+			if err != nil {
+				return nil, err
+			}
+			if seen[mj] {
+				continue
+			}
+			seen[mj] = true
+			batch = append(batch, candidate{spec: ms, json: mj})
+		}
+		// The acceptance draw happens every generation — even when it is
+		// not consulted — so the rng stream position depends only on the
+		// generation count, never on scores.
+		draw := r.Float64()
+		if len(batch) == 0 {
+			continue
+		}
+		specs := make([]string, len(batch))
+		for i, c := range batch {
+			specs[i] = c.json
+		}
+		curves, err := ev.Evaluate(ctx, specs)
+		if err != nil {
+			return nil, err
+		}
+		chIdx := 0
+		for i := 1; i < len(batch); i++ {
+			// Ties break on canonical JSON, keeping the pick total-ordered.
+			if curves[i].Score < curves[chIdx].Score ||
+				(curves[i].Score == curves[chIdx].Score && batch[i].json < batch[chIdx].json) {
+				chIdx = i
+			}
+		}
+		challenger, chCurve := batch[chIdx], curves[chIdx]
+		if chCurve.Score < bestScore || (chCurve.Score == bestScore && challenger.json < best.json) {
+			best, bestScore, bestCurve = challenger, chCurve.Score, chCurve
+		}
+		// Metropolis acceptance under a geometric cooling schedule: early
+		// generations may accept a worse challenger to escape local
+		// optima, late ones are greedy.
+		temp := 0.25 * math.Pow(0.05, float64(gen)/float64(cfg.Generations))
+		accept := chCurve.Score <= curScore
+		if !accept && temp > 0 {
+			accept = draw < math.Exp((curScore-chCurve.Score)/temp)
+		}
+		if accept {
+			cur, curScore = challenger, chCurve.Score
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{Budget: budget, Generation: gen, Generations: cfg.Generations, BestScore: bestScore})
+		}
+	}
+
+	m, err := best.spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &BudgetResult{
+		Budget: budget,
+		States: m.NumStates(),
+		Chi:    m.Chi(),
+		Score:  bestScore,
+		Curve:  bestCurve.Points,
+		Spec:   best.spec,
+	}, nil
+}
+
+// seedCandidate builds the deterministic starting machine of one budget:
+// up to four states cycling through the movement labels, each state's
+// row uniform over all states (in 64ths, remainder spread over the
+// leading columns). It is a mediocre random-walk-flavored machine — the
+// point is a fixed, valid, budget-respecting origin for the anneal.
+func seedCandidate(budget int) (candidate, error) {
+	n := budget
+	if n > 4 {
+		n = 4
+	}
+	moves := []automata.Label{automata.LabelUp, automata.LabelRight, automata.LabelDown, automata.LabelLeft}
+	g := &genome{start: 0}
+	for i := 0; i < n; i++ {
+		g.labels = append(g.labels, moves[i%len(moves)])
+		row := make([]int, n)
+		base, rem := WeightDenom/n, WeightDenom%n
+		for j := range row {
+			row[j] = base
+			if j < rem {
+				row[j]++
+			}
+		}
+		g.rows = append(g.rows, row)
+	}
+	s := g.spec()
+	j, err := CompactJSON(s)
+	if err != nil {
+		return candidate{}, err
+	}
+	return candidate{spec: s, json: j}, nil
+}
