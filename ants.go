@@ -260,14 +260,92 @@ type (
 	// Obstacles is the open plane minus a set of blocked rectangles.
 	Obstacles = sim.Obstacles
 	// FaultModel injects agent failures (per-opportunity crashes, delayed
-	// starts) into a run; the zero value disables all faults.
+	// starts, adaptive adversaries) into a run; the zero value disables
+	// all faults.
 	FaultModel = sim.FaultModel
+	// CrashPolicy selects how crash faults pick their victims (uniform
+	// coin flips or the budgeted adaptive adversary).
+	CrashPolicy = sim.CrashPolicy
+	// TargetSet is an immutable set of target points with O(1) membership
+	// and nearest-target queries.
+	TargetSet = sim.TargetSet
 	// Scenario is a built world/target/fault configuration from the
 	// scenario registry.
 	Scenario = scenario.Scenario
 	// ScenarioPreset is one registered scenario family.
 	ScenarioPreset = scenario.Preset
 )
+
+// The crash-victim selection policies (see CrashPolicy).
+const (
+	// CrashUniform is the oblivious model: independent per-agent coins.
+	CrashUniform = sim.CrashUniform
+	// CrashNearest is the budgeted adaptive adversary; rounds engine only.
+	CrashNearest = sim.CrashNearest
+)
+
+// ErrAdaptiveAsync is returned when a CrashNearest fault model reaches the
+// asynchronous engine, which cannot host an adaptive adversary (it never
+// materializes the joint swarm state the adversary inspects).
+var ErrAdaptiveAsync = sim.ErrAdaptiveAsync
+
+// ErrScenarioUnknownParam is the sentinel wrapped by BuildScenario's error
+// when a spec names parameters the preset does not accept; test for it with
+// errors.Is.
+var ErrScenarioUnknownParam = scenario.ErrUnknownParam
+
+// NewTargetSet builds a target set from the given points (duplicates are
+// collapsed).
+func NewTargetSet(pts ...Point) TargetSet { return sim.NewTargetSet(pts...) }
+
+// Dynamic worlds and target schedules (DESIGN.md §12): epoch-based
+// time-varying topology and targets for both engines. Schedules are pure
+// functions of the 1-based round — they never consume randomness — so
+// dynamics compose with the determinism and conformance guarantees.
+type (
+	// DynamicWorld is a time-varying topology: Tick(round) returns the
+	// world in force at that round and the last round it stays in force.
+	DynamicWorld = sim.DynamicWorld
+	// TargetSchedule is a time-varying target set: Targets(round) returns
+	// the set in force at that round and the last round it stays in force.
+	TargetSchedule = sim.TargetSchedule
+	// FixedWorld adapts a static World to the DynamicWorld interface.
+	FixedWorld = sim.FixedWorld
+	// FixedTargets adapts a static target list to TargetSchedule.
+	FixedTargets = sim.FixedTargets
+	// WorldEpoch is one piece of a WorldSchedule: a world and the first
+	// round it takes effect.
+	WorldEpoch = sim.WorldEpoch
+	// WorldSchedule is a piecewise-constant DynamicWorld; the last epoch's
+	// world holds forever.
+	WorldSchedule = sim.WorldSchedule
+	// PulseWorld alternates between two worlds with fixed dwell times
+	// (e.g. a corridor that opens and closes).
+	PulseWorld = sim.PulseWorld
+	// CycleWorld rotates through a ring of worlds with a fixed period.
+	CycleWorld = sim.CycleWorld
+	// TargetEpoch is one piece of a TargetTimeline: a target list and the
+	// first round it takes effect.
+	TargetEpoch = sim.TargetEpoch
+	// TargetTimeline is a piecewise-constant TargetSchedule; after the
+	// last epoch's span the set is empty forever (expiring targets).
+	TargetTimeline = sim.TargetTimeline
+	// PulseTargets blinks a target list on and off with fixed dwells.
+	PulseTargets = sim.PulseTargets
+	// DriftTargets translates a base target list by a velocity step every
+	// fixed number of rounds (moving targets).
+	DriftTargets = sim.DriftTargets
+)
+
+// RoundsTrialStats aggregates repeated synchronous-engine trials (found
+// fraction, hit rounds, mean crashed agents).
+type RoundsTrialStats = sim.RoundsTrialStats
+
+// RunRoundsTrials repeats a synchronous rounds configuration over
+// independent trials, deriving one root seed per trial.
+func RunRoundsTrials(cfg RoundsConfig, trials int, seed uint64) (*RoundsTrialStats, error) {
+	return sim.RunRoundsTrials(cfg, trials, seed)
+}
 
 // NewObstacles returns the open plane minus the given blocked rectangles,
 // with membership backed by the sparse tile index for O(depth) Resolve

@@ -48,7 +48,7 @@ func run(args []string, out io.Writer) error {
 		warmup    = fs.Int("warmup", 2, "snapshots absorbed per kernel before -sentinel starts classifying")
 		floor     = fs.Float64("floor", 0.05, "minimum log-space sigma for -sentinel (0.05 ≈ a ±5% noise floor)")
 	)
-	cliutil.SetUsage(fs, "Regenerates the reproduction tables E1–E8, AB1–AB4, S1 and S2 (-quick, -csv, -out DIR); -baseline/-snapshot write kernel perf snapshots (the BENCH_*.json series), -compare gates against one, -sentinel control-charts the whole series",
+	cliutil.SetUsage(fs, "Regenerates the reproduction tables E1–E8, AB1–AB4 and S1–S3 (-quick, -csv, -out DIR); -baseline/-snapshot write kernel perf snapshots (the BENCH_*.json series), -compare gates against one, -sentinel control-charts the whole series",
 		"antbench -quick",
 		"antbench -run E1,E5 -csv",
 		"antbench -snapshot BENCH_candidate.json -parent BENCH_sparse_soa.json",

@@ -11,15 +11,22 @@
 // Scenario mode runs the same single configuration on a named world/fault
 // preset from the scenario registry (internal/scenario) instead of a
 // placed open-plane target — restricted sectors, tori, obstacle fields,
-// multi-target placements, and agent fault models:
+// multi-target placements, agent fault models, and time-varying dynamics
+// (drifting/blinking/expiring targets, flickering and rotating obstacle
+// fields, the adaptive adversary, mixed machine colonies):
 //
 //	antsim -scenario list
 //	antsim -scenario torus -d 32 -n 8
 //	antsim -scenario torus:l=48 -algo random-walk
 //	antsim -scenario crash:crash=0.001 -trials 50
+//	antsim -scenario drift:v=2 -d 16 -trials 30
+//	antsim -scenario adaptive-crash:b=3 -d 16 -n 8
+//
+// Rounds-only presets (heterogeneous colonies, the adaptive adversary)
+// run on the synchronous rounds engine; -algo does not apply to them.
 //
 // Sweep mode runs a whole experiment grid (E1, E5, S1 or the scenario
-// sweep S2) through the orchestration layer of internal/sweep, with
+// sweeps S2/S3) through the orchestration layer of internal/sweep, with
 // per-point progress, an on-disk result cache, and incremental resume:
 //
 //	antsim -sweep e1 -cache .sweepcache -out e1_results
@@ -59,6 +66,7 @@ import (
 	"sync"
 	"syscall"
 
+	"repro/internal/automata"
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/experiment"
@@ -93,7 +101,7 @@ func run(args []string, out io.Writer) error {
 
 		scnSpec = fs.String("scenario", "", "run on a scenario preset (name[:key=val,...]) instead of a placed target; \"list\" prints the registry")
 
-		sweepID  = fs.String("sweep", "", "run an experiment grid instead of a single configuration: e1, e5, s1 or s2")
+		sweepID  = fs.String("sweep", "", "run an experiment grid instead of a single configuration: e1, e5, s1, s2 or s3")
 		quick    = fs.Bool("quick", false, "sweep/synthesize mode: smaller grids and trial counts")
 		cacheDir = fs.String("cache", "", "sweep/synthesize mode: content-addressed result cache directory")
 		resume   = fs.Bool("resume", false, "sweep/synthesize mode: serve cached grid points instead of recomputing (requires -cache)")
@@ -142,7 +150,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if *sweepID != "" {
 		if *scnSpec != "" {
-			return fmt.Errorf("-scenario applies to single-configuration mode only; the scenario grid is -sweep s2")
+			return fmt.Errorf("-scenario applies to single-configuration mode only; the scenario grids are -sweep s2 and -sweep s3")
 		}
 		return runSweep(*sweepID, experiment.Config{
 			Seed:     *seed,
@@ -187,6 +195,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if scn.RoundsOnly() {
+			// Heterogeneous colonies and the adaptive adversary need the
+			// synchronous rounds engine; -algo does not apply there.
+			return runRoundsScenario(scn, *d, *n, *trials, *seed, *budget, *workers, out)
+		}
 		st, err = sim.RunTrials(scn.Apply(cfg), factory, *trials, *seed)
 	} else {
 		st, err = sim.RunPlacedTrials(cfg, placement, *d, factory, *trials, *seed)
@@ -206,7 +219,11 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "agents:      %d\n", *n)
 	if *scnSpec != "" {
 		fmt.Fprintf(out, "scenario:    %s — %s\n", scn.Spec, scn.Summary)
-		fmt.Fprintf(out, "world:       %s, %d target(s)\n", scn.WorldName(), len(scn.Targets))
+		if scn.DynamicTargets != nil {
+			fmt.Fprintf(out, "world:       %s, dynamic target schedule\n", scn.WorldName())
+		} else {
+			fmt.Fprintf(out, "world:       %s, %d target(s)\n", scn.WorldName(), len(scn.Targets))
+		}
 		if scn.Faults.Enabled() {
 			fmt.Fprintf(out, "faults:      crash=%g delay=%d\n", scn.Faults.CrashProb, scn.Faults.MaxStartDelay)
 		}
@@ -225,6 +242,57 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "M_moves:     mean=%.0f ±%.0f (95%% CI), median=%.0f, min=%.0f, max=%.0f\n",
 			s.Mean, s.CI95, s.Median, s.Min, s.Max)
 		fmt.Fprintf(out, "bound:       D²/n + D = %.0f (ratio %.2f)\n", bound, s.Mean/bound)
+	}
+	return nil
+}
+
+// runRoundsScenario runs a rounds-only scenario preset (heterogeneous
+// colonies, the adaptive adversary) on the synchronous engine and prints
+// FoundRound statistics. Machines come from the scenario roster when it
+// has one, otherwise agents run the unbiased random walk.
+func runRoundsScenario(scn scenario.Scenario, d int64, n, trials int, seed, rounds uint64, workers int, out io.Writer) error {
+	if rounds == 0 {
+		rounds = uint64(d*d) * 64
+	}
+	cfg := scn.ApplyRounds(sim.RoundsConfig{
+		NumAgents: n,
+		Rounds:    rounds,
+		Workers:   workers,
+	})
+	cfg.Machine = automata.RandomWalk()
+	st, err := sim.RunRoundsTrials(cfg, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "engine:      synchronous rounds (rounds-only preset; -algo not applicable)\n")
+	fmt.Fprintf(out, "D:           %d\n", d)
+	fmt.Fprintf(out, "agents:      %d\n", n)
+	fmt.Fprintf(out, "scenario:    %s — %s\n", scn.Spec, scn.Summary)
+	fmt.Fprintf(out, "world:       %s, %d target(s)\n", scn.WorldName(), len(scn.Targets))
+	if len(scn.Machines) > 0 {
+		fmt.Fprintf(out, "colony:      %d machine families, round-robin\n", len(scn.Machines))
+	}
+	if scn.Faults.Enabled() {
+		if scn.Faults.Adaptive() {
+			fmt.Fprintf(out, "adversary:   crash-nearest, budget %d, every %d round(s), p=%g\n",
+				scn.Faults.CrashBudget, scn.Faults.CrashEvery, scn.Faults.CrashProb)
+		} else {
+			fmt.Fprintf(out, "faults:      crash=%g delay=%d\n", scn.Faults.CrashProb, scn.Faults.MaxStartDelay)
+		}
+	}
+	fmt.Fprintf(out, "rounds:      %d per trial\n", rounds)
+	fmt.Fprintf(out, "trials:      %d\n", st.Trials)
+	fmt.Fprintf(out, "found:       %.0f%%\n", st.FoundFrac*100)
+	if st.Crashed > 0 {
+		fmt.Fprintf(out, "crashed:     %.1f agents/trial\n", st.Crashed)
+	}
+	if len(st.Rounds) > 0 {
+		s, err := stats.Summarize(st.Rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "FoundRound:  mean=%.0f ±%.0f (95%% CI), median=%.0f, min=%.0f, max=%.0f\n",
+			s.Mean, s.CI95, s.Median, s.Min, s.Max)
 	}
 	return nil
 }

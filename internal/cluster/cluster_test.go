@@ -199,6 +199,31 @@ func TestDistributedSweepByteIdenticalToLocal(t *testing.T) {
 	}
 }
 
+// TestDistributedDynamicSweepByteIdenticalToLocal runs the S3 grid —
+// dynamic worlds, the adaptive adversary and mixed colonies on the rounds
+// engine — across 3 workers and requires the merged artifacts to be
+// byte-identical to the single-process run. Adversary draws come from a
+// dedicated substream and dynamics sync on the coordinating goroutine, so
+// distribution must not perturb a single byte.
+func TestDistributedDynamicSweepByteIdenticalToLocal(t *testing.T) {
+	ws := startFleet(t, 3)
+	c, err := New(Config{Workers: fleetURLs(ws), ShardSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := newProgressAudit()
+	d, err := c.Dispatch(context.Background(), Request{Sweep: "s3", Quick: true, Seed: 11, Progress: audit.cb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localOracle(t, "s3", 11)
+	audit.assertExactlyOnce(t, len(want.Rows))
+	assertSummariesByteIdentical(t, d.Report.Summary(), want)
+	if len(d.Stats.Failed) != 0 || d.Stats.Reassigned != 0 {
+		t.Errorf("healthy fleet reported failures: %+v", d.Stats)
+	}
+}
+
 // TestChaosWorkerKilledMidSweep kills one worker after its first merged
 // shard: the coordinator must declare exactly that worker dead, reassign
 // its in-flight shard exactly once, merge every grid point exactly once,

@@ -128,7 +128,7 @@ type Experiment struct {
 func Registry() []Experiment {
 	exps := []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
-		ab1(), ab2(), ab3(), ab4(), s1(), s2(),
+		ab1(), ab2(), ab3(), ab4(), s1(), s2(), s3(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

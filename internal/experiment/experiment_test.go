@@ -7,10 +7,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 14 {
-		t.Fatalf("registry has %d experiments, want 14", len(reg))
+	if len(reg) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(reg))
 	}
-	want := []string{"AB1", "AB2", "AB3", "AB4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "S1", "S2"}
+	want := []string{"AB1", "AB2", "AB3", "AB4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "S1", "S2", "S3"}
 	for i, e := range reg {
 		if e.ID != want[i] {
 			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])

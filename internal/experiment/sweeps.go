@@ -30,7 +30,7 @@ type SweepSpec struct {
 
 // Sweeps returns the registered sweep specs in id order.
 func Sweeps() []SweepSpec {
-	return []SweepSpec{e1Sweep(), e5Sweep(), s1Sweep(), s2Sweep()}
+	return []SweepSpec{e1Sweep(), e5Sweep(), s1Sweep(), s2Sweep(), s3Sweep()}
 }
 
 // LookupSweep returns the sweep spec with the given id (case-insensitive),

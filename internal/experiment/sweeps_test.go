@@ -14,10 +14,10 @@ import (
 
 func TestSweepsRegistry(t *testing.T) {
 	sweeps := Sweeps()
-	if len(sweeps) != 4 {
-		t.Fatalf("got %d sweeps, want 4", len(sweeps))
+	if len(sweeps) != 5 {
+		t.Fatalf("got %d sweeps, want 5", len(sweeps))
 	}
-	want := []string{"e1", "e5", "s1", "s2"}
+	want := []string{"e1", "e5", "s1", "s2", "s3"}
 	for i, sp := range sweeps {
 		if sp.Name != want[i] {
 			t.Errorf("sweep %d = %q, want %q", i, sp.Name, want[i])
@@ -44,7 +44,7 @@ func TestLookupSweep(t *testing.T) {
 	if sp.Name != "e1" {
 		t.Errorf("LookupSweep(E1) = %q", sp.Name)
 	}
-	if _, err := LookupSweep("e99"); err == nil || !strings.Contains(err.Error(), "e1, e5, s1, s2") {
+	if _, err := LookupSweep("e99"); err == nil || !strings.Contains(err.Error(), "e1, e5, s1, s2, s3") {
 		t.Errorf("unknown sweep error should list valid ids, got %v", err)
 	}
 }

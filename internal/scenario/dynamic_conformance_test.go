@@ -1,0 +1,320 @@
+package scenario
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/baseline"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// dynamicSpecs pins the instances of every preset this PR adds that the
+// statistical-conformance and determinism suites sweep. Parameters are
+// chosen so a budget-capped random walk still finds the target in most
+// trials (pursuit slowed down, expire lengthened), keeping the
+// conditioned hit-time samples large enough for a distribution test.
+var dynamicSpecs = []string{
+	"drift:every=96",
+	"pursuit:every=48",
+	"blink",
+	"expire:t=400",
+	"flicker",
+	"storm:k=6",
+	"adaptive-crash:b=2",
+	"mixed",
+}
+
+const dynamicConformanceD = 3
+
+// roundsHitTimes collects FoundRound samples over independent trials of a
+// preset instance on the synchronous engine.
+func roundsHitTimes(t *testing.T, spec string, trials int, seed uint64) ([]float64, int) {
+	t.Helper()
+	s, err := Build(spec, dynamicConformanceD)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", spec, err)
+	}
+	rcfg := s.ApplyRounds(sim.RoundsConfig{NumAgents: 8, Rounds: 4000})
+	rcfg.Machine = automata.RandomWalk()
+	st, err := sim.RunRoundsTrials(rcfg, trials, seed)
+	if err != nil {
+		t.Fatalf("%s: %v", spec, err)
+	}
+	return st.Rounds, trials
+}
+
+// asyncHitTimes is the asynchronous-engine analogue, collecting M_moves.
+func asyncHitTimes(t *testing.T, spec string, trials int, seed uint64) ([]float64, int) {
+	t.Helper()
+	s, err := Build(spec, dynamicConformanceD)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", spec, err)
+	}
+	acfg := s.Apply(sim.Config{NumAgents: 4, MoveBudget: 8192})
+	st, err := sim.RunTrials(acfg, baseline.RandomWalkFactory(), trials, seed)
+	if err != nil {
+		t.Fatalf("%s: %v", spec, err)
+	}
+	return st.Moves, trials
+}
+
+// chiSquareSameDistribution checks that two hit-time samples drawn from
+// disjoint seed sets are statistically indistinguishable: the reference
+// sample provides quantile bin edges and expected masses, the observed
+// sample the counts, and the χ² statistic must stay below the α = 0.001
+// critical value. Found fractions are compared first under a two-sided
+// Chernoff band with tail mass 10⁻⁶ — a genuine behavioral difference
+// between seed sets (or a seed-dependent bug) blows far past either gate.
+func chiSquareSameDistribution(t *testing.T, label string, ref []float64, refTrials int, obs []float64, obsTrials int) {
+	t.Helper()
+	if len(ref) < 100 || len(obs) < 30 {
+		t.Fatalf("%s: found fractions too low for a distribution test: ref %d/%d, obs %d/%d",
+			label, len(ref), refTrials, len(obs), obsTrials)
+	}
+	muFound := float64(len(ref)) / float64(refTrials) * float64(obsTrials)
+	deltaFound := chernoffDeltaFor(t, muFound, 1e-6)
+	if d := math.Abs(float64(len(obs)) - muFound); d > deltaFound*muFound {
+		t.Fatalf("%s: found fractions differ across seed sets: %d/%d observed, expected %.1f ± %.1f",
+			label, len(obs), obsTrials, muFound, deltaFound*muFound)
+	}
+
+	sorted := append([]float64(nil), ref...)
+	sort.Float64s(sorted)
+
+	// Quantile bin edges from the reference; duplicate edges collapse (hit
+	// times are discrete), so bins carry their true reference mass.
+	const bins = 10
+	var edges []float64
+	for i := 1; i < bins; i++ {
+		e := sorted[i*len(sorted)/bins]
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) == 0 {
+		// Degenerate distribution: every reference trial hit at the same
+		// time, so conformance means the observed sample did too.
+		for _, x := range obs {
+			if x != sorted[0] {
+				t.Fatalf("%s: reference hit time is always %v but observed %v", label, sorted[0], x)
+			}
+		}
+		return
+	}
+	binOf := func(x float64) int {
+		b := sort.SearchFloat64s(edges, x)
+		if b < len(edges) && x == edges[b] {
+			b++ // edges are inclusive upper bounds
+		}
+		return b
+	}
+	refCounts := make([]int, len(edges)+1)
+	for _, x := range sorted {
+		refCounts[binOf(x)]++
+	}
+	observed := make([]int, len(edges)+1)
+	for _, x := range obs {
+		observed[binOf(x)]++
+	}
+	expected := make([]float64, len(edges)+1)
+	for i, c := range refCounts {
+		expected[i] = float64(c) / float64(len(sorted)) * float64(len(obs))
+	}
+	// Bins with zero reference mass (heavy ties at a quantile edge) merge
+	// into their neighbor — χ² needs positive expected counts everywhere.
+	var mObs []int
+	var mExp []float64
+	carry := 0
+	for i := range expected {
+		if expected[i] == 0 {
+			if len(mExp) > 0 {
+				mObs[len(mObs)-1] += observed[i]
+			} else {
+				carry += observed[i]
+			}
+			continue
+		}
+		mObs = append(mObs, observed[i]+carry)
+		carry = 0
+		mExp = append(mExp, expected[i])
+	}
+	if carry > 0 && len(mObs) > 0 {
+		mObs[len(mObs)-1] += carry
+	}
+	observed, expected = mObs, mExp
+	if len(observed) < 2 {
+		return // a single populated bin leaves no degrees of freedom
+	}
+	chi2, err := stats.ChiSquareUniform(observed, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// χ² critical values at α = 0.001 for df = bins−1.
+	critical := map[int]float64{
+		1: 10.83, 2: 13.82, 3: 16.27, 4: 18.47, 5: 20.52,
+		6: 22.46, 7: 24.32, 8: 26.12, 9: 27.88,
+	}
+	crit, ok := critical[len(observed)-1]
+	if !ok {
+		t.Fatalf("%s: no critical value tabulated for df = %d", label, len(observed)-1)
+	}
+	if chi2 > crit {
+		t.Fatalf("%s: hit-time distributions differ across seed sets: χ² = %.2f > %.2f (df = %d)",
+			label, chi2, crit, len(observed)-1)
+	}
+	t.Logf("%s: χ² = %.2f (critical %.2f at α = 0.001, df = %d)", label, chi2, crit, len(observed)-1)
+}
+
+// chernoffDeltaFor returns the smallest relative deviation δ whose
+// two-sided Chernoff bound at mean mu is below pFail.
+func chernoffDeltaFor(t *testing.T, mu, pFail float64) float64 {
+	t.Helper()
+	for delta := 0.01; delta <= 1.0; delta += 0.01 {
+		bound, err := stats.ChernoffTwoSided(mu, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound <= pFail {
+			return delta
+		}
+	}
+	t.Fatalf("no δ ≤ 1 achieves Chernoff bound %v at μ = %v (too few samples)", pFail, mu)
+	return 0
+}
+
+// TestDynamicPresetHitTimeChiSquareRounds: for every new preset, hit-time
+// distributions on the synchronous engine must agree across disjoint seed
+// sets. A dynamics bug that couples behavior to the seed (for example an
+// epoch boundary that depends on adversary draws) shows up here.
+func TestDynamicPresetHitTimeChiSquareRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributional conformance needs hundreds of trials")
+	}
+	for _, spec := range dynamicSpecs {
+		ref, refTrials := roundsHitTimes(t, spec, 500, 1000)
+		obs, obsTrials := roundsHitTimes(t, spec, 160, 777000)
+		chiSquareSameDistribution(t, spec+"/rounds", ref, refTrials, obs, obsTrials)
+	}
+}
+
+// TestDynamicPresetHitTimeChiSquareAsync is the asynchronous-engine run of
+// the same conformance gate, for every new preset the async engine admits
+// (rounds-only presets are excluded by design).
+func TestDynamicPresetHitTimeChiSquareAsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributional conformance needs hundreds of trials")
+	}
+	for _, spec := range dynamicSpecs {
+		s, err := Build(spec, dynamicConformanceD)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", spec, err)
+		}
+		if s.RoundsOnly() {
+			continue
+		}
+		ref, refTrials := asyncHitTimes(t, spec, 500, 2000)
+		obs, obsTrials := asyncHitTimes(t, spec, 160, 999000)
+		chiSquareSameDistribution(t, spec+"/async", ref, refTrials, obs, obsTrials)
+	}
+}
+
+// roundSnapshots copies every observed round (the engine reuses the slice).
+type roundSnapshots struct {
+	rounds [][]sim.AgentState
+}
+
+func (o *roundSnapshots) Observe(round uint64, agents []sim.AgentState) {
+	o.rounds = append(o.rounds, append([]sim.AgentState(nil), agents...))
+}
+
+// TestDynamicPresetWorkerCountInvariance: every new preset must produce
+// byte-identical round-by-round snapshots and visit sets with 1 and 3
+// workers on the synchronous engine — dynamics sync and the adaptive
+// adversary both run on the coordinating goroutine, so worker count must
+// never leak into results.
+func TestDynamicPresetWorkerCountInvariance(t *testing.T) {
+	const d = 6
+	for _, spec := range dynamicSpecs {
+		s, err := Build(spec, d)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", spec, err)
+		}
+		run := func(workers int) (*sim.RoundsResult, *roundSnapshots) {
+			rcfg := s.ApplyRounds(sim.RoundsConfig{
+				NumAgents:   6,
+				Rounds:      300,
+				TrackRadius: 2 * d,
+				Workers:     workers,
+			})
+			rcfg.Machine = automata.RandomWalk()
+			obs := &roundSnapshots{}
+			res, err := sim.RunRounds(rcfg, obs, 19)
+			if err != nil {
+				t.Fatalf("%s: workers=%d: %v", spec, workers, err)
+			}
+			return res, obs
+		}
+		res1, snap1 := run(1)
+		res3, snap3 := run(3)
+		if res1.Found != res3.Found || res1.FoundRound != res3.FoundRound ||
+			res1.RoundsRun != res3.RoundsRun || res1.Crashed != res3.Crashed {
+			t.Fatalf("%s: results differ across worker counts: %+v vs %+v", spec, res1, res3)
+		}
+		if len(snap1.rounds) != len(snap3.rounds) {
+			t.Fatalf("%s: snapshot counts differ: %d vs %d", spec, len(snap1.rounds), len(snap3.rounds))
+		}
+		for r := range snap1.rounds {
+			for i := range snap1.rounds[r] {
+				if snap1.rounds[r][i] != snap3.rounds[r][i] {
+					t.Fatalf("%s: round %d agent %d diverges across worker counts: %+v vs %+v",
+						spec, r+1, i, snap1.rounds[r][i], snap3.rounds[r][i])
+				}
+			}
+		}
+		visitSetsEqual(t, spec+"/workers", res1.Visited, res3.Visited)
+	}
+}
+
+// TestDynamicPresetAsyncWorkerCountInvariance is the asynchronous-engine
+// analogue for the presets that engine admits.
+func TestDynamicPresetAsyncWorkerCountInvariance(t *testing.T) {
+	const d = 6
+	for _, spec := range dynamicSpecs {
+		s, err := Build(spec, d)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", spec, err)
+		}
+		if s.RoundsOnly() {
+			continue
+		}
+		run := func(workers int) *sim.Result {
+			acfg := s.Apply(sim.Config{
+				NumAgents:   6,
+				MoveBudget:  1000,
+				TrackRadius: 2 * d,
+				Workers:     workers,
+			})
+			res, err := sim.Run(acfg, baseline.RandomWalkFactory(), rng.New(23))
+			if err != nil {
+				t.Fatalf("%s: workers=%d: %v", spec, workers, err)
+			}
+			return res
+		}
+		res1 := run(1)
+		res3 := run(3)
+		if res1.Found != res3.Found || res1.MinMoves != res3.MinMoves || res1.MinSteps != res3.MinSteps {
+			t.Fatalf("%s: async results differ across worker counts: %+v vs %+v", spec, res1, res3)
+		}
+		for i := range res1.Agents {
+			if res1.Agents[i] != res3.Agents[i] {
+				t.Fatalf("%s: agent %d diverges across worker counts: %+v vs %+v",
+					spec, i, res1.Agents[i], res3.Agents[i])
+			}
+		}
+		visitSetsEqual(t, spec+"/async-workers", res1.Visited, res3.Visited)
+	}
+}

@@ -19,8 +19,20 @@ func fuzzSpec(name string, param int64) string {
 	switch name {
 	case "torus":
 		return fmt.Sprintf("torus:l=%d", param)
-	case "ring", "cluster":
+	case "ring", "cluster", "storm":
 		return fmt.Sprintf("%s:k=%d", name, param)
+	case "drift", "pursuit":
+		return fmt.Sprintf("%s:v=%d", name, param)
+	case "blink":
+		return fmt.Sprintf("blink:on=%d", param)
+	case "expire":
+		return fmt.Sprintf("expire:t=%d", param)
+	case "flicker":
+		return fmt.Sprintf("flicker:closed=%d", param)
+	case "adaptive-crash":
+		return fmt.Sprintf("adaptive-crash:b=%d", param)
+	case "mixed":
+		return fmt.Sprintf("mixed:m=%d", param)
 	default:
 		return fmt.Sprintf("%s:delay=%d", name, param)
 	}
@@ -70,6 +82,12 @@ func FuzzWorldMoveLegality(f *testing.F) {
 			t.Skipf("Build(%q, %d): %v", spec, d, err)
 		}
 		w := s.World
+		if s.DynamicWorld != nil {
+			// Probe the world in effect at a fuzz-chosen round, so the
+			// legality invariants cover dynamic schedules too.
+			round := uint64(d)*uint64(len(moves)+1) + 1
+			w, _ = s.DynamicWorld.Tick(round)
+		}
 		if w == nil {
 			w = sim.OpenPlane{}
 		}
@@ -99,6 +117,151 @@ func FuzzWorldMoveLegality(f *testing.F) {
 					s.Spec, pos, dir, next, performed, again, performedAgain)
 			}
 			pos = next
+		}
+	})
+}
+
+// fuzzWorldPalette is the pool of static worlds the dynamic-world fuzzer
+// composes schedules from (nil is the open plane).
+var fuzzWorldPalette = []sim.World{
+	nil, sim.OpenPlane{}, sim.HalfPlane{}, sim.Quadrant{}, gapWall(6),
+}
+
+// sameResolve compares two worlds behaviorally on a small probe set — the
+// World interface values may not be ==-comparable (Obstacles holds slices).
+func sameResolve(a, b sim.World) bool {
+	if a == nil {
+		a = sim.OpenPlane{}
+	}
+	if b == nil {
+		b = sim.OpenPlane{}
+	}
+	probes := []grid.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 3, Y: 1}, {X: -2, Y: -2}, {X: 4, Y: -1}}
+	for _, p := range probes {
+		for _, dir := range grid.Directions {
+			an, ap := a.Resolve(p, dir)
+			bn, bp := b.Resolve(p, dir)
+			if an != bn || ap != bp {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzDynamicWorld fuzzes tick schedules and drift vectors directly against
+// the sim dynamics contracts the engines rely on:
+//
+//   - Validate either rejects the schedule or every Tick/Targets call obeys
+//     the epoch contract: until ≥ round, and every round within [round,
+//     until] reports the same epoch (same until, behaviorally identical
+//     world, identical target points),
+//   - schedules are pure: re-querying a round gives the same answer,
+//   - DriftTargets offsets are exactly k·V per epoch k,
+//   - epochs advance: querying until+1 starts a strictly later epoch.
+func FuzzDynamicWorld(f *testing.F) {
+	f.Add(uint8(0), uint64(3), uint64(5), int64(1), int64(0), uint64(2))
+	f.Add(uint8(1), uint64(7), uint64(2), int64(0), int64(-1), uint64(9))
+	f.Add(uint8(2), uint64(1), uint64(1), int64(2), int64(3), uint64(1))
+	f.Add(uint8(3), uint64(100), uint64(40), int64(-5), int64(5), uint64(64))
+	f.Add(uint8(4), uint64(12), uint64(0), int64(0), int64(0), uint64(3))
+
+	f.Fuzz(func(t *testing.T, sel uint8, a, b uint64, vx, vy int64, every uint64) {
+		// Keep epochs short enough that the probe loop crosses several
+		// boundaries within its round budget.
+		a, b, every = a%64, b%64, every%64
+		vx, vy = vx%16, vy%16
+		wa := fuzzWorldPalette[int(sel)%len(fuzzWorldPalette)]
+		wb := fuzzWorldPalette[int(sel/8)%len(fuzzWorldPalette)]
+		base := []grid.Point{{X: 5, Y: 0}, {X: 0, Y: 5}}
+
+		worlds := []sim.DynamicWorld{
+			sim.FixedWorld{W: wa},
+			sim.PulseWorld{A: wa, B: wb, APhase: a, BPhase: b},
+			sim.CycleWorld{Worlds: []sim.World{wa, wb}, Every: every},
+			sim.WorldSchedule{Epochs: []sim.WorldEpoch{
+				{Until: a, World: wa}, {Until: a + b, World: wb},
+			}},
+		}
+		for i, dw := range worlds {
+			if err := dw.Validate(); err != nil {
+				continue // rejection is a legal outcome, not a violation
+			}
+			var r uint64 = 1
+			for probes := 0; probes < 24; probes++ {
+				w, until := dw.Tick(r)
+				if until < r {
+					t.Fatalf("world %d: Tick(%d) until=%d precedes the round", i, r, until)
+				}
+				w2, until2 := dw.Tick(r)
+				if until2 != until || !sameResolve(w, w2) {
+					t.Fatalf("world %d: Tick(%d) is not pure", i, r)
+				}
+				// Every round inside the epoch must agree with its start.
+				end := until
+				if end > r+4 {
+					end = r + 4
+				}
+				for q := r; q <= end; q++ {
+					wq, uq := dw.Tick(q)
+					if uq != until || !sameResolve(w, wq) {
+						t.Fatalf("world %d: round %d disagrees with epoch [%d, %d]", i, q, r, until)
+					}
+				}
+				if until == ^uint64(0) || until > 1<<20 {
+					break
+				}
+				r = until + 1
+			}
+		}
+
+		targets := []sim.TargetSchedule{
+			sim.FixedTargets{Points: base},
+			sim.PulseTargets{On: base, OnPhase: a, OffPhase: b},
+			sim.DriftTargets{Base: base, V: grid.Point{X: vx, Y: vy}, Every: every},
+			sim.TargetTimeline{Epochs: []sim.TargetEpoch{
+				{Until: a, Points: base}, {Until: a + b, Points: base[:1]},
+			}},
+		}
+		for i, ts := range targets {
+			if err := ts.Validate(); err != nil {
+				continue
+			}
+			var r uint64 = 1
+			for probes := 0; probes < 24; probes++ {
+				set, until := ts.Targets(r)
+				if until < r {
+					t.Fatalf("targets %d: Targets(%d) until=%d precedes the round", i, r, until)
+				}
+				set2, until2 := ts.Targets(r)
+				if until2 != until || set.Len() != set2.Len() {
+					t.Fatalf("targets %d: Targets(%d) is not pure", i, r)
+				}
+				if dt, ok := ts.(sim.DriftTargets); ok {
+					k := (r - 1) / dt.Every
+					off := grid.Point{X: dt.V.X * int64(k), Y: dt.V.Y * int64(k)}
+					for _, p := range dt.Base {
+						want := p.Add(off)
+						if !set.Hit(want) {
+							t.Fatalf("drift: epoch %d missing %v (base %v + %d·%v)", k, want, p, k, dt.V)
+						}
+					}
+				}
+				end := until
+				if end > r+4 {
+					end = r + 4
+				}
+				for q := r; q <= end; q++ {
+					sq, uq := ts.Targets(q)
+					if uq != until || sq.Len() != set.Len() {
+						t.Fatalf("targets %d: round %d disagrees with epoch [%d, %d]", i, q, r, until)
+					}
+				}
+				if until == ^uint64(0) || until > 1<<20 {
+					break
+				}
+				r = until + 1
+			}
 		}
 	})
 }

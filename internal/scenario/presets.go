@@ -3,167 +3,356 @@ package scenario
 import (
 	"fmt"
 
+	"repro/internal/automata"
 	"repro/internal/grid"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
 // presets is the registry, in the order presentations (CLI listings, the
-// README table, the S2 sweep) use. Every preset accepts the common crash=
-// and delay= keys on top of what its Params field documents.
+// README table, the S2/S3 sweeps) use. Every preset accepts the common
+// crash= and delay= keys on top of what its Params field documents.
 var presets = []Preset{
 	{
 		Name:    "open",
 		Summary: "the paper's open plane, one target on the axis at (D,0)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
-			return nil, []grid.Point{{X: d, Y: 0}}, sim.FaultModel{}, nil
+		build: func(d int64, p *params) (built, error) {
+			return built{targets: []grid.Point{{X: d, Y: 0}}}, nil
 		},
 	},
 	{
 		Name:    "adversarial-far",
 		Summary: "open plane, target at the corner (D,D) — the lower bound's adversarial placement",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
-			return nil, []grid.Point{{X: d, Y: d}}, sim.FaultModel{}, nil
+		build: func(d int64, p *params) (built, error) {
+			return built{targets: []grid.Point{{X: d, Y: d}}}, nil
 		},
 	},
 	{
 		Name:    "half-plane",
 		Summary: "sector world y ≥ 0 (moves across the wall are blocked), target at (0,D)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
-			return sim.HalfPlane{}, []grid.Point{{X: 0, Y: d}}, sim.FaultModel{}, nil
+		build: func(d int64, p *params) (built, error) {
+			return built{world: sim.HalfPlane{}, targets: []grid.Point{{X: 0, Y: d}}}, nil
 		},
 	},
 	{
 		Name:    "quadrant",
 		Summary: "sector world x,y ≥ 0, target at the corner (D,D)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
-			return sim.Quadrant{}, []grid.Point{{X: d, Y: d}}, sim.FaultModel{}, nil
+		build: func(d int64, p *params) (built, error) {
+			return built{world: sim.Quadrant{}, targets: []grid.Point{{X: d, Y: d}}}, nil
 		},
 	},
 	{
 		Name:    "torus",
 		Summary: "L×L torus (moves wrap around), target at (D,D)",
 		Params:  "l=<side> (default 2D+1)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+		build: func(d int64, p *params) (built, error) {
 			l := p.int64v("l", 2*d+1)
 			if l <= d {
-				return nil, nil, sim.FaultModel{}, fmt.Errorf("torus side %d must exceed D=%d for the target to fit", l, d)
+				return built{}, fmt.Errorf("torus side %d must exceed D=%d for the target to fit", l, d)
 			}
-			return sim.Torus{L: l}, []grid.Point{{X: d, Y: d}}, sim.FaultModel{}, nil
+			return built{world: sim.Torus{L: l}, targets: []grid.Point{{X: d, Y: d}}}, nil
 		},
 	},
 	{
 		Name:    "obstacles",
 		Summary: "open plane with a wall at x=⌈D/2⌉ pierced by a one-cell gap at y=0, target at (D,0)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
-			w := (d + 1) / 2
-			wall := sim.NewObstacles(
-				grid.NewRect(grid.Point{X: w, Y: 1}, grid.Point{X: w, Y: d}),
-				grid.NewRect(grid.Point{X: w, Y: -d}, grid.Point{X: w, Y: -1}),
-			)
-			return wall, []grid.Point{{X: d, Y: 0}}, sim.FaultModel{}, nil
+		build: func(d int64, p *params) (built, error) {
+			return built{world: gapWall(d), targets: []grid.Point{{X: d, Y: 0}}}, nil
 		},
 	},
 	{
 		Name:    "field",
 		Summary: "unbounded-arena variant: open plane strewn with k 3×3 obstacle blocks out to span·D, target at (D,0)",
 		Params:  "k=<blocks> (default 48), span=<mult> (default 4)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+		build: func(d int64, p *params) (built, error) {
 			k := p.int64v("k", 48)
 			span := p.int64v("span", 4)
 			if k < 1 || k > 2048 {
-				return nil, nil, sim.FaultModel{}, fmt.Errorf("field size k=%d out of [1, 2048]", k)
+				return built{}, fmt.Errorf("field size k=%d out of [1, 2048]", k)
 			}
 			if span < 2 || span > 1<<16 {
-				return nil, nil, sim.FaultModel{}, fmt.Errorf("field span=%d out of [2, %d]", span, 1<<16)
+				return built{}, fmt.Errorf("field span=%d out of [2, %d]", span, 1<<16)
 			}
 			target := grid.Point{X: d, Y: 0}
-			ext := span * d
-			side := 2*ext + 1
-			// Keep the field under half-covered so rejection sampling
-			// terminates fast and the plane stays searchable.
-			if 18*k > side*side {
-				return nil, nil, sim.FaultModel{}, fmt.Errorf("field k=%d too crowded for span·D=%d", k, ext)
-			}
 			// Deterministic placement: the same (k, span, D) always lays
 			// out the same field, keeping Build a pure function of the spec.
-			src := rng.New(0xf1e1d ^ uint64(k)<<40 ^ uint64(span)<<20 ^ uint64(d))
-			blocks := make([]grid.Rect, 0, k)
-			for int64(len(blocks)) < k {
-				cx := src.Intn(side) - ext
-				cy := src.Intn(side) - ext
-				r := grid.NewRect(grid.Point{X: cx - 1, Y: cy - 1}, grid.Point{X: cx + 1, Y: cy + 1})
-				if r.Contains(grid.Origin) || r.Contains(target) {
-					continue
-				}
-				blocks = append(blocks, r)
+			w, err := blockField(k, span*d, rng.New(0xf1e1d^uint64(k)<<40^uint64(span)<<20^uint64(d)), target)
+			if err != nil {
+				return built{}, err
 			}
-			return sim.NewObstacles(blocks...), []grid.Point{target}, sim.FaultModel{}, nil
+			return built{world: w, targets: []grid.Point{target}}, nil
 		},
 	},
 	{
 		Name:    "far",
 		Summary: "unbounded-arena variant: open plane with the target pushed out to (mult·D, 0)",
 		Params:  "mult=<factor> (default 8)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+		build: func(d int64, p *params) (built, error) {
 			mult := p.int64v("mult", 8)
 			if mult < 1 || mult > 1<<40 {
-				return nil, nil, sim.FaultModel{}, fmt.Errorf("far mult=%d out of [1, 2^40]", mult)
+				return built{}, fmt.Errorf("far mult=%d out of [1, 2^40]", mult)
 			}
-			return nil, []grid.Point{{X: mult * d, Y: 0}}, sim.FaultModel{}, nil
+			return built{targets: []grid.Point{{X: mult * d, Y: 0}}}, nil
 		},
 	},
 	{
 		Name:    "ring",
 		Summary: "k targets equally spaced on the max-norm sphere of radius D",
 		Params:  "k=<targets> (default 8)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+		build: func(d int64, p *params) (built, error) {
 			k := p.int64v("k", 8)
 			n := grid.SphereSize(d)
 			if k < 1 || k > n {
-				return nil, nil, sim.FaultModel{}, fmt.Errorf("ring size k=%d out of [1, %d] for D=%d", k, n, d)
+				return built{}, fmt.Errorf("ring size k=%d out of [1, %d] for D=%d", k, n, d)
 			}
 			targets := make([]grid.Point, k)
 			for i := int64(0); i < k; i++ {
 				targets[i] = grid.SpherePoint(d, i*n/k)
 			}
-			return nil, targets, sim.FaultModel{}, nil
+			return built{targets: targets}, nil
 		},
 	},
 	{
 		Name:    "cluster",
 		Summary: "k targets clustered at the corner (D,D)",
 		Params:  "k=<targets> (default 5, at most 9)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
+		build: func(d int64, p *params) (built, error) {
 			k := p.intv("k", 5)
 			if k < 1 || k > len(clusterOffsets) {
-				return nil, nil, sim.FaultModel{}, fmt.Errorf("cluster size k=%d out of [1, %d]", k, len(clusterOffsets))
+				return built{}, fmt.Errorf("cluster size k=%d out of [1, %d]", k, len(clusterOffsets))
 			}
 			if d < 2 {
-				return nil, nil, sim.FaultModel{}, fmt.Errorf("cluster needs D ≥ 2, got %d", d)
+				return built{}, fmt.Errorf("cluster needs D ≥ 2, got %d", d)
 			}
 			targets := make([]grid.Point, k)
 			for i := 0; i < k; i++ {
 				off := clusterOffsets[i]
 				targets[i] = grid.Point{X: d - off.X, Y: d - off.Y}
 			}
-			return nil, targets, sim.FaultModel{}, nil
+			return built{targets: targets}, nil
 		},
 	},
 	{
 		Name:    "crash",
 		Summary: "open plane with per-opportunity agent crashes (default p=0.0005), target at (D,0)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
-			return nil, []grid.Point{{X: d, Y: 0}}, sim.FaultModel{CrashProb: 0.0005}, nil
+		build: func(d int64, p *params) (built, error) {
+			return built{targets: []grid.Point{{X: d, Y: 0}}, faults: sim.FaultModel{CrashProb: 0.0005}}, nil
 		},
 	},
 	{
 		Name:    "delayed",
 		Summary: "open plane with staggered agent starts (default delay=2D), target at (D,0)",
-		build: func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error) {
-			return nil, []grid.Point{{X: d, Y: 0}}, sim.FaultModel{MaxStartDelay: uint64(2 * d)}, nil
+		build: func(d int64, p *params) (built, error) {
+			return built{targets: []grid.Point{{X: d, Y: 0}}, faults: sim.FaultModel{MaxStartDelay: uint64(2 * d)}}, nil
 		},
 	},
+	{
+		Name:    "drift",
+		Summary: "dynamic: the target starts at (D,0) and drifts sideways by v cells every `every` rounds",
+		Params:  "v=<cells> (default 1), every=<rounds> (default D)",
+		build: func(d int64, p *params) (built, error) {
+			v := p.int64v("v", 1)
+			every := p.uint64v("every", uint64(d))
+			if v < -maxDriftV || v > maxDriftV || v == 0 {
+				return built{}, fmt.Errorf("drift v=%d out of ±[1, %d]", v, maxDriftV)
+			}
+			if every < 1 {
+				return built{}, fmt.Errorf("drift every=%d must be at least 1", every)
+			}
+			return built{dynTargets: sim.DriftTargets{
+				Base: []grid.Point{{X: d, Y: 0}}, V: grid.Point{X: 0, Y: v}, Every: every,
+			}}, nil
+		},
+	},
+	{
+		Name:    "pursuit",
+		Summary: "dynamic: the target flees outward from (D,0) by v cells every `every` rounds",
+		Params:  "v=<cells> (default 1), every=<rounds> (default 4)",
+		build: func(d int64, p *params) (built, error) {
+			v := p.int64v("v", 1)
+			every := p.uint64v("every", 4)
+			if v < 1 || v > maxDriftV {
+				return built{}, fmt.Errorf("pursuit v=%d out of [1, %d]", v, maxDriftV)
+			}
+			if every < 1 {
+				return built{}, fmt.Errorf("pursuit every=%d must be at least 1", every)
+			}
+			return built{dynTargets: sim.DriftTargets{
+				Base: []grid.Point{{X: d, Y: 0}}, V: grid.Point{X: v, Y: 0}, Every: every,
+			}}, nil
+		},
+	},
+	{
+		Name:    "blink",
+		Summary: "dynamic: the target at (D,0) blinks — present for `on` rounds, gone for `off`",
+		Params:  "on=<rounds> (default 2D), off=<rounds> (default 2D)",
+		build: func(d int64, p *params) (built, error) {
+			on := p.uint64v("on", uint64(2*d))
+			off := p.uint64v("off", uint64(2*d))
+			if on < 1 || off < 1 {
+				return built{}, fmt.Errorf("blink phases on=%d, off=%d must both be at least 1", on, off)
+			}
+			return built{dynTargets: sim.PulseTargets{
+				On: []grid.Point{{X: d, Y: 0}}, OnPhase: on, OffPhase: off,
+			}}, nil
+		},
+	},
+	{
+		Name:    "expire",
+		Summary: "dynamic: the target at (D,0) exists only through round t, then vanishes forever",
+		Params:  "t=<rounds> (default 4D²)",
+		build: func(d int64, p *params) (built, error) {
+			tt := p.uint64v("t", uint64(4*d*d))
+			if tt < 1 {
+				return built{}, fmt.Errorf("expire t=%d must be at least 1", tt)
+			}
+			return built{dynTargets: sim.TargetTimeline{
+				Epochs: []sim.TargetEpoch{{Until: tt, Points: []grid.Point{{X: d, Y: 0}}}},
+			}}, nil
+		},
+	},
+	{
+		Name:    "flicker",
+		Summary: "dynamic: the obstacles wall closes for `closed` rounds and opens for `open`, target at (D,0)",
+		Params:  "closed=<rounds> (default 2D), open=<rounds> (default 2D)",
+		build: func(d int64, p *params) (built, error) {
+			closed := p.uint64v("closed", uint64(2*d))
+			open := p.uint64v("open", uint64(2*d))
+			if closed < 1 || open < 1 {
+				return built{}, fmt.Errorf("flicker phases closed=%d, open=%d must both be at least 1", closed, open)
+			}
+			return built{
+				dynWorld: sim.PulseWorld{A: gapWall(d), B: nil, APhase: closed, BPhase: open},
+				targets:  []grid.Point{{X: d, Y: 0}},
+			}, nil
+		},
+	},
+	{
+		Name:    "storm",
+		Summary: "dynamic: a rotation of 8 obstacle-field layouts (k 3×3 blocks within 2D), rearranged every `every` rounds, target at (D,0)",
+		Params:  "k=<blocks> (default 12), every=<rounds> (default 4D)",
+		build: func(d int64, p *params) (built, error) {
+			k := p.int64v("k", 12)
+			every := p.uint64v("every", uint64(4*d))
+			if k < 1 || k > 512 {
+				return built{}, fmt.Errorf("storm size k=%d out of [1, 512]", k)
+			}
+			if every < 1 {
+				return built{}, fmt.Errorf("storm every=%d must be at least 1", every)
+			}
+			target := grid.Point{X: d, Y: 0}
+			worlds := make([]sim.World, stormLayouts)
+			for i := range worlds {
+				// One deterministic layout per rotation slot: the same
+				// (k, D, slot) always produces the same field.
+				w, err := blockField(k, 2*d, rng.New(0x5702f^uint64(k)<<40^uint64(i)<<20^uint64(d)), target)
+				if err != nil {
+					return built{}, err
+				}
+				worlds[i] = w
+			}
+			return built{
+				dynWorld: sim.CycleWorld{Worlds: worlds, Every: every},
+				targets:  []grid.Point{target},
+			}, nil
+		},
+	},
+	{
+		Name:    "adaptive-crash",
+		Summary: "adaptive adversary: every `every` rounds it crashes the live agent nearest the target (budget b kills), target at (D,0); rounds engine only",
+		Params:  "b=<budget> (default 4), every=<rounds> (default D)",
+		build: func(d int64, p *params) (built, error) {
+			b := p.intv("b", 4)
+			every := p.uint64v("every", uint64(d))
+			if b < 1 || b > 1<<20 {
+				return built{}, fmt.Errorf("adaptive-crash budget b=%d out of [1, 2^20]", b)
+			}
+			if every < 1 {
+				return built{}, fmt.Errorf("adaptive-crash every=%d must be at least 1", every)
+			}
+			return built{
+				targets: []grid.Point{{X: d, Y: 0}},
+				faults:  sim.FaultModel{Policy: sim.CrashNearest, CrashProb: 1, CrashBudget: b, CrashEvery: every},
+			}, nil
+		},
+	},
+	{
+		Name:    "mixed",
+		Summary: "heterogeneous colony: m machine families interleaved round-robin across agents, target at (D,0); rounds engine only",
+		Params:  fmt.Sprintf("m=<families> (default 3, at most %d)", len(mixedRosterNames)),
+		build: func(d int64, p *params) (built, error) {
+			m := p.intv("m", 3)
+			if m < 1 || m > len(mixedRosterNames) {
+				return built{}, fmt.Errorf("mixed size m=%d out of [1, %d]", m, len(mixedRosterNames))
+			}
+			roster, err := mixedRoster(m)
+			if err != nil {
+				return built{}, err
+			}
+			return built{targets: []grid.Point{{X: d, Y: 0}}, machines: roster}, nil
+		},
+	},
+}
+
+// maxDriftV bounds drift velocities: far enough for any experiment, small
+// enough that target coordinates cannot overflow within a run.
+const maxDriftV = 1 << 20
+
+// stormLayouts is the number of obstacle layouts the storm preset rotates
+// through.
+const stormLayouts = 8
+
+// gapWall is the obstacles/flicker wall: a vertical wall at x=⌈D/2⌉
+// spanning |y| ≤ D, pierced by a one-cell gap at y=0.
+func gapWall(d int64) sim.Obstacles {
+	w := (d + 1) / 2
+	return sim.NewObstacles(
+		grid.NewRect(grid.Point{X: w, Y: 1}, grid.Point{X: w, Y: d}),
+		grid.NewRect(grid.Point{X: w, Y: -d}, grid.Point{X: w, Y: -1}),
+	)
+}
+
+// blockField rejection-samples k 3×3 obstacle blocks with centers in
+// [-ext, ext]², avoiding the origin and the target. The caller supplies
+// the (deterministically seeded) source, so the same inputs always lay
+// out the same field.
+func blockField(k, ext int64, src *rng.Source, target grid.Point) (sim.Obstacles, error) {
+	side := 2*ext + 1
+	// Keep the field under half-covered so rejection sampling terminates
+	// fast and the plane stays searchable.
+	if 18*k > side*side {
+		return sim.Obstacles{}, fmt.Errorf("field k=%d too crowded for extent %d", k, ext)
+	}
+	blocks := make([]grid.Rect, 0, k)
+	for int64(len(blocks)) < k {
+		cx := src.Intn(side) - ext
+		cy := src.Intn(side) - ext
+		r := grid.NewRect(grid.Point{X: cx - 1, Y: cy - 1}, grid.Point{X: cx + 1, Y: cy + 1})
+		if r.Contains(grid.Origin) || r.Contains(target) {
+			continue
+		}
+		blocks = append(blocks, r)
+	}
+	return sim.NewObstacles(blocks...), nil
+}
+
+// mixedRosterNames documents the machine families of the mixed preset in
+// roster order.
+var mixedRosterNames = []string{"random-walk", "zigzag", "two-class", "transient-loop"}
+
+// mixedRoster builds the first m machine families of the fixed roster.
+func mixedRoster(m int) ([]*automata.Machine, error) {
+	tl, err := automata.TransientThenLoop(4)
+	if err != nil {
+		return nil, err
+	}
+	all := []*automata.Machine{
+		automata.RandomWalk(),
+		automata.ZigZag(),
+		automata.TwoClassMachine(),
+		tl,
+	}
+	return all[:m], nil
 }
 
 // clusterOffsets spiral outward from the corner; cluster targets are the

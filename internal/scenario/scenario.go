@@ -19,14 +19,21 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/automata"
 	"repro/internal/grid"
 	"repro/internal/sim"
 )
+
+// ErrUnknownParam is the sentinel wrapped by Build's error when a spec
+// supplies a key the preset does not read. Tests and callers distinguish
+// "bad value" from "bad key" with errors.Is.
+var ErrUnknownParam = errors.New("unknown parameter")
 
 // Scenario is one built world/target/fault configuration at a concrete
 // nominal distance D.
@@ -41,37 +48,73 @@ type Scenario struct {
 	D int64
 	// World is the topology (nil = open plane, the engines' fast path).
 	World sim.World
-	// Targets is the target set (never empty).
+	// DynamicWorld, when non-nil, is a time-varying topology (World is
+	// then nil).
+	DynamicWorld sim.DynamicWorld
+	// Targets is the target set (empty only when DynamicTargets is set).
 	Targets []grid.Point
+	// DynamicTargets, when non-nil, is a time-varying target schedule
+	// (Targets is then empty).
+	DynamicTargets sim.TargetSchedule
+	// Machines, when non-empty, runs a heterogeneous colony: the engines
+	// assign machine families round-robin across agent ids, overriding the
+	// caller's single machine. Rounds engine only.
+	Machines []*automata.Machine
 	// Faults is the agent fault model (zero value: no faults).
 	Faults sim.FaultModel
 }
 
+// RoundsOnly reports whether the scenario needs the synchronous rounds
+// engine: heterogeneous colonies and the adaptive crash adversary have no
+// asynchronous counterpart (sim.Run rejects the latter with
+// sim.ErrAdaptiveAsync).
+func (s Scenario) RoundsOnly() bool {
+	return len(s.Machines) > 0 || s.Faults.Policy == sim.CrashNearest
+}
+
 // WorldName returns the world's name ("open-plane" for the nil fast path).
 func (s Scenario) WorldName() string {
+	if s.DynamicWorld != nil {
+		w, _ := s.DynamicWorld.Tick(1)
+		if w == nil {
+			w = sim.OpenPlane{}
+		}
+		return "dynamic (" + w.Name() + " at round 1)"
+	}
 	if s.World == nil {
 		return sim.OpenPlane{}.Name()
 	}
 	return s.World.Name()
 }
 
-// Apply overlays the scenario onto an asynchronous-engine config: world,
-// fault model, and the full target set (replacing any single target already
-// present).
+// Apply overlays the scenario onto an asynchronous-engine config: world
+// (static or scheduled), fault model, and the full target set or schedule
+// (replacing any single target already present). Scenarios for which
+// RoundsOnly reports true do not fit this engine — heterogeneous machine
+// rosters are dropped here and the adaptive adversary makes sim.Run fail
+// with sim.ErrAdaptiveAsync.
 func (s Scenario) Apply(cfg sim.Config) sim.Config {
 	cfg.World = s.World
+	cfg.DynamicWorld = s.DynamicWorld
 	cfg.Faults = s.Faults
 	cfg.Target, cfg.HasTarget = grid.Point{}, false
 	cfg.Targets = s.Targets
+	cfg.DynamicTargets = s.DynamicTargets
 	return cfg
 }
 
-// ApplyRounds overlays the scenario onto a synchronous-engine config.
+// ApplyRounds overlays the scenario onto a synchronous-engine config,
+// including the heterogeneous machine roster when the scenario carries one.
 func (s Scenario) ApplyRounds(cfg sim.RoundsConfig) sim.RoundsConfig {
 	cfg.World = s.World
+	cfg.DynamicWorld = s.DynamicWorld
 	cfg.Faults = s.Faults
 	cfg.Target, cfg.HasTarget = grid.Point{}, false
 	cfg.Targets = s.Targets
+	cfg.DynamicTargets = s.DynamicTargets
+	if len(s.Machines) > 0 {
+		cfg.Machines = s.Machines
+	}
 	return cfg
 }
 
@@ -85,9 +128,22 @@ type Preset struct {
 	// Params documents the preset-specific keys ("" when the preset only
 	// takes the common crash=/delay= keys).
 	Params string
-	// build instantiates the preset: world (nil = open plane), targets, and
-	// the preset's default fault model (before the common overrides).
-	build func(d int64, p *params) (sim.World, []grid.Point, sim.FaultModel, error)
+	// build instantiates the preset's ingredients (before the common fault
+	// overrides).
+	build func(d int64, p *params) (built, error)
+}
+
+// built is a preset builder's output: exactly one of world/dynWorld may be
+// non-nil (both nil = static open plane), and exactly one of
+// targets/dynTargets must be set. machines is optional (heterogeneous
+// colonies, rounds engine only).
+type built struct {
+	world      sim.World
+	dynWorld   sim.DynamicWorld
+	targets    []grid.Point
+	dynTargets sim.TargetSchedule
+	machines   []*automata.Machine
+	faults     sim.FaultModel
 }
 
 // Presets returns the registered presets in registration order.
@@ -130,7 +186,7 @@ func Build(spec string, d int64) (Scenario, error) {
 	if err != nil {
 		return Scenario{}, err
 	}
-	world, targets, faults, err := preset.build(d, p)
+	b, err := preset.build(d, p)
 	// A parse failure makes the typed accessors return zero values, so any
 	// range error the builder derived from them is a symptom; report the
 	// parse error, not the misleading consequence.
@@ -141,19 +197,22 @@ func Build(spec string, d int64) (Scenario, error) {
 		return Scenario{}, fmt.Errorf("scenario %s: %w", preset.Name, err)
 	}
 	// Common overrides, read after build so presets can set fault defaults.
-	faults.CrashProb = p.float("crash", faults.CrashProb)
-	faults.MaxStartDelay = p.uint64v("delay", faults.MaxStartDelay)
+	b.faults.CrashProb = p.float("crash", b.faults.CrashProb)
+	b.faults.MaxStartDelay = p.uint64v("delay", b.faults.MaxStartDelay)
 	if err := p.finish(); err != nil {
 		return Scenario{}, fmt.Errorf("scenario %s: %w", preset.Name, err)
 	}
 	s := Scenario{
-		Spec:    canonicalSpec(preset.Name, p),
-		Preset:  preset.Name,
-		Summary: preset.Summary,
-		D:       d,
-		World:   world,
-		Targets: targets,
-		Faults:  faults,
+		Spec:           canonicalSpec(preset.Name, p),
+		Preset:         preset.Name,
+		Summary:        preset.Summary,
+		D:              d,
+		World:          b.world,
+		DynamicWorld:   b.dynWorld,
+		Targets:        b.targets,
+		DynamicTargets: b.dynTargets,
+		Machines:       b.machines,
+		Faults:         b.faults,
 	}
 	if err := validate(s); err != nil {
 		return Scenario{}, err
@@ -164,21 +223,54 @@ func Build(spec string, d int64) (Scenario, error) {
 // validate checks the built scenario end to end, mirroring the engines'
 // own run-time validation so a bad spec fails at build time.
 func validate(s Scenario) error {
-	if len(s.Targets) == 0 {
+	if len(s.Targets) == 0 && s.DynamicTargets == nil {
 		return fmt.Errorf("scenario %s: no targets", s.Preset)
 	}
-	if s.World != nil {
-		if err := s.World.Validate(); err != nil {
+	if len(s.Targets) > 0 && s.DynamicTargets != nil {
+		return fmt.Errorf("scenario %s: both static targets and a target schedule", s.Preset)
+	}
+	if s.World != nil && s.DynamicWorld != nil {
+		return fmt.Errorf("scenario %s: both a static and a dynamic world", s.Preset)
+	}
+	if s.DynamicWorld != nil {
+		if err := s.DynamicWorld.Validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Preset, err)
 		}
-		if !s.World.Contains(grid.Origin) {
-			return fmt.Errorf("scenario %s: world %s does not contain the origin", s.Preset, s.World.Name())
+	}
+	if s.DynamicTargets != nil {
+		if err := s.DynamicTargets.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Preset, err)
 		}
-		for _, t := range s.Targets {
-			if !s.World.Contains(t) {
+	}
+	// Containment checks run against the world of round 1 (static worlds
+	// are the same world in every round); schedules' own Validate covers
+	// their later epochs.
+	w := s.World
+	if s.DynamicWorld != nil {
+		w, _ = s.DynamicWorld.Tick(1)
+	}
+	if w != nil {
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Preset, err)
+		}
+		if !w.Contains(grid.Origin) {
+			return fmt.Errorf("scenario %s: world %s does not contain the origin", s.Preset, w.Name())
+		}
+		targets := s.Targets
+		if s.DynamicTargets != nil {
+			ts, _ := s.DynamicTargets.Targets(1)
+			targets = ts.Points()
+		}
+		for _, t := range targets {
+			if !w.Contains(t) {
 				return fmt.Errorf("scenario %s: target %v is not a position of world %s",
-					s.Preset, t, s.World.Name())
+					s.Preset, t, w.Name())
 			}
+		}
+	}
+	for i, m := range s.Machines {
+		if m == nil {
+			return fmt.Errorf("scenario %s: machine family %d is nil", s.Preset, i)
 		}
 	}
 	if err := s.Faults.Validate(); err != nil {
@@ -309,7 +401,7 @@ func (p *params) finish() error {
 	}
 	if len(unknown) > 0 {
 		sort.Strings(unknown)
-		return fmt.Errorf("unknown parameter(s) %s", strings.Join(unknown, ", "))
+		return fmt.Errorf("%w(s) %s", ErrUnknownParam, strings.Join(unknown, ", "))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -20,13 +21,17 @@ func TestEveryPresetBuildsAndRuns(t *testing.T) {
 		if s.Preset != name || s.Spec != name || s.D != d {
 			t.Errorf("%s: identity fields = (%q, %q, %d)", name, s.Preset, s.Spec, s.D)
 		}
-		if len(s.Targets) == 0 {
-			t.Errorf("%s: no targets", name)
+		if len(s.Targets) == 0 && s.DynamicTargets == nil {
+			t.Errorf("%s: no targets and no target schedule", name)
 		}
-		// Every preset must be runnable end to end on both engines.
-		cfg := s.Apply(sim.Config{NumAgents: 2, MoveBudget: 2000})
-		if _, err := sim.RunTrials(cfg, baseline.RandomWalkFactory(), 2, 7); err != nil {
-			t.Errorf("%s: async engine: %v", name, err)
+		// Every preset must be runnable end to end on both engines —
+		// except rounds-only presets (heterogeneous colonies, adaptive
+		// adversaries), which the async engine rejects by design.
+		if !s.RoundsOnly() {
+			cfg := s.Apply(sim.Config{NumAgents: 2, MoveBudget: 2000})
+			if _, err := sim.RunTrials(cfg, baseline.RandomWalkFactory(), 2, 7); err != nil {
+				t.Errorf("%s: async engine: %v", name, err)
+			}
 		}
 		rcfg := s.ApplyRounds(sim.RoundsConfig{NumAgents: 2, Rounds: 200})
 		rcfg.Machine = automata.RandomWalk()
@@ -138,6 +143,36 @@ func TestBuildErrors(t *testing.T) {
 		_, err := Build(tc.spec, tc.d)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("Build(%q, %d) error = %v, want substring %q", tc.spec, tc.d, err, tc.want)
+		}
+	}
+}
+
+// TestErrUnknownParamSentinel pins the contract that unknown k=v keys are
+// rejected with the named sentinel, so callers can branch on errors.Is
+// instead of matching message substrings.
+func TestErrUnknownParamSentinel(t *testing.T) {
+	cases := []struct {
+		spec string
+		want bool
+	}{
+		{"open:bogus=1", true},
+		{"open:bogus=1,also=2", true},
+		{"torus:k=8", true},          // k is a ring/cluster/storm key, not a torus key
+		{"drift:l=3", true},          // l is a torus key, not a drift key
+		{"open:crash=0.5", false},    // common key, accepted
+		{"drift:v=2,every=9", false}, // preset keys, accepted
+		{"mixed:m=17", false},        // known key, out of range — a different error
+		{"nope:bogus=1", false},      // unknown preset, not an unknown parameter
+		{"torus:l=4", false},         // known key, semantic failure
+	}
+	for _, tc := range cases {
+		_, err := Build(tc.spec, 8)
+		if got := errors.Is(err, ErrUnknownParam); got != tc.want {
+			t.Errorf("Build(%q): errors.Is(err, ErrUnknownParam) = %v, want %v (err: %v)",
+				tc.spec, got, tc.want, err)
+		}
+		if tc.want && !strings.Contains(err.Error(), "unknown parameter") {
+			t.Errorf("Build(%q) error %q lost the legacy message", tc.spec, err)
 		}
 	}
 }

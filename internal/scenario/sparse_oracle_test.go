@@ -83,7 +83,10 @@ func TestSparseVisitsOracleEqualityAllPresets(t *testing.T) {
 		}
 		visitSetsEqual(t, name+"/rounds", denseRes.Visited, sparseRes.Visited)
 
-		// Asynchronous engine.
+		// Asynchronous engine (rounds-only presets are rejected by design).
+		if s.RoundsOnly() {
+			continue
+		}
 		acfg := s.Apply(sim.Config{
 			NumAgents:   3,
 			MoveBudget:  2000,
@@ -114,6 +117,9 @@ func TestSparseVisitsAsyncVisitedEquality(t *testing.T) {
 		s, err := Build(name, d)
 		if err != nil {
 			t.Fatalf("Build(%q, %d): %v", name, d, err)
+		}
+		if s.RoundsOnly() {
+			continue
 		}
 		acfg := s.Apply(sim.Config{
 			NumAgents:   3,

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// This file defines the time-varying side of the world model: schedules
+// that change the topology or the target set as a pure function of the
+// round number. A dynamic world never mutates — Tick returns the static
+// World in effect for the requested round plus the last round that world
+// holds, so the segment-batched rounds engine can keep its agent-major
+// kernels fully batched between epoch boundaries, cutting a segment only
+// where the schedule actually changes. The asynchronous engine applies the
+// same schedules per agent, with the agent's own step count as its clock
+// (an agent's k-th Markov step happens in round k).
+//
+// Schedules must be immutable after construction, safe for concurrent use
+// (both engines query them from several goroutines), and must not consume
+// randomness — like static worlds, they are pure labels, so swapping a
+// schedule never perturbs the agents' random streams.
+
+// dynamicForever is the until value meaning "this epoch never ends".
+const dynamicForever = math.MaxUint64
+
+// DynamicWorld is a time-varying topology: a piecewise-constant schedule
+// of static worlds. Tick(round) returns the World in effect during the
+// 1-based round (nil means the open plane) and the last round, inclusive,
+// through which that world holds (at least round; MaxUint64 means
+// forever). Tick must be a pure function of round.
+type DynamicWorld interface {
+	Tick(round uint64) (w World, until uint64)
+	// Validate checks the schedule's parameters and every world it can
+	// return. Engines call it once per run.
+	Validate() error
+}
+
+// TargetSchedule is a time-varying target set. Targets(round) returns the
+// set in effect during the 1-based round (possibly empty: the target has
+// expired or is blinked off) and the last round, inclusive, through which
+// it holds. Targets must be a pure function of round.
+type TargetSchedule interface {
+	Targets(round uint64) (t TargetSet, until uint64)
+	// Validate checks the schedule's parameters. Engines call it once per
+	// run.
+	Validate() error
+}
+
+// FixedWorld adapts a static world to the DynamicWorld interface: the same
+// world forever. The conformance suite pins the engines with it — a run
+// under FixedWorld{W} must be byte-identical to the same run with the
+// static World W.
+type FixedWorld struct {
+	// W is the world in effect in every round (nil = open plane).
+	W World
+}
+
+// Tick implements DynamicWorld.
+func (f FixedWorld) Tick(uint64) (World, uint64) { return f.W, dynamicForever }
+
+// Validate implements DynamicWorld.
+func (f FixedWorld) Validate() error { return validateWorld(f.W, nil) }
+
+// FixedTargets adapts a static target list to the TargetSchedule
+// interface: the same targets forever.
+type FixedTargets struct {
+	// Points are the targets in effect in every round.
+	Points []grid.Point
+}
+
+// Targets implements TargetSchedule.
+func (f FixedTargets) Targets(uint64) (TargetSet, uint64) {
+	return NewTargetSet(f.Points...), dynamicForever
+}
+
+// Validate implements TargetSchedule.
+func (f FixedTargets) Validate() error {
+	if len(f.Points) == 0 {
+		return fmt.Errorf("sim: fixed target schedule has no points")
+	}
+	return nil
+}
+
+// WorldEpoch is one piece of a WorldSchedule: World holds through round
+// Until (inclusive).
+type WorldEpoch struct {
+	// Until is the last 1-based round of the epoch, inclusive.
+	Until uint64
+	// World is the topology during the epoch (nil = open plane).
+	World World
+}
+
+// WorldSchedule is an explicit piecewise-constant world timeline: epoch i
+// covers the rounds after epoch i-1's Until through its own Until. After
+// the last epoch the final world holds forever.
+type WorldSchedule struct {
+	Epochs []WorldEpoch
+}
+
+// Tick implements DynamicWorld.
+func (s WorldSchedule) Tick(round uint64) (World, uint64) {
+	for _, e := range s.Epochs {
+		if round <= e.Until {
+			return e.World, e.Until
+		}
+	}
+	if n := len(s.Epochs); n > 0 {
+		return s.Epochs[n-1].World, dynamicForever
+	}
+	return nil, dynamicForever
+}
+
+// Validate implements DynamicWorld.
+func (s WorldSchedule) Validate() error {
+	if len(s.Epochs) == 0 {
+		return fmt.Errorf("sim: world schedule has no epochs")
+	}
+	var prev uint64
+	for i, e := range s.Epochs {
+		if e.Until <= prev {
+			return fmt.Errorf("sim: world schedule epoch %d ends at round %d, not after %d", i, e.Until, prev)
+		}
+		prev = e.Until
+		if err := validateWorld(e.World, nil); err != nil {
+			return fmt.Errorf("sim: world schedule epoch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// PulseWorld alternates between two worlds with fixed phase lengths:
+// rounds cycle through APhase rounds of A followed by BPhase rounds of B.
+// The flicker scenarios use it for obstacles that open and close.
+type PulseWorld struct {
+	// A and B are the alternating topologies (nil = open plane).
+	A, B World
+	// APhase and BPhase are the phase lengths in rounds (both ≥ 1).
+	APhase, BPhase uint64
+}
+
+// Tick implements DynamicWorld.
+func (w PulseWorld) Tick(round uint64) (World, uint64) {
+	period := w.APhase + w.BPhase
+	k := (round - 1) / period // cycle index
+	c := (round - 1) % period // offset within the cycle
+	if c < w.APhase {
+		return w.A, k*period + w.APhase
+	}
+	return w.B, (k + 1) * period
+}
+
+// Validate implements DynamicWorld.
+func (w PulseWorld) Validate() error {
+	if w.APhase < 1 || w.BPhase < 1 {
+		return fmt.Errorf("sim: pulse world phases (%d, %d) must both be at least 1", w.APhase, w.BPhase)
+	}
+	if err := validateWorld(w.A, nil); err != nil {
+		return fmt.Errorf("sim: pulse world phase A: %w", err)
+	}
+	if err := validateWorld(w.B, nil); err != nil {
+		return fmt.Errorf("sim: pulse world phase B: %w", err)
+	}
+	return nil
+}
+
+// CycleWorld rotates through a list of worlds, switching every Every
+// rounds and wrapping around ("storm" scenarios: the obstacle layout keeps
+// rearranging).
+type CycleWorld struct {
+	// Worlds is the rotation (entries may be nil = open plane).
+	Worlds []World
+	// Every is the epoch length in rounds (≥ 1).
+	Every uint64
+}
+
+// Tick implements DynamicWorld.
+func (w CycleWorld) Tick(round uint64) (World, uint64) {
+	k := (round - 1) / w.Every
+	return w.Worlds[k%uint64(len(w.Worlds))], (k + 1) * w.Every
+}
+
+// Validate implements DynamicWorld.
+func (w CycleWorld) Validate() error {
+	if len(w.Worlds) == 0 {
+		return fmt.Errorf("sim: cycle world has no worlds")
+	}
+	if w.Every < 1 {
+		return fmt.Errorf("sim: cycle world epoch length %d must be at least 1", w.Every)
+	}
+	for i, ww := range w.Worlds {
+		if err := validateWorld(ww, nil); err != nil {
+			return fmt.Errorf("sim: cycle world %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TargetEpoch is one piece of a TargetTimeline: Points are the targets
+// through round Until (inclusive).
+type TargetEpoch struct {
+	// Until is the last 1-based round of the epoch, inclusive.
+	Until uint64
+	// Points are the targets during the epoch (may be empty: a gap).
+	Points []grid.Point
+}
+
+// TargetTimeline is an explicit piecewise target schedule. After the last
+// epoch's Until the target set is empty forever — an "expiring" target is
+// a single epoch.
+type TargetTimeline struct {
+	Epochs []TargetEpoch
+}
+
+// Targets implements TargetSchedule.
+func (s TargetTimeline) Targets(round uint64) (TargetSet, uint64) {
+	for _, e := range s.Epochs {
+		if round <= e.Until {
+			return NewTargetSet(e.Points...), e.Until
+		}
+	}
+	return TargetSet{}, dynamicForever
+}
+
+// Validate implements TargetSchedule.
+func (s TargetTimeline) Validate() error {
+	if len(s.Epochs) == 0 {
+		return fmt.Errorf("sim: target timeline has no epochs")
+	}
+	var prev uint64
+	any := false
+	for i, e := range s.Epochs {
+		if e.Until <= prev {
+			return fmt.Errorf("sim: target timeline epoch %d ends at round %d, not after %d", i, e.Until, prev)
+		}
+		prev = e.Until
+		any = any || len(e.Points) > 0
+	}
+	if !any {
+		return fmt.Errorf("sim: target timeline never has a target")
+	}
+	return nil
+}
+
+// PulseTargets blinks a target set: present for OnPhase rounds, absent for
+// OffPhase rounds, repeating.
+type PulseTargets struct {
+	// On are the targets during the on phase.
+	On []grid.Point
+	// OnPhase and OffPhase are the phase lengths in rounds (both ≥ 1).
+	OnPhase, OffPhase uint64
+}
+
+// Targets implements TargetSchedule.
+func (s PulseTargets) Targets(round uint64) (TargetSet, uint64) {
+	period := s.OnPhase + s.OffPhase
+	k := (round - 1) / period
+	c := (round - 1) % period
+	if c < s.OnPhase {
+		return NewTargetSet(s.On...), k*period + s.OnPhase
+	}
+	return TargetSet{}, (k + 1) * period
+}
+
+// Validate implements TargetSchedule.
+func (s PulseTargets) Validate() error {
+	if len(s.On) == 0 {
+		return fmt.Errorf("sim: pulse targets has no points")
+	}
+	if s.OnPhase < 1 || s.OffPhase < 1 {
+		return fmt.Errorf("sim: pulse target phases (%d, %d) must both be at least 1", s.OnPhase, s.OffPhase)
+	}
+	return nil
+}
+
+// DriftTargets translates a base target set by a constant velocity: during
+// epoch k (each epoch is Every rounds), the targets are Base shifted by
+// k·V. Drift and pursuit scenarios use it for targets that move away from
+// or across the swarm.
+type DriftTargets struct {
+	// Base are the targets of epoch 0 (rounds 1..Every).
+	Base []grid.Point
+	// V is the per-epoch displacement.
+	V grid.Point
+	// Every is the epoch length in rounds (≥ 1).
+	Every uint64
+}
+
+// Targets implements TargetSchedule.
+func (s DriftTargets) Targets(round uint64) (TargetSet, uint64) {
+	k := (round - 1) / s.Every
+	off := grid.Point{X: s.V.X * int64(k), Y: s.V.Y * int64(k)}
+	pts := make([]grid.Point, len(s.Base))
+	for i, p := range s.Base {
+		pts[i] = p.Add(off)
+	}
+	return NewTargetSet(pts...), (k + 1) * s.Every
+}
+
+// Validate implements TargetSchedule.
+func (s DriftTargets) Validate() error {
+	if len(s.Base) == 0 {
+		return fmt.Errorf("sim: drift targets has no points")
+	}
+	if s.Every < 1 {
+		return fmt.Errorf("sim: drift epoch length %d must be at least 1", s.Every)
+	}
+	return nil
+}
+
+// validateDynamics checks the mutual exclusions and schedule parameters
+// shared by both engine configs: a run has either a static world or a
+// dynamic one, and either a static target set or a scheduled one.
+func validateDynamics(world World, dynWorld DynamicWorld, hasStatic bool, dynTargets TargetSchedule) error {
+	if world != nil && dynWorld != nil {
+		return fmt.Errorf("sim: World and DynamicWorld are mutually exclusive")
+	}
+	if hasStatic && dynTargets != nil {
+		return fmt.Errorf("sim: Target/Targets and DynamicTargets are mutually exclusive")
+	}
+	if dynWorld != nil {
+		if err := dynWorld.Validate(); err != nil {
+			return err
+		}
+	}
+	if dynTargets != nil {
+		if err := dynTargets.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

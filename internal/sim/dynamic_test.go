@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+// TestWorldScheduleTick pins the epoch arithmetic: each round maps to the
+// first epoch whose Until covers it, and the final world holds forever.
+func TestWorldScheduleTick(t *testing.T) {
+	s := WorldSchedule{Epochs: []WorldEpoch{
+		{Until: 3, World: HalfPlane{}},
+		{Until: 7, World: nil},
+		{Until: 10, World: Quadrant{}},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		round uint64
+		world World
+		until uint64
+	}{
+		{1, HalfPlane{}, 3}, {3, HalfPlane{}, 3},
+		{4, nil, 7}, {7, nil, 7},
+		{8, Quadrant{}, 10}, {10, Quadrant{}, 10},
+		{11, Quadrant{}, dynamicForever}, {1 << 40, Quadrant{}, dynamicForever},
+	}
+	for _, c := range cases {
+		w, until := s.Tick(c.round)
+		if w != c.world || until != c.until {
+			t.Errorf("Tick(%d) = (%v, %d), want (%v, %d)", c.round, w, until, c.world, c.until)
+		}
+	}
+}
+
+// TestPulseWorldTick: A for APhase rounds, B for BPhase rounds, repeating,
+// with until landing exactly on each phase boundary.
+func TestPulseWorldTick(t *testing.T) {
+	w := PulseWorld{A: Quadrant{}, B: nil, APhase: 2, BPhase: 3}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantWorld := map[uint64]World{
+		1: Quadrant{}, 2: Quadrant{}, 3: nil, 4: nil, 5: nil,
+		6: Quadrant{}, 7: Quadrant{}, 8: nil, 10: nil, 11: Quadrant{},
+	}
+	wantUntil := map[uint64]uint64{1: 2, 2: 2, 3: 5, 5: 5, 6: 7, 8: 10, 11: 12}
+	for r, want := range wantWorld {
+		got, until := w.Tick(r)
+		if got != want {
+			t.Errorf("Tick(%d) world = %v, want %v", r, got, want)
+		}
+		if wu, ok := wantUntil[r]; ok && until != wu {
+			t.Errorf("Tick(%d) until = %d, want %d", r, until, wu)
+		}
+		if until < r {
+			t.Errorf("Tick(%d) until = %d precedes the round", r, until)
+		}
+	}
+}
+
+// TestCycleWorldTick: the rotation wraps and epochs are exact multiples of
+// Every.
+func TestCycleWorldTick(t *testing.T) {
+	w := CycleWorld{Worlds: []World{HalfPlane{}, Quadrant{}, nil}, Every: 4}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		round uint64
+		world World
+		until uint64
+	}{
+		{1, HalfPlane{}, 4}, {4, HalfPlane{}, 4},
+		{5, Quadrant{}, 8}, {9, nil, 12},
+		{13, HalfPlane{}, 16}, // wrapped around
+	}
+	for _, c := range cases {
+		got, until := w.Tick(c.round)
+		if got != c.world || until != c.until {
+			t.Errorf("Tick(%d) = (%v, %d), want (%v, %d)", c.round, got, until, c.world, c.until)
+		}
+	}
+}
+
+// TestTargetTimelineExpire: the target exists through its epoch and is
+// empty forever after.
+func TestTargetTimelineExpire(t *testing.T) {
+	pt := grid.Point{X: 5, Y: 0}
+	s := TargetTimeline{Epochs: []TargetEpoch{{Until: 20, Points: []grid.Point{pt}}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ts, until := s.Targets(1)
+	if !ts.Hit(pt) || until != 20 {
+		t.Fatalf("Targets(1) = (%d targets, until %d), want the point through 20", ts.Len(), until)
+	}
+	ts, until = s.Targets(21)
+	if !ts.Empty() || until != dynamicForever {
+		t.Fatalf("Targets(21) = (%d targets, until %d), want empty forever", ts.Len(), until)
+	}
+}
+
+// TestPulseTargetsTick: present during the on phase, absent during the off
+// phase.
+func TestPulseTargetsTick(t *testing.T) {
+	pt := grid.Point{X: 2, Y: 2}
+	s := PulseTargets{On: []grid.Point{pt}, OnPhase: 3, OffPhase: 2}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for r := uint64(1); r <= 20; r++ {
+		ts, until := s.Targets(r)
+		on := (r-1)%5 < 3
+		if ts.Hit(pt) != on {
+			t.Errorf("round %d: target present = %v, want %v", r, ts.Hit(pt), on)
+		}
+		if until < r {
+			t.Errorf("round %d: until = %d precedes the round", r, until)
+		}
+	}
+}
+
+// TestDriftTargetsTick: epoch k shifts the base by k·V.
+func TestDriftTargetsTick(t *testing.T) {
+	s := DriftTargets{Base: []grid.Point{{X: 4, Y: 0}}, V: grid.Point{X: 0, Y: 2}, Every: 5}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		round uint64
+		want  grid.Point
+		until uint64
+	}{
+		{1, grid.Point{X: 4, Y: 0}, 5}, {5, grid.Point{X: 4, Y: 0}, 5},
+		{6, grid.Point{X: 4, Y: 2}, 10}, {11, grid.Point{X: 4, Y: 4}, 15},
+		{51, grid.Point{X: 4, Y: 20}, 55},
+	}
+	for _, c := range cases {
+		ts, until := s.Targets(c.round)
+		if !ts.Hit(c.want) || ts.Len() != 1 || until != c.until {
+			t.Errorf("Targets(%d): hit(%v)=%v len=%d until=%d, want the shifted point through %d",
+				c.round, c.want, ts.Hit(c.want), ts.Len(), until, c.until)
+		}
+	}
+}
+
+// TestDynamicScheduleValidateErrors rejects malformed schedules.
+func TestDynamicScheduleValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"empty world schedule", WorldSchedule{}.Validate()},
+		{"non-increasing epochs", WorldSchedule{Epochs: []WorldEpoch{{Until: 5}, {Until: 5}}}.Validate()},
+		{"bad epoch world", WorldSchedule{Epochs: []WorldEpoch{{Until: 5, World: Torus{L: 0}}}}.Validate()},
+		{"zero pulse phase", PulseWorld{APhase: 0, BPhase: 3}.Validate()},
+		{"empty cycle", CycleWorld{Every: 4}.Validate()},
+		{"zero cycle epoch", CycleWorld{Worlds: []World{nil}, Every: 0}.Validate()},
+		{"empty timeline", TargetTimeline{}.Validate()},
+		{"targetless timeline", TargetTimeline{Epochs: []TargetEpoch{{Until: 9}}}.Validate()},
+		{"empty pulse targets", PulseTargets{OnPhase: 1, OffPhase: 1}.Validate()},
+		{"zero drift epoch", DriftTargets{Base: []grid.Point{{X: 1}}, Every: 0}.Validate()},
+		{"empty fixed targets", FixedTargets{}.Validate()},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: Validate accepted a malformed schedule", c.name)
+		}
+	}
+}
+
+// TestDynamicsMutualExclusion: both engines refuse a config that supplies
+// a static and a dynamic world, or a static and a scheduled target set.
+func TestDynamicsMutualExclusion(t *testing.T) {
+	m := automata.RandomWalk()
+	dw := FixedWorld{W: Quadrant{}}
+	dt := FixedTargets{Points: []grid.Point{{X: 1, Y: 0}}}
+	if _, err := RunRounds(RoundsConfig{
+		Machine: m, NumAgents: 1, Rounds: 1,
+		World: Quadrant{}, DynamicWorld: dw,
+	}, nil, 1); err == nil {
+		t.Error("RunRounds accepted World + DynamicWorld")
+	}
+	if _, err := RunRounds(RoundsConfig{
+		Machine: m, NumAgents: 1, Rounds: 1,
+		Target: grid.Point{X: 1}, HasTarget: true, DynamicTargets: dt,
+	}, nil, 1); err == nil {
+		t.Error("RunRounds accepted HasTarget + DynamicTargets")
+	}
+	factory := walkerFactory(t)
+	if _, err := Run(Config{
+		NumAgents: 1, MoveBudget: 4,
+		World: Quadrant{}, DynamicWorld: dw,
+	}, factory, rng.New(1)); err == nil {
+		t.Error("Run accepted World + DynamicWorld")
+	}
+	if _, err := Run(Config{
+		NumAgents: 1, MoveBudget: 4,
+		Targets: []grid.Point{{X: 1}}, DynamicTargets: dt,
+	}, factory, rng.New(1)); err == nil {
+		t.Error("Run accepted Targets + DynamicTargets")
+	}
+}
+
+// TestFaultModelAdaptiveValidate pins the policy's parameter checks.
+func TestFaultModelAdaptiveValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		f    FaultModel
+		ok   bool
+	}{
+		{"zero value", FaultModel{}, true},
+		{"adaptive ok", FaultModel{Policy: CrashNearest, CrashProb: 1, CrashBudget: 3, CrashEvery: 5}, true},
+		{"adaptive no budget", FaultModel{Policy: CrashNearest, CrashProb: 1, CrashEvery: 5}, false},
+		{"adaptive no spacing", FaultModel{Policy: CrashNearest, CrashProb: 1, CrashBudget: 3}, false},
+		{"budget without policy", FaultModel{CrashBudget: 3}, false},
+		{"spacing without policy", FaultModel{CrashEvery: 5}, false},
+		{"unknown policy", FaultModel{Policy: CrashPolicy(9), CrashBudget: 1, CrashEvery: 1}, false},
+	}
+	for _, c := range cases {
+		if err := c.f.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+	if !(FaultModel{Policy: CrashNearest, CrashBudget: 1, CrashEvery: 1}).Enabled() {
+		t.Error("adaptive model with a budget reports Enabled() = false")
+	}
+	if !(FaultModel{Policy: CrashNearest, CrashBudget: 1, CrashEvery: 1}).Adaptive() {
+		t.Error("Adaptive() = false for a budgeted CrashNearest model")
+	}
+}
+
+// TestRunRejectsAdaptivePolicy: the asynchronous engine refuses the
+// adaptive adversary with the named sentinel.
+func TestRunRejectsAdaptivePolicy(t *testing.T) {
+	_, err := Run(Config{
+		NumAgents: 2, MoveBudget: 8,
+		Target: grid.Point{X: 2}, HasTarget: true,
+		Faults: FaultModel{Policy: CrashNearest, CrashProb: 1, CrashBudget: 1, CrashEvery: 1},
+	}, walkerFactory(t), rng.New(3))
+	if !errors.Is(err, ErrAdaptiveAsync) {
+		t.Fatalf("Run error = %v, want ErrAdaptiveAsync", err)
+	}
+}
+
+// TestEnvDynamicTargetArrival: a stationary agent (only CountStep ticks
+// its clock) is found when a scheduled target lands on its cell.
+func TestEnvDynamicTargetArrival(t *testing.T) {
+	// The target sits away from the origin for 3 rounds, then moves onto
+	// it: drift from (2,0) by (-1,0) every 2 rounds reaches the origin in
+	// epoch 2 (rounds 5..6).
+	env := NewEnv(EnvConfig{
+		DynamicTargets: DriftTargets{Base: []grid.Point{{X: 2, Y: 0}}, V: grid.Point{X: -1, Y: 0}, Every: 2},
+		Src:            rng.New(1),
+	})
+	if env.Found() {
+		t.Fatal("found before the target arrived")
+	}
+	for i := 0; i < 4; i++ {
+		env.CountStep()
+	}
+	if env.Found() {
+		t.Fatalf("found at step %d, before the target reached the origin", env.Steps())
+	}
+	env.CountStep() // step 5 = round 5: target at the origin
+	if !env.Found() {
+		t.Fatal("target drifted onto the waiting agent but was not found")
+	}
+}
+
+// TestEnvDynamicWorldEpochs: the env swaps worlds on the agent's own
+// clock — a wall that exists only in early rounds blocks only then.
+func TestEnvDynamicWorldEpochs(t *testing.T) {
+	env := NewEnv(EnvConfig{
+		DynamicWorld: WorldSchedule{Epochs: []WorldEpoch{
+			{Until: 2, World: Quadrant{}},
+			{Until: 100, World: nil},
+		}},
+		Src: rng.New(1),
+	})
+	if err := env.Move(grid.Down); err != nil { // round 1: blocked by the quadrant wall
+		t.Fatal(err)
+	}
+	if env.Pos() != grid.Origin {
+		t.Fatalf("quadrant wall failed to block: pos %v", env.Pos())
+	}
+	if err := env.Move(grid.Down); err != nil { // round 2: still blocked
+		t.Fatal(err)
+	}
+	if err := env.Move(grid.Down); err != nil { // round 3: open plane now
+		t.Fatal(err)
+	}
+	if (env.Pos() != grid.Point{X: 0, Y: -1}) {
+		t.Fatalf("open epoch did not apply: pos %v", env.Pos())
+	}
+}

@@ -41,6 +41,15 @@ type Env struct {
 	budget  uint64 // max moves (grid actions); 0 = unlimited
 	src     *rng.Source
 
+	// Dynamic schedules (nil = static run). The agent's clock is its own
+	// step count: its k-th Markov step happens in round k, so the schedule
+	// is queried at round steps+1 and the answer cached through the
+	// returned epoch end.
+	dynWorld     DynamicWorld
+	dynTargets   TargetSchedule
+	worldUntil   uint64 // last round the cached world is valid for
+	targetsUntil uint64 // last round the cached target set is valid for
+
 	crashThresh uint64 // fixed-point per-move crash probability; 0 = off
 	faultSrc    *rng.Source
 
@@ -71,6 +80,17 @@ type EnvConfig struct {
 	// environment does not validate the world — engines do that once per
 	// run via their configs.
 	World World
+	// DynamicWorld, when non-nil, makes the topology time-varying: the
+	// world in effect for each of the agent's steps comes from the
+	// schedule, clocked by the agent's own step count. Mutually exclusive
+	// with World (engines validate the exclusion).
+	DynamicWorld DynamicWorld
+	// DynamicTargets, when non-nil, makes the target set time-varying,
+	// clocked like DynamicWorld. Mutually exclusive with Target/Targets.
+	// In addition to the per-move hit test, non-moving steps (CountStep,
+	// ReturnToOrigin) re-test the agent's position so a target arriving on
+	// a waiting agent is detected.
+	DynamicTargets TargetSchedule
 	// MoveBudget caps the number of grid moves; 0 means unlimited. Blocked
 	// moves (World legality) count against it.
 	MoveBudget uint64
@@ -130,6 +150,8 @@ func (e *Env) Reset(cfg EnvConfig) {
 		world:       cfg.World,
 		budget:      cfg.MoveBudget,
 		src:         cfg.Src,
+		dynWorld:    cfg.DynamicWorld,
+		dynTargets:  cfg.DynamicTargets,
 		crashThresh: FaultModel{CrashProb: cfg.CrashProb}.crashThreshold(),
 		faultSrc:    cfg.FaultSrc,
 		steps:       cfg.StartDelaySteps,
@@ -142,8 +164,27 @@ func (e *Env) Reset(cfg EnvConfig) {
 	if cfg.RecordPath {
 		e.path = append(path[:0], grid.Origin)
 	}
+	// The untils start at zero, so this first sync fetches the schedules'
+	// state for the agent's first acting round (StartDelaySteps+1).
+	e.syncDynamics()
 	if e.targets.Hit(grid.Origin) {
 		e.found = true
+	}
+}
+
+// syncDynamics refreshes the cached world and target set when the agent's
+// clock has moved past the cached epoch. Static runs (both schedules nil)
+// never enter either branch.
+func (e *Env) syncDynamics() {
+	if e.dynWorld != nil {
+		if r := e.steps + 1; r > e.worldUntil {
+			e.world, e.worldUntil = e.dynWorld.Tick(r)
+		}
+	}
+	if e.dynTargets != nil {
+		if r := e.steps + 1; r > e.targetsUntil {
+			e.targets, e.targetsUntil = e.dynTargets.Targets(r)
+		}
 	}
 }
 
@@ -198,9 +239,29 @@ func (e *Env) Done() bool {
 }
 
 // CountStep records a non-moving Markov-chain step (a "none" state, or a
-// local coin flip the caller wants accounted as a step).
+// local coin flip the caller wants accounted as a step). Under a dynamic
+// target schedule the agent's position is re-tested, so a target that
+// drifts onto a waiting agent is found.
 func (e *Env) CountStep() {
+	e.syncDynamics()
 	e.steps++
+	e.dynamicHit()
+}
+
+// dynamicHit re-tests the agent's current position against the (already
+// synced) target set. It is a no-op for static runs: static targets can
+// only be hit by arriving, which Move already tests.
+func (e *Env) dynamicHit() {
+	if e.dynTargets == nil || e.found || e.crashed {
+		return
+	}
+	if e.targets.Hit(e.pos) {
+		e.found = true
+		e.foundAt = e.moves
+		if e.hook != nil {
+			e.hook.OnFound(e.pos, e.moves)
+		}
+	}
 }
 
 // Move moves the agent one cell in direction d. It returns ErrBudget when
@@ -220,6 +281,7 @@ func (e *Env) Move(d grid.Direction) error {
 		e.crashed = true
 		return ErrCrashed
 	}
+	e.syncDynamics()
 	if e.world == nil {
 		e.pos = e.pos.Move(d)
 	} else {
@@ -250,6 +312,7 @@ func (e *Env) Move(d grid.Direction) error {
 // the return path is provided by an oracle and its length is excluded from
 // the move count.
 func (e *Env) ReturnToOrigin() {
+	e.syncDynamics()
 	e.pos = grid.Origin
 	e.steps++
 	if e.path != nil {
@@ -258,6 +321,7 @@ func (e *Env) ReturnToOrigin() {
 	if e.hook != nil {
 		e.hook.OnReturn()
 	}
+	e.dynamicHit()
 }
 
 // Program is an agent algorithm. Run executes the agent until env.Done()

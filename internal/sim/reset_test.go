@@ -44,6 +44,28 @@ var envConfigChecks = map[string]func(t *testing.T, e *Env, cfg EnvConfig){
 			t.Errorf("World = %v, want %v", e.world, cfg.World)
 		}
 	},
+	// The dynamic schedules are mutually exclusive with the static World
+	// and Target fields the audit config populates, so these two checks
+	// build their own env instead of inspecting the shared one.
+	"DynamicWorld": func(t *testing.T, e *Env, cfg EnvConfig) {
+		if e.dynWorld != cfg.DynamicWorld {
+			t.Error("DynamicWorld not carried by Reset")
+		}
+		d := NewEnv(EnvConfig{DynamicWorld: FixedWorld{W: Quadrant{}}, Src: cfg.Src})
+		if d.dynWorld == nil || d.world != World(Quadrant{}) {
+			t.Error("DynamicWorld not threaded through Reset's initial sync")
+		}
+	},
+	"DynamicTargets": func(t *testing.T, e *Env, cfg EnvConfig) {
+		if e.dynTargets != cfg.DynamicTargets {
+			t.Error("DynamicTargets not carried by Reset")
+		}
+		pt := grid.Point{X: 1, Y: 1}
+		d := NewEnv(EnvConfig{DynamicTargets: FixedTargets{Points: []grid.Point{pt}}, Src: cfg.Src})
+		if d.dynTargets == nil || !d.targets.Hit(pt) {
+			t.Error("DynamicTargets not threaded through Reset's initial sync")
+		}
+	},
 	"MoveBudget": func(t *testing.T, e *Env, cfg EnvConfig) {
 		if e.budget != cfg.MoveBudget {
 			t.Errorf("MoveBudget = %d, want %d", e.budget, cfg.MoveBudget)
@@ -98,6 +120,7 @@ var envConfigChecks = map[string]func(t *testing.T, e *Env, cfg EnvConfig){
 var envFieldsKnownToReset = map[string]bool{
 	"targets": true, "world": true, "budget": true, "src": true,
 	"crashThresh": true, "faultSrc": true,
+	"dynWorld": true, "dynTargets": true, "worldUntil": true, "targetsUntil": true,
 	"pos": true, "moves": true, "steps": true, "found": true,
 	"foundAt": true, "crashed": true, "visited": true, "path": true,
 	"hook": true,

@@ -64,6 +64,11 @@ func (f RoundObserverFunc) Observe(round uint64, agents []AgentState) { f(round,
 type RoundsConfig struct {
 	// Machine is the agents' automaton (all agents are identical).
 	Machine *automata.Machine
+	// Machines, when non-empty, runs a heterogeneous colony: agent i
+	// executes Machines[i % len(Machines)], so the families interleave
+	// round-robin across agent ids. At most 255 families. Takes precedence
+	// over Machine.
+	Machines []*automata.Machine
 	// NumAgents is the swarm size n.
 	NumAgents int
 	// Rounds is the number of synchronous rounds to execute.
@@ -79,10 +84,21 @@ type RoundsConfig struct {
 	// explicit OpenPlane{}) runs the general world-aware path. Targets
 	// must be positions of the world.
 	World World
+	// DynamicWorld, when non-nil, makes the topology time-varying: the
+	// engine queries the schedule at each segment boundary and cuts
+	// segments at epoch ends, so the batched kernels never straddle a
+	// world change. Mutually exclusive with World.
+	DynamicWorld DynamicWorld
+	// DynamicTargets, when non-nil, makes the target set time-varying,
+	// segmented like DynamicWorld. Mutually exclusive with
+	// Target/HasTarget/Targets.
+	DynamicTargets TargetSchedule
 	// Faults is the agent fault model (zero value: no faults). Crash draws
 	// and start delays come from a substream disjoint from the agents'
 	// walk streams, so enabling faults never changes surviving agents'
-	// transition sequences.
+	// transition sequences. The CrashNearest policy (the budgeted adaptive
+	// adversary) runs between segments on the engine's coordinating
+	// goroutine, so its behaviour is independent of the worker count.
 	Faults FaultModel
 	// StopOnFound ends the run at the end of the round in which the
 	// target is first found.
@@ -174,6 +190,12 @@ type swarm struct {
 	posY   []int64
 	agents []AgentState
 
+	// Heterogeneous colonies: agent i runs cs[famOf[i]]. Nil famOf means a
+	// homogeneous swarm on c (the common case; the kernels' per-agent
+	// lookup then compiles to a single register load).
+	cs    []*automata.CompiledMachine
+	famOf []uint8
+
 	hasTarget bool
 	target    grid.Point
 
@@ -189,12 +211,63 @@ type swarm struct {
 	faultSrcs []rng.Source
 	delays    []uint64 // idle-prefix rounds per agent
 	crashed   []bool
+
+	// Dynamic schedules (nil = static run). The coordinating goroutine
+	// refreshes world/targets from them between segments; worldUntil and
+	// targetsUntil are the last rounds the cached values are valid for.
+	dynWorld     DynamicWorld
+	dynTargets   TargetSchedule
+	worldUntil   uint64
+	targetsUntil uint64
+
+	// adv is the budgeted adaptive adversary (nil when the policy is
+	// oblivious). It acts between segments on the coordinating goroutine.
+	adv *adversary
+}
+
+// adversary is the CrashNearest fault policy's run state: a budget of
+// kills, an opportunity spacing, a firing threshold, and a private
+// substream of the fault stream.
+type adversary struct {
+	src    rng.Source
+	thresh uint64 // fixed-point firing probability
+	budget int
+	every  uint64
+}
+
+// nextOpportunity returns the first round ≥ round at which the adversary
+// may act (rounds divisible by every).
+func (a *adversary) nextOpportunity(round uint64) uint64 {
+	return ((round + a.every - 1) / a.every) * a.every
+}
+
+// machineOf returns agent i's compiled machine.
+func (s *swarm) machineOf(i int) *automata.CompiledMachine {
+	if s.famOf != nil {
+		return s.cs[s.famOf[i]]
+	}
+	return s.c
+}
+
+// syncDynamics refreshes the cached world and target set for the round
+// about to run. It must be called only between segments (the workers are
+// parked) and only advances when the cached epoch has expired, so a static
+// schedule costs one interface call per run.
+func (s *swarm) syncDynamics(round uint64) {
+	if s.dynWorld != nil && round > s.worldUntil {
+		s.world, s.worldUntil = s.dynWorld.Tick(round)
+		if s.world == nil {
+			s.world = OpenPlane{}
+		}
+	}
+	if s.dynTargets != nil && round > s.targetsUntil {
+		s.targets, s.targetsUntil = s.dynTargets.Targets(round)
+	}
 }
 
 func newSwarm(cfg RoundsConfig, seed uint64) *swarm {
-	m, n := cfg.Machine, cfg.NumAgents
+	n := cfg.NumAgents
 	s := &swarm{
-		c:         m.Compiled(),
 		srcs:      make([]rng.Source, n),
 		states:    make([]int32, n),
 		posX:      make([]int64, n),
@@ -203,23 +276,41 @@ func newSwarm(cfg RoundsConfig, seed uint64) *swarm {
 		hasTarget: cfg.HasTarget,
 		target:    cfg.Target,
 	}
+	if len(cfg.Machines) > 0 {
+		s.cs = make([]*automata.CompiledMachine, len(cfg.Machines))
+		for f, m := range cfg.Machines {
+			s.cs[f] = m.Compiled()
+		}
+		s.c = s.cs[0]
+		s.famOf = make([]uint8, n)
+		for i := 0; i < n; i++ {
+			s.famOf[i] = uint8(i % len(cfg.Machines))
+		}
+	} else {
+		s.c = cfg.Machine.Compiled()
+	}
 	root := rng.New(seed)
-	start := int32(m.Start())
 	for i := 0; i < n; i++ {
 		root.DeriveInto(uint64(i), &s.srcs[i])
+		start := int32(s.machineOf(i).Start())
 		s.states[i] = start
 		s.agents[i] = AgentState{Pos: grid.Origin, State: int(start)}
 	}
-	if !isOpenPlaneFast(cfg.World) || cfg.Faults.Enabled() || len(cfg.Targets) > 0 {
+	if !isOpenPlaneFast(cfg.World) || cfg.Faults.Enabled() || len(cfg.Targets) > 0 ||
+		cfg.DynamicWorld != nil || cfg.DynamicTargets != nil {
 		s.general = true
 		s.world = cfg.World
 		if s.world == nil {
 			s.world = OpenPlane{}
 		}
 		s.targets = mergeTargets(cfg.Target, cfg.HasTarget, cfg.Targets)
+		s.dynWorld = cfg.DynamicWorld
+		s.dynTargets = cfg.DynamicTargets
 		s.crashed = make([]bool, n)
 		s.delays = make([]uint64, n)
-		s.crashProb = cfg.Faults.crashThreshold()
+		if cfg.Faults.Policy == CrashUniform {
+			s.crashProb = cfg.Faults.crashThreshold()
+		}
 		if cfg.Faults.Enabled() {
 			faultRoot := root.Derive(faultStreamTag)
 			s.faultSrcs = make([]rng.Source, n)
@@ -227,9 +318,48 @@ func newSwarm(cfg RoundsConfig, seed uint64) *swarm {
 				faultRoot.DeriveInto(uint64(i), &s.faultSrcs[i])
 				s.delays[i] = cfg.Faults.startDelay(&s.faultSrcs[i])
 			}
+			if cfg.Faults.Adaptive() {
+				s.adv = &adversary{
+					thresh: cfg.Faults.crashThreshold(),
+					budget: cfg.Faults.CrashBudget,
+					every:  cfg.Faults.CrashEvery,
+				}
+				faultRoot.DeriveInto(adversaryStreamTag, &s.adv.src)
+			}
 		}
 	}
 	return s
+}
+
+// adversaryStep runs one adaptive-adversary opportunity at the end of
+// round. It consumes exactly one draw from the adversary's substream per
+// opportunity while the budget lasts; when the draw fires, the live agent
+// nearest a target (max-norm, ties to the lowest id) crashes and the
+// budget shrinks. It runs on the coordinating goroutine between segments,
+// so the outcome is independent of the worker count.
+func (s *swarm) adversaryStep() {
+	if s.adv.src.Uint64() >= s.adv.thresh {
+		return
+	}
+	victim, best := -1, int64(-1)
+	for i := range s.agents {
+		if s.crashed[i] {
+			continue
+		}
+		_, d, ok := s.targets.Nearest(s.agents[i].Pos)
+		if !ok {
+			return // no targets this round: nothing to aim at
+		}
+		if victim < 0 || d < best {
+			victim, best = i, d
+		}
+	}
+	if victim < 0 {
+		return // everyone is already down
+	}
+	s.crashed[victim] = true
+	s.agents[victim].Crashed = true
+	s.adv.budget--
 }
 
 // segment advances agents [lo, hi) through rounds [segR0, segR1] on
@@ -256,6 +386,9 @@ func (s *swarm) segmentRange(lo, hi int, stripe *grid.VisitSet) uint64 {
 	hasTarget := s.hasTarget
 	var first uint64
 	for i := lo; i < hi; i++ {
+		if s.famOf != nil {
+			c = s.cs[s.famOf[i]]
+		}
 		src := &s.srcs[i]
 		st := int(s.states[i])
 		x, y := s.posX[i], s.posY[i]
@@ -316,6 +449,9 @@ func (s *swarm) segmentRangeGeneral(lo, hi int, stripe *grid.VisitSet) uint64 {
 		if s.crashed[i] {
 			continue
 		}
+		if s.famOf != nil {
+			c = s.cs[s.famOf[i]]
+		}
 		src := &s.srcs[i]
 		st := int(s.states[i])
 		x, y := s.posX[i], s.posY[i]
@@ -360,8 +496,16 @@ func (s *swarm) segmentRangeGeneral(lo, hi int, stripe *grid.VisitSet) uint64 {
 // RunRounds executes the swarm in lockstep. Observers (optional, may be
 // nil) see the exact synchronous trajectory the paper's model defines.
 func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult, error) {
-	if cfg.Machine == nil {
+	if cfg.Machine == nil && len(cfg.Machines) == 0 {
 		return nil, errors.New("sim: nil machine")
+	}
+	if len(cfg.Machines) > 255 {
+		return nil, fmt.Errorf("sim: at most 255 machine families, got %d", len(cfg.Machines))
+	}
+	for f, m := range cfg.Machines {
+		if m == nil {
+			return nil, fmt.Errorf("sim: machine family %d is nil", f)
+		}
 	}
 	if cfg.NumAgents < 1 {
 		return nil, fmt.Errorf("sim: need at least one agent, got %d", cfg.NumAgents)
@@ -389,15 +533,23 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 			return nil, fmt.Errorf("sim: checkpoint %d is beyond the run's %d rounds", last, cfg.Rounds)
 		}
 	}
+	hasStatic := cfg.HasTarget || len(cfg.Targets) > 0
+	if err := validateDynamics(cfg.World, cfg.DynamicWorld, hasStatic, cfg.DynamicTargets); err != nil {
+		return nil, err
+	}
 	if err := validateWorld(cfg.World, mergeTargets(cfg.Target, cfg.HasTarget, cfg.Targets).Points()); err != nil {
 		return nil, err
 	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Faults.Adaptive() && !hasStatic && cfg.DynamicTargets == nil {
+		return nil, errors.New("sim: adaptive crash policy needs targets to aim at")
+	}
 	n := cfg.NumAgents
 	workers := roundWorkers(cfg.Workers, n)
 	sw := newSwarm(cfg, seed)
+	sw.syncDynamics(1)
 
 	track := cfg.TrackRadius > 0
 	var master *grid.VisitSet
@@ -457,15 +609,28 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 		}
 	}
 	// Observers and StopOnFound need exclusive access after every round;
-	// otherwise segments extend to the next checkpoint or the horizon.
+	// otherwise segments extend to the next checkpoint, the next dynamics
+	// epoch end, the next adversary opportunity, or the horizon.
 	perRound := obs != nil || cfg.StopOnFound
 	for round := uint64(1); round <= cfg.Rounds; {
+		sw.syncDynamics(round)
 		segEnd := cfg.Rounds
 		if perRound {
 			segEnd = round
 		}
 		if nextCk < len(cfg.Checkpoints) && cfg.Checkpoints[nextCk] < segEnd {
 			segEnd = cfg.Checkpoints[nextCk]
+		}
+		if sw.dynWorld != nil && sw.worldUntil < segEnd {
+			segEnd = sw.worldUntil
+		}
+		if sw.dynTargets != nil && sw.targetsUntil < segEnd {
+			segEnd = sw.targetsUntil
+		}
+		if sw.adv != nil && sw.adv.budget > 0 {
+			if op := sw.adv.nextOpportunity(round); op < segEnd {
+				segEnd = op
+			}
 		}
 		// The barrier orders these writes before the workers' reads.
 		sw.segR0, sw.segR1 = round, segEnd
@@ -486,6 +651,12 @@ func RunRounds(cfg RoundsConfig, obs RoundObserver, seed uint64) (*RoundsResult,
 		if firstFound != 0 && !res.Found {
 			res.Found = true
 			res.FoundRound = firstFound
+		}
+		// The adversary acts at the end of its opportunity rounds, before
+		// observers see the snapshot, so crash flags are part of the
+		// round's joint state regardless of segmentation.
+		if sw.adv != nil && sw.adv.budget > 0 && segEnd%sw.adv.every == 0 {
+			sw.adversaryStep()
 		}
 		if nextCk < len(cfg.Checkpoints) && segEnd == cfg.Checkpoints[nextCk] {
 			mergeStripes()

@@ -12,6 +12,12 @@ import (
 	"repro/internal/rng"
 )
 
+// ErrAdaptiveAsync is returned by Run when the fault model requests the
+// CrashNearest policy: the budgeted adaptive adversary ranks all live
+// agents by target distance each opportunity, a joint view only the
+// synchronous engine (RunRounds) has.
+var ErrAdaptiveAsync = errors.New("sim: adaptive crash policy requires the synchronous rounds engine")
+
 // Factory builds a fresh Program instance for one agent. It is invoked once
 // per agent per trial; instances must not share mutable state.
 type Factory func() Program
@@ -32,9 +38,19 @@ type Config struct {
 	// engine's fast path); restricted worlds block or wrap moves. Targets
 	// must be positions of the world.
 	World World
+	// DynamicWorld, when non-nil, makes the topology time-varying: each
+	// agent queries the schedule on its own clock (its k-th Markov step
+	// happens in round k). Mutually exclusive with World.
+	DynamicWorld DynamicWorld
+	// DynamicTargets, when non-nil, makes the target set time-varying,
+	// clocked like DynamicWorld. Mutually exclusive with Target/Targets.
+	DynamicTargets TargetSchedule
 	// Faults is the agent fault model (zero value: no faults). Fault
 	// randomness comes from a substream disjoint from the agents' walk
 	// streams, so enabling faults never changes surviving trajectories.
+	// The CrashNearest policy is rejected with ErrAdaptiveAsync: the
+	// adaptive adversary needs the joint swarm state, which only the
+	// synchronous rounds engine materializes.
 	Faults FaultModel
 	// MoveBudget caps each agent's moves; 0 means unlimited (only safe for
 	// algorithms guaranteed to find the target).
@@ -107,11 +123,18 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 	if root == nil {
 		return nil, errors.New("sim: nil random source")
 	}
+	hasStatic := cfg.HasTarget || len(cfg.Targets) > 0
+	if err := validateDynamics(cfg.World, cfg.DynamicWorld, hasStatic, cfg.DynamicTargets); err != nil {
+		return nil, err
+	}
 	if err := validateWorld(cfg.World, mergeTargets(cfg.Target, cfg.HasTarget, cfg.Targets).Points()); err != nil {
 		return nil, err
 	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Faults.Policy == CrashNearest {
+		return nil, ErrAdaptiveAsync
 	}
 	var faultRoot *rng.Source
 	if cfg.Faults.Enabled() {
@@ -157,14 +180,16 @@ func Run(cfg Config, factory Factory, root *rng.Source) (*Result, error) {
 				}
 				root.DeriveInto(uint64(id), &src)
 				ec := EnvConfig{
-					Target:      cfg.Target,
-					HasTarget:   cfg.HasTarget,
-					Targets:     cfg.Targets,
-					World:       cfg.World,
-					MoveBudget:  cfg.MoveBudget,
-					Src:         &src,
-					TrackVisits: track,
-					Hook:        hook,
+					Target:         cfg.Target,
+					HasTarget:      cfg.HasTarget,
+					Targets:        cfg.Targets,
+					World:          cfg.World,
+					DynamicWorld:   cfg.DynamicWorld,
+					DynamicTargets: cfg.DynamicTargets,
+					MoveBudget:     cfg.MoveBudget,
+					Src:            &src,
+					TrackVisits:    track,
+					Hook:           hook,
 				}
 				if faultRoot != nil {
 					faultRoot.DeriveInto(uint64(id), &faultSrc)

@@ -1,0 +1,44 @@
+package sim
+
+import "fmt"
+
+// RoundsTrialStats aggregates repeated synchronous runs of one
+// configuration (the rounds-engine analogue of TrialStats).
+type RoundsTrialStats struct {
+	Trials    int
+	FoundFrac float64   // fraction of trials in which the swarm found a target
+	Rounds    []float64 // FoundRound of each successful trial
+	Crashed   float64   // mean crashed agents per trial
+}
+
+// roundsTrialStride spaces per-trial seeds (the golden-ratio multiplier,
+// the same constant the rng package mixes with): successive trials get
+// decorrelated root seeds while the whole sequence stays a pure function
+// of the caller's seed.
+const roundsTrialStride = 0x9e3779b97f4a7c15
+
+// RunRoundsTrials repeats RunRounds with deterministic per-trial seeds and
+// collects the first-found rounds. StopOnFound is forced on (the trials
+// measure hitting times, not coverage).
+func RunRoundsTrials(cfg RoundsConfig, trials int, seed uint64) (*RoundsTrialStats, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("sim: need at least one trial, got %d", trials)
+	}
+	cfg.StopOnFound = true
+	st := &RoundsTrialStats{Trials: trials}
+	found, crashed := 0, 0
+	for t := 0; t < trials; t++ {
+		res, err := RunRounds(cfg, nil, seed+uint64(t)*roundsTrialStride)
+		if err != nil {
+			return nil, fmt.Errorf("sim: trial %d: %w", t, err)
+		}
+		if res.Found {
+			found++
+			st.Rounds = append(st.Rounds, float64(res.FoundRound))
+		}
+		crashed += res.Crashed
+	}
+	st.FoundFrac = float64(found) / float64(trials)
+	st.Crashed = float64(crashed) / float64(trials)
+	return st, nil
+}

@@ -327,6 +327,24 @@ func mergeTargets(target grid.Point, hasTarget bool, targets []grid.Point) Targe
 	return NewTargetSet(merged...)
 }
 
+// CrashPolicy selects how crash faults pick their victims.
+type CrashPolicy uint8
+
+const (
+	// CrashUniform is the oblivious model: every active agent flips the
+	// same independent CrashProb coin at each opportunity to act.
+	CrashUniform CrashPolicy = iota
+	// CrashNearest is the budgeted adaptive adversary: at every
+	// CrashEvery-th round it fires with probability CrashProb and, when it
+	// fires, crashes the live agent currently nearest a target (max-norm,
+	// ties to the lowest agent id), until CrashBudget agents are down. It
+	// draws from its own substream of the fault stream, so survivors'
+	// trajectories stay byte-identical to the no-fault run. Only the
+	// synchronous rounds engine supports it — the adversary needs the
+	// joint swarm state, which the asynchronous engine never materializes.
+	CrashNearest
+)
+
 // FaultModel injects agent failures into a run. The zero value disables all
 // faults and leaves the engines' behaviour (and random streams) untouched.
 // Fault randomness is drawn from a dedicated substream, never from the
@@ -336,7 +354,8 @@ type FaultModel struct {
 	// CrashProb is the probability that an active agent permanently fails
 	// at each opportunity to act: per synchronous round in RunRounds, per
 	// attempted move in the asynchronous engine. A crashed agent stops
-	// where it stands and can no longer find targets.
+	// where it stands and can no longer find targets. Under CrashNearest
+	// it is instead the adversary's per-opportunity firing probability.
 	CrashProb float64
 	// MaxStartDelay staggers activation ("delayed start"): each agent
 	// begins acting only after an idle prefix drawn uniformly from
@@ -344,10 +363,25 @@ type FaultModel struct {
 	// (asynchronous engine, where the idle prefix is charged to the
 	// agent's step count).
 	MaxStartDelay uint64
+	// Policy selects the crash model (zero value: oblivious uniform).
+	Policy CrashPolicy
+	// CrashBudget is the adaptive adversary's total kill budget (required
+	// positive under CrashNearest, ignored otherwise).
+	CrashBudget int
+	// CrashEvery is the adaptive adversary's opportunity spacing: it may
+	// act at the end of every round divisible by CrashEvery (required
+	// positive under CrashNearest, ignored otherwise).
+	CrashEvery uint64
 }
 
 // Enabled reports whether the model injects any faults.
-func (f FaultModel) Enabled() bool { return f.CrashProb > 0 || f.MaxStartDelay > 0 }
+func (f FaultModel) Enabled() bool {
+	return f.CrashProb > 0 || f.MaxStartDelay > 0 ||
+		(f.Policy == CrashNearest && f.CrashBudget > 0)
+}
+
+// Adaptive reports whether the model runs the budgeted adaptive adversary.
+func (f FaultModel) Adaptive() bool { return f.Policy == CrashNearest && f.CrashBudget > 0 }
 
 // Validate checks the model's parameters.
 func (f FaultModel) Validate() error {
@@ -356,6 +390,21 @@ func (f FaultModel) Validate() error {
 	}
 	if f.MaxStartDelay > 1<<62 {
 		return fmt.Errorf("sim: start delay %d is unreasonably large", f.MaxStartDelay)
+	}
+	switch f.Policy {
+	case CrashUniform:
+		if f.CrashBudget != 0 || f.CrashEvery != 0 {
+			return fmt.Errorf("sim: CrashBudget/CrashEvery require the CrashNearest policy")
+		}
+	case CrashNearest:
+		if f.CrashBudget < 1 {
+			return fmt.Errorf("sim: adaptive crash policy needs a positive CrashBudget, got %d", f.CrashBudget)
+		}
+		if f.CrashEvery < 1 {
+			return fmt.Errorf("sim: adaptive crash policy needs a positive CrashEvery, got %d", f.CrashEvery)
+		}
+	default:
+		return fmt.Errorf("sim: unknown crash policy %d", f.Policy)
 	}
 	return nil
 }
@@ -390,3 +439,10 @@ func (f FaultModel) startDelay(src *rng.Source) uint64 {
 // walk streams are derived with the agent id (small integers), the target
 // stream with 1<<62; this tag keeps fault randomness disjoint from both.
 const faultStreamTag = uint64(1) << 61
+
+// adversaryStreamTag derives the adaptive adversary's substream of the
+// fault root. Per-agent fault streams are derived with the agent id (small
+// integers); this tag keeps the adversary's draws disjoint from them, so
+// turning the adversary on or off never changes which agents crash under
+// the oblivious model — and never touches walk streams at all.
+const adversaryStreamTag = uint64(1) << 60
